@@ -1,0 +1,180 @@
+package ace
+
+import (
+	"fmt"
+	"testing"
+
+	"ace/internal/drc"
+	"ace/internal/extract"
+	"ace/internal/gen"
+	"ace/internal/hext"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationInsertSort compares the paper's original per-box
+// insertion sort (step 2.a) with the batched merge this implementation
+// uses by default — the bin-sort refinement of ACE §4. The workload is
+// a single very wide cell row, which maximises the active-list length
+// the insertion cost is proportional to. The measured crossover
+// reproduces the paper's remark verbatim: "the term containing N^{3/2}
+// can be made linear by using bin-sort, but c₁ is so small that it has
+// not been necessary to do so" — insertion even wins on narrow rows
+// (less copying), and only loses ~1.4× at 4096 columns.
+func BenchmarkAblationInsertSort(b *testing.B) {
+	for _, cols := range []int{256, 1024, 4096} {
+		w := gen.Memory(1, cols)
+		name := fmt.Sprintf("cols=%d", cols)
+		b.Run("merge/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := extract.File(w.File, extract.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("insertion/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := extract.File(w.File, extract.Options{InsertionSort: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemo quantifies the window memo table: HEXT's
+// defining idea ("redundant windows are recognized and are extracted
+// only once"). On a regular array, disabling it forfeits the entire
+// hierarchical advantage.
+func BenchmarkAblationMemo(b *testing.B) {
+	w := gen.Memory(16, 16)
+	b.Run("memo=on", func(b *testing.B) {
+		var res *hext.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			if res, err = hext.Extract(w.File, hext.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(res.Counters.FlatCalls), "flatCalls")
+	})
+	b.Run("memo=off", func(b *testing.B) {
+		var res *hext.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			if res, err = hext.Extract(w.File, hext.Options{DisableMemo: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(res.Counters.FlatCalls), "flatCalls")
+	})
+}
+
+// BenchmarkAblationLeafSize sweeps HEXT's leaf-window cap: tiny leaves
+// mean many composes (and partial transistors); huge leaves degenerate
+// toward flat extraction — the front-end/back-end trade-off the HEXT
+// paper discusses ("it is worthwhile (and still an open issue) to
+// determine the point of match").
+func BenchmarkAblationLeafSize(b *testing.B) {
+	c, _ := gen.ChipByName("dchip")
+	w := c.Build(benchScale)
+	for _, leaf := range []int{50, 500, 5000} {
+		leaf := leaf
+		b.Run(fmt.Sprintf("maxLeaf=%d", leaf), func(b *testing.B) {
+			var res *hext.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				if res, err = hext.Extract(w.File, hext.Options{MaxLeafItems: leaf}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.Counters.ComposeCalls), "composeCalls")
+			b.ReportMetric(float64(res.Counters.FlatCalls), "flatCalls")
+		})
+	}
+}
+
+// BenchmarkAblationFracture compares the two guillotine strategies on
+// an irregular chip under an aggressive leaf cap, where geometry-level
+// cuts dominate: balanced cuts (logarithmic recursion) vs min-cut
+// (fewest split boxes — HEXT §6's proposed smarter fracturing). The
+// seamMatches metric shows what min-cut buys the compose routine.
+func BenchmarkAblationFracture(b *testing.B) {
+	c, _ := gen.ChipByName("schip2")
+	w := c.Build(benchScale)
+	for _, f := range []struct {
+		name string
+		mode hext.Fracture
+	}{{"balanced", hext.FractureBalanced}, {"mincut", hext.FractureMinCut}} {
+		b.Run(f.name, func(b *testing.B) {
+			var res *hext.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				if res, err = hext.Extract(w.File, hext.Options{
+					Fracture: f.mode, MaxLeafItems: 20,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(res.Counters.SeamMatches), "seamMatches")
+			b.ReportMetric(float64(res.Timing.Compose.Microseconds()), "compose_us")
+		})
+	}
+}
+
+// BenchmarkIncrementalSession measures re-extraction inside a session
+// (the incremental-extractor direction of ACE §6): the second run of
+// an unchanged design answers entirely from the memo.
+func BenchmarkIncrementalSession(b *testing.B) {
+	w := gen.Memory(16, 16)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hext.NewSession(hext.Options{}).Extract(w.File); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		s := hext.NewSession(hext.Options{})
+		if _, err := s.Extract(w.File); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Extract(w.File); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHierDRC compares flat design-rule checking with the
+// tile-memoised hierarchical checker on a regular array (tile size
+// aligned to the row pitch).
+func BenchmarkHierDRC(b *testing.B) {
+	w := gen.Memory(24, 24)
+	boxes, _ := benchDrain(b, w.File)
+	b.Run("flat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if vs := drc.CheckBoxes(boxes, drc.Options{}); len(vs) != 0 {
+				b.Fatal("violations in library array")
+			}
+		}
+	})
+	b.Run("tiled", func(b *testing.B) {
+		var res drc.HierResult
+		for i := 0; i < b.N; i++ {
+			res = drc.CheckHierarchical(boxes, drc.HierOptions{TileSize: 36})
+			if len(res.Violations) != 0 {
+				b.Fatal("violations in library array")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(res.Counters.UniqueTiles), "uniqueTiles")
+		b.ReportMetric(float64(res.Counters.Tiles), "tiles")
+	})
+}

@@ -1,0 +1,90 @@
+package ace
+
+import (
+	"strings"
+	"testing"
+
+	"ace/internal/cif"
+	"ace/internal/gen"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	src := cif.String(gen.Inverter())
+	res, err := ExtractString(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Netlist.Stats().Devices != 2 {
+		t.Fatalf("stats %v", res.Netlist.Stats())
+	}
+	var sb strings.Builder
+	if err := WriteWirelist(&sb, res.Netlist, WirelistOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseWirelist(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, why := Equivalent(res.Netlist, back); !eq {
+		t.Fatalf("round trip: %s", why)
+	}
+}
+
+func TestPublicHierarchical(t *testing.T) {
+	src := cif.String(gen.FourInverters())
+	hres, err := ExtractHierarchical(strings.NewReader(src), HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := ExtractString(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, why := Equivalent(hres.Netlist, ares.Netlist); !eq {
+		t.Fatalf("hext vs ace: %s", why)
+	}
+	if !strings.Contains(hres.HierarchicalString(), "DefPart Window") {
+		t.Fatal("hierarchical wirelist missing")
+	}
+}
+
+func TestFlattenHierarchicalWirelist(t *testing.T) {
+	hres, err := ExtractHierarchicalFile(gen.FourInverters(), HierOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := FlattenHierarchicalWirelist(strings.NewReader(hres.HierarchicalString()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, why := Equivalent(hres.Netlist, nl); !eq {
+		t.Fatalf("flattened text differs: %s", why)
+	}
+}
+
+func TestIncrementalSessionAPI(t *testing.T) {
+	s := IncrementalSession(HierOptions{})
+	if _, err := s.Extract(gen.FourInverters()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Extract(gen.FourInverters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.FlatCalls != 0 {
+		t.Fatalf("warm re-extract did flat work: %+v", res.Counters)
+	}
+}
+
+func TestParseCIF(t *testing.T) {
+	f, err := ParseCIF(strings.NewReader("L ND; B 10 10 0 0;\nE\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Top) != 1 {
+		t.Fatalf("items %d", len(f.Top))
+	}
+	if _, err := ExtractFile(f, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Command cifgen emits the repository's synthetic workloads as CIF
+// text, so the extractors (and any external CIF tool) can consume
+// them.
+//
+// Usage:
+//
+//	cifgen -w inverter                   the paper's Figure 3-3 inverter
+//	cifgen -w four                       HEXT's Figure 2-1 four inverters
+//	cifgen -w chain -n 8                 a functional 8-stage inverter chain
+//	cifgen -w memory -rows 16 -cols 16   a testram-style array
+//	cifgen -w array -n 1024              HEXT Table 4-1 ideal square array
+//	cifgen -w mesh -n 32                 ACE §4 worst-case mesh
+//	cifgen -w stat -n 10000 -seed 7      Bentley–Haken–Hon statistical model
+//	cifgen -w chip:testram -scale 0.1    a Table 5-1 stand-in chip
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ace/internal/cif"
+	"ace/internal/gen"
+)
+
+func main() {
+	var (
+		workload = flag.String("w", "inverter", "workload: inverter|four|chain|memory|array|mesh|stat|chip:<name>")
+		n        = flag.Int("n", 16, "size parameter (chain stages, array cells, mesh lines, stat boxes)")
+		rows     = flag.Int("rows", 8, "memory rows")
+		cols     = flag.Int("cols", 8, "memory columns")
+		seed     = flag.Int64("seed", 1, "random seed for stochastic workloads")
+		scale    = flag.Float64("scale", 1.0, "chip scale factor")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var f *cif.File
+	switch {
+	case *workload == "inverter":
+		f = gen.Inverter()
+	case *workload == "four":
+		f = gen.FourInverters()
+	case *workload == "chain":
+		f = gen.InverterChain(*n).File
+	case *workload == "memory":
+		f = gen.Memory(*rows, *cols).File
+	case *workload == "array":
+		f = gen.SquareArray(*n).File
+	case *workload == "mesh":
+		f = gen.Mesh(*n).File
+	case *workload == "stat":
+		f = gen.Statistical(*n, *seed).File
+	case strings.HasPrefix(*workload, "chip:"):
+		name := strings.TrimPrefix(*workload, "chip:")
+		c, ok := gen.ChipByName(name)
+		if !ok {
+			fatal(fmt.Errorf("unknown chip %q (have: %s)", name, chipNames()))
+		}
+		f = c.Build(*scale).File
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		fo, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer fo.Close()
+		w = fo
+	}
+	if err := cif.Write(w, f); err != nil {
+		fatal(err)
+	}
+}
+
+func chipNames() string {
+	names := make([]string, len(gen.Chips))
+	for i, c := range gen.Chips {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cifgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command drc checks a CIF design against the Mead–Conway NMOS design
+// rules (widths, spacings, contact surrounds, transistor extensions,
+// implant enclosure).
+//
+// Usage:
+//
+//	drc chip.cif                 list violations (exit 1 if any)
+//	drc -summary chip.cif        counts per rule only
+//	drc -hier -tile 36 chip.cif  tile-memoised hierarchical checking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ace/internal/cif"
+	"ace/internal/drc"
+	"ace/internal/frontend"
+)
+
+func main() {
+	summary := flag.Bool("summary", false, "print per-rule counts only")
+	hier := flag.Bool("hier", false, "use the tile-memoised hierarchical checker")
+	tile := flag.Int64("tile", 64, "tile size in λ for -hier (match the design's cell pitch)")
+	flag.Parse()
+
+	r := os.Stdin
+	if flag.Arg(0) != "" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	f, err := cif.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	stream, err := frontend.New(f, frontend.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	var vs []drc.Violation
+	if *hier {
+		res := drc.CheckHierarchical(stream.Drain(), drc.HierOptions{TileSize: *tile})
+		vs = res.Violations
+		fmt.Fprintf(os.Stderr, "drc: %d tiles, %d unique, %d memo hits\n",
+			res.Counters.Tiles, res.Counters.UniqueTiles, res.Counters.MemoHits)
+	} else {
+		vs = drc.CheckBoxes(stream.Drain(), drc.Options{})
+	}
+	if len(vs) == 0 {
+		fmt.Println("clean: no design-rule violations")
+		return
+	}
+	if *summary {
+		m := drc.Summary(vs)
+		rules := make([]string, 0, len(m))
+		for rule := range m {
+			rules = append(rules, rule)
+		}
+		sort.Strings(rules)
+		for _, rule := range rules {
+			fmt.Printf("%-24s %d\n", rule, m[rule])
+		}
+	} else {
+		for _, v := range vs {
+			fmt.Println(v)
+		}
+	}
+	fmt.Printf("%d violations\n", len(vs))
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drc:", err)
+	os.Exit(1)
+}

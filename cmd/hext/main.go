@@ -1,0 +1,227 @@
+// Command hext is the hierarchical circuit extractor.
+//
+// Usage:
+//
+//	hext [flags] [input.cif]        extract a design (stdin if no file)
+//	hext -table41                   reproduce HEXT Table 4-1 (ideal arrays)
+//	hext -table51 [-scale 0.1]      reproduce HEXT Table 5-1 (HEXT vs ACE)
+//	hext -table52 [-scale 0.1]      reproduce HEXT Table 5-2 (compose analysis)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"ace/internal/cif"
+	"ace/internal/extract"
+	"ace/internal/gen"
+	"ace/internal/hext"
+	"ace/internal/wirelist"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "write output to this file (default stdout)")
+		hier    = flag.Bool("hier", false, "emit the hierarchical wirelist instead of the flat one")
+		stats   = flag.Bool("stats", false, "print summary statistics instead of a wirelist")
+		table41 = flag.Bool("table41", false, "reproduce HEXT Table 4-1 on ideal square arrays")
+		table51 = flag.Bool("table51", false, "reproduce HEXT Table 5-1 on the synthetic chips")
+		table52 = flag.Bool("table52", false, "reproduce HEXT Table 5-2 (compose-time analysis)")
+		scale   = flag.Float64("scale", 1.0, "chip scale factor for the table harnesses")
+		maxN    = flag.Int("maxcells", 65536, "largest array size for -table41")
+	)
+	flag.Parse()
+
+	switch {
+	case *table41:
+		runTable41(*maxN)
+	case *table51:
+		runTable51(*scale)
+	case *table52:
+		runTable52(*scale)
+	default:
+		runExtract(flag.Arg(0), *out, *hier, *stats)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hext:", err)
+	os.Exit(1)
+}
+
+func runExtract(in, out string, hier, stats bool) {
+	r := os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	f, err := cif.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := hext.Extract(f, hext.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range res.Warnings {
+		fmt.Fprintln(os.Stderr, "hext: warning:", w)
+	}
+	if stats {
+		c := res.Counters
+		fmt.Printf("%s\n", res.Netlist.Stats())
+		fmt.Printf("uniqueWindows=%d memoHits=%d flatCalls=%d composeCalls=%d\n",
+			c.UniqueWindows, c.MemoHits, c.FlatCalls, c.ComposeCalls)
+		fmt.Printf("timing: frontend=%v flat=%v compose=%v flatten=%v\n",
+			res.Timing.FrontEnd, res.Timing.Flat, res.Timing.Compose, res.Timing.Flatten)
+		return
+	}
+	w := os.Stdout
+	if out != "" {
+		fo, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer fo.Close()
+		w = fo
+	}
+	if hier {
+		if err := res.WriteHierarchical(w); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := wirelist.Write(w, res.Netlist, wirelist.Options{}); err != nil {
+		fatal(err)
+	}
+}
+
+// runTable41 reproduces HEXT Table 4-1: the ideal N-cell square array.
+// The paper's columns: HEXT total, HEXT−k (k = the cost of extracting
+// one cell), and the flat extractor. HEXT extraction time here
+// excludes flattening (the paper's wirelist is hierarchical; the
+// flatten column is shown separately).
+func runTable41(maxN int) {
+	fmt.Printf("HEXT Table 4-1: ideal square arrays (%s)\n\n", hostLine())
+
+	// k: the cost of extracting a single cell.
+	single := gen.SquareArray(1)
+	k := hextExtractTime(single.File)
+
+	fmt.Printf("%10s %14s %14s %14s %14s %8s\n",
+		"N cells", "HEXT", "HEXT-k", "flat (ACE)", "flatten", "uniqWin")
+	for n := 1024; n <= maxN; n *= 4 {
+		w := gen.SquareArray(n)
+
+		res, err := hext.Extract(w.File, hext.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		hextT := res.Timing.FrontEnd + res.Timing.BackEnd()
+		flattenT := res.Timing.Flatten
+		uniq := res.Counters.UniqueWindows
+		devs := len(res.Netlist.Devices)
+
+		// Drop the window DAG before timing the flat extractor, so the
+		// measurement is not distorted by collector work over HEXT's
+		// retained memory.
+		res = nil
+		runtime.GC()
+
+		t0 := time.Now()
+		fres, err := extract.File(w.File, extract.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		flatT := time.Since(t0)
+		if len(fres.Netlist.Devices) != devs {
+			fmt.Fprintf(os.Stderr, "hext: warning: extractors disagree at n=%d\n", n)
+		}
+		fres = nil
+		runtime.GC()
+
+		hk := hextT - k
+		if hk < 0 {
+			hk = 0
+		}
+		fmt.Printf("%10d %14s %14s %14s %14s %8d\n",
+			n, roundU(hextT), roundU(hk), roundU(flatT), roundU(flattenT), uniq)
+	}
+	fmt.Printf("\nk (one cell) = %s.\n", roundU(k))
+	fmt.Printf("Paper: HEXT-k doubles per 4x cells (O(sqrt N)); flat grows 4x (O(N)).\n")
+}
+
+// runTable51 reproduces HEXT Table 5-1: per chip, HEXT front-end,
+// back-end and total versus flat ACE.
+func runTable51(scale float64) {
+	fmt.Printf("HEXT Table 5-1 (synthetic stand-in chips, scale %.2f, %s)\n\n", scale, hostLine())
+	fmt.Printf("%-10s %9s %12s %12s %12s %12s\n",
+		"chip", "devices", "front-end", "back-end", "HEXT total", "ACE flat")
+	for _, name := range []string{"cherry", "dchip", "schip2", "testram", "psc", "riscb"} {
+		c, _ := gen.ChipByName(name)
+		w := c.Build(scale)
+
+		res, err := hext.Extract(w.File, hext.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := extract.File(w.File, extract.Options{}); err != nil {
+			fatal(err)
+		}
+		flatT := time.Since(t0)
+
+		fe := res.Timing.FrontEnd
+		be := res.Timing.BackEnd()
+		fmt.Printf("%-10s %9d %12s %12s %12s %12s\n",
+			name, len(res.Netlist.Devices), roundU(fe), roundU(be), roundU(fe+be), roundU(flatT))
+	}
+	fmt.Printf("\nPaper: testram 16x faster than flat; schip2/psc slower than flat (compose-bound).\n")
+}
+
+// runTable52 reproduces HEXT Table 5-2: calls to the flat extractor,
+// calls to compose, and the percentage of back-end time spent
+// composing.
+func runTable52(scale float64) {
+	fmt.Printf("HEXT Table 5-2 (synthetic stand-in chips, scale %.2f, %s)\n\n", scale, hostLine())
+	fmt.Printf("%-10s %9s %10s %10s %12s %12s %9s\n",
+		"chip", "devices", "flatCalls", "composes", "back-end", "compose", "compose%")
+	for _, name := range []string{"cherry", "dchip", "schip2", "testram", "psc", "riscb"} {
+		c, _ := gen.ChipByName(name)
+		w := c.Build(scale)
+		res, err := hext.Extract(w.File, hext.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		be := res.Timing.BackEnd()
+		pct := 0.0
+		if be > 0 {
+			pct = 100 * res.Timing.Compose.Seconds() / be.Seconds()
+		}
+		fmt.Printf("%-10s %9d %10d %10d %12s %12s %8.0f%%\n",
+			name, len(res.Netlist.Devices),
+			res.Counters.FlatCalls, res.Counters.ComposeCalls,
+			roundU(be), roundU(res.Timing.Compose), pct)
+	}
+	fmt.Printf("\nPaper: 47-94%% of back-end time in compose (average 72%%).\n")
+}
+
+func hextExtractTime(f *cif.File) time.Duration {
+	res, err := hext.Extract(f, hext.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	return res.Timing.FrontEnd + res.Timing.BackEnd()
+}
+
+func roundU(d time.Duration) string { return d.Round(10 * time.Microsecond).String() }
+
+func hostLine() string {
+	return fmt.Sprintf("go %s on %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}

@@ -1,0 +1,146 @@
+// Command wl works with wirelists: statistics, comparison (the
+// wirelist comparator of the paper's introduction), static checking,
+// and switch-level simulation.
+//
+// Usage:
+//
+//	wl stats a.wl                print device/net statistics
+//	wl compare a.wl b.wl         report whether two wirelists are the same circuit
+//	wl check a.wl                run the static checker
+//	wl sim a.wl IN=1 [IN2=0]     evaluate the circuit with inputs, print labelled nets
+//	wl flatten hier.wl           flatten a hierarchical wirelist (from hext -hier)
+//	wl rc a.wl                   estimate per-net parasitics (needs ace -g output)
+//
+// compare/check/sim accept both flat and hierarchical wirelists.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"ace/internal/check"
+	"ace/internal/hext"
+	"ace/internal/netlist"
+	"ace/internal/rcx"
+	"ace/internal/sim"
+	"ace/internal/wirelist"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "stats":
+		nl := load(os.Args[2])
+		fmt.Println(nl.Stats())
+	case "flatten":
+		nl := load(os.Args[2])
+		if err := wirelist.Write(os.Stdout, nl, wirelist.Options{}); err != nil {
+			fatal(err)
+		}
+	case "compare":
+		if len(os.Args) < 4 {
+			usage()
+		}
+		a, b := load(os.Args[2]), load(os.Args[3])
+		eq, why := netlist.Equivalent(a, b)
+		if eq {
+			fmt.Println("equivalent")
+			return
+		}
+		fmt.Println("NOT equivalent:", why)
+		os.Exit(1)
+	case "rc":
+		nl := load(os.Args[2])
+		rcs, err := rcx.Annotate(nl, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s %12s %12s %12s\n", "net", "C (aF)", "R (mΩ)", "elmore (ns)")
+		for _, rc := range rcx.Worst(rcs, len(rcs)) {
+			if rc.CapAF == 0 {
+				continue
+			}
+			fmt.Printf("%-12s %12.0f %12.0f %12.4f\n",
+				nl.Nets[rc.Net].Name(rc.Net), rc.CapAF, rc.ResMOhm, rc.ElmoreNS())
+		}
+	case "check":
+		nl := load(os.Args[2])
+		findings := check.Run(nl, check.Options{})
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		errs, warns := check.Count(findings)
+		fmt.Printf("%d errors, %d warnings\n", errs, warns)
+		if errs > 0 {
+			os.Exit(1)
+		}
+	case "sim":
+		nl := load(os.Args[2])
+		s, err := sim.New(nl)
+		if err != nil {
+			fatal(err)
+		}
+		for _, arg := range os.Args[3:] {
+			name, val, ok := strings.Cut(arg, "=")
+			if !ok {
+				fatal(fmt.Errorf("input %q is not name=value", arg))
+			}
+			v := sim.X
+			switch val {
+			case "0":
+				v = sim.L
+			case "1":
+				v = sim.H
+			}
+			if err := s.Set(name, v); err != nil {
+				fatal(err)
+			}
+		}
+		if err := s.Eval(); err != nil {
+			fatal(err)
+		}
+		for i := range nl.Nets {
+			if len(nl.Nets[i].Names) == 0 {
+				continue
+			}
+			fmt.Printf("%s = %v\n", nl.Nets[i].Name(i), s.Value(i))
+		}
+	default:
+		usage()
+	}
+}
+
+// load reads a wirelist, flat or hierarchical (the latter is
+// recognised by its Window DefParts and flattened on the fly).
+func load(path string) *netlist.Netlist {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	src := string(data)
+	if strings.Contains(src, "(DefPart Window") {
+		nl, err := hext.ParseHierarchicalString(src)
+		if err != nil {
+			fatal(err)
+		}
+		return nl
+	}
+	nl, err := wirelist.ParseString(src)
+	if err != nil {
+		fatal(err)
+	}
+	return nl
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wl stats|compare|check|sim|flatten <files...>")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+package ace
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandSmoke builds every CLI and drives the full shell design
+// loop: generate → plot → drc → extract (flat, raster, hierarchical) →
+// compare → check → simulate → flatten.
+func TestCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"ace", "hext", "partlist", "cifgen", "wl", "drc", "layplot"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins[name], args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	cif := filepath.Join(dir, "chain.cif")
+	run("cifgen", "-w", "chain", "-n", "3", "-o", cif)
+
+	// Plot and rule-check.
+	png := filepath.Join(dir, "chain.png")
+	run("layplot", "-o", png, cif)
+	if st, err := os.Stat(png); err != nil || st.Size() == 0 {
+		t.Fatalf("no png produced: %v", err)
+	}
+	if out := run("drc", cif); !strings.Contains(out, "clean") {
+		t.Fatalf("drc: %s", out)
+	}
+	if out := run("drc", "-hier", "-tile", "36", cif); !strings.Contains(out, "clean") {
+		t.Fatalf("drc -hier: %s", out)
+	}
+
+	// Extract three ways and compare.
+	flat := filepath.Join(dir, "flat.wl")
+	run("ace", "-o", flat, cif)
+	rast := filepath.Join(dir, "rast.wl")
+	run("partlist", "-o", rast, cif)
+	hier := filepath.Join(dir, "hier.hwl")
+	run("hext", "-hier", "-o", hier, cif)
+	if out := run("wl", "compare", flat, rast); !strings.Contains(out, "equivalent") {
+		t.Fatalf("compare flat/raster: %s", out)
+	}
+	if out := run("wl", "compare", flat, hier); !strings.Contains(out, "equivalent") {
+		t.Fatalf("compare flat/hier: %s", out)
+	}
+
+	// Flatten the hierarchical wirelist and check/simulate it.
+	if out := run("wl", "flatten", hier); !strings.Contains(out, "DefPart") {
+		t.Fatalf("flatten: %s", out)
+	}
+	if out := run("wl", "check", flat); !strings.Contains(out, "0 errors") {
+		t.Fatalf("check: %s", out)
+	}
+	if out := run("wl", "sim", flat, "IN=1"); !strings.Contains(out, "OUT = 0") {
+		t.Fatalf("sim: %s", out)
+	}
+
+	// Stats and table harnesses at tiny scale.
+	if out := run("ace", "-stats", cif); !strings.Contains(out, "devices=6") {
+		t.Fatalf("stats: %s", out)
+	}
+	if out := run("hext", "-stats", cif); !strings.Contains(out, "devices=6") {
+		t.Fatalf("hext stats: %s", out)
+	}
+	if out := run("ace", "-table51", "-scale", "0.002"); !strings.Contains(out, "riscb") {
+		t.Fatalf("table51: %s", out)
+	}
+	if out := run("hext", "-table52", "-scale", "0.002"); !strings.Contains(out, "compose") {
+		t.Fatalf("hext table52: %s", out)
+	}
+}

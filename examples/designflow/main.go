@@ -1,0 +1,84 @@
+// Designflow demonstrates the full CAD loop the paper's introduction
+// describes: extract the layout, then hand the wirelist to the
+// downstream tools — the static checker, the switch-level logic
+// simulator, and the R/C post-processor.
+//
+// Run with:
+//
+//	go run ./examples/designflow
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ace"
+	"ace/internal/check"
+	"ace/internal/drc"
+	"ace/internal/frontend"
+	"ace/internal/gen"
+	"ace/internal/rcx"
+	"ace/internal/sim"
+)
+
+func main() {
+	// A functional 5-stage inverter chain from the workload library.
+	w := gen.InverterChain(5)
+
+	// 0. Design rules first — extraction of a broken layout lies.
+	stream, err := frontend.New(w.File, frontend.Options{})
+	if err != nil {
+		fail(err)
+	}
+	violations := drc.CheckBoxes(stream.Drain(), drc.Options{})
+	fmt.Printf("design rules: %d violations\n", len(violations))
+
+	res, err := ace.ExtractFile(w.File, ace.Options{KeepGeometry: true})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("extracted:", res.Netlist.Stats())
+
+	// 1. Static checking (ratio rules, malformed devices, floating
+	// nets). A clean library yields no findings.
+	findings := check.Run(res.Netlist, check.Options{})
+	errs, warns := check.Count(findings)
+	fmt.Printf("static check: %d errors, %d warnings\n", errs, warns)
+	for _, f := range findings {
+		fmt.Println("  ", f)
+	}
+
+	// 2. Switch-level simulation: drive IN both ways; five inversions
+	// make the chain an inverter overall.
+	s, err := sim.New(res.Netlist)
+	if err != nil {
+		fail(err)
+	}
+	for _, in := range []sim.Value{sim.L, sim.H} {
+		if err := s.Set("IN", in); err != nil {
+			fail(err)
+		}
+		if err := s.Eval(); err != nil {
+			fail(err)
+		}
+		out, _ := s.Get("OUT")
+		fmt.Printf("simulate: IN=%v -> OUT=%v\n", in, out)
+	}
+
+	// 3. Parasitics from the kept geometry: the paper leaves R/C to a
+	// post-processor; rank the heaviest nets.
+	rcs, err := rcx.Annotate(res.Netlist, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("heaviest nets by capacitance:")
+	for _, rc := range rcx.Worst(rcs, 3) {
+		fmt.Printf("  %-6s C=%8.0f aF  R=%8.0f mΩ  elmore=%.3f ns\n",
+			res.Netlist.Nets[rc.Net].Name(rc.Net), rc.CapAF, rc.ResMOhm, rc.ElmoreNS())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

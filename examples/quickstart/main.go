@@ -1,0 +1,77 @@
+// Quickstart: extract the inverter of the paper's Figure 3-3 from CIF
+// text and print its wirelist — reproducing Figure 3-4.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ace"
+)
+
+// inverterCIF is the layout of ACE Figure 3-3, transcribed from the
+// net and channel geometry published in the Figure 3-4 wirelist.
+const inverterCIF = `
+DS 1 1 1;
+9 inverter;
+L ND;
+B 400 1200 -600 -1400;   (enhancement channel, vertical part)
+B 1600 400 0 -600;       (enhancement channel, horizontal part)
+B 400 1400 -200 2100;    (depletion channel)
+B 400 1600 -1000 -1200;  (OUT: source arm)
+B 2000 400 -200 -200;    (OUT: bar above the gate)
+B 3400 600 500 300;      (OUT: output bar)
+B 2000 200 -200 700;
+B 400 600 -200 1100;     (OUT: into the buried contact)
+B 1200 1200 200 -1400;   (GND drain block)
+B 400 200 -200 2900;     (VDD neck)
+B 800 800 -200 3400;     (VDD contact pad)
+L NP;
+B 800 800 -600 -2800;    (input contact pad)
+B 400 1600 -600 -1600;   (vertical gate arm)
+B 2600 400 500 -600;     (horizontal gate arm)
+B 1200 2000 -200 1800;   (depletion gate, tied to OUT)
+L NM;
+B 4800 800 -200 3400;    (VDD rail)
+B 4800 800 -200 -1600;   (GND rail)
+B 4800 800 -200 -2800;   (input rail)
+L NC;
+B 400 400 -200 3400;
+B 400 400 400 -1600;
+B 400 400 -600 -2800;
+L NB;
+B 400 600 -200 1100;     (buried contact: depletion gate to OUT)
+L NI;
+B 800 1800 -200 2100;    (depletion implant)
+DF;
+C 1;
+94 VDD -2600 3800 NM;
+94 GND -2600 -1600 NM;
+94 INP -2600 -2800 NM;
+94 OUT 2200 300 ND;
+E
+`
+
+func main() {
+	res, err := ace.ExtractString(inverterCIF, ace.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res.Netlist.Name = "inverter.cif"
+
+	fmt.Println("extracted:", res.Netlist.Stats())
+	fmt.Printf("scanline stops: %d, peak active list: %d\n\n",
+		res.Counters.Stops, res.Counters.MaxActive)
+
+	// The wirelist below matches the paper's Figure 3-4: the
+	// enhancement transistor is 400/2800, the depletion load 1400/400.
+	if err := ace.WriteWirelist(os.Stdout, res.Netlist, ace.WirelistOptions{}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

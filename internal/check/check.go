@@ -1,0 +1,199 @@
+// Package check is a static checker for extracted NMOS wirelists —
+// the paper's third downstream consumer ("A static checker performs
+// ratio checks, detects malformed transistors, and checks for signals
+// that are stuck at logical 0 or 1").
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+// Severity grades findings.
+type Severity int8
+
+const (
+	Warning Severity = iota
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Finding is one reported problem.
+type Finding struct {
+	Severity Severity
+	Code     string // stable identifier, e.g. "malformed-transistor"
+	Message  string
+	Device   int // index into the netlist's devices, -1 if net-level
+	Net      int // index into the netlist's nets, -1 if device-level
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Severity, f.Code, f.Message)
+}
+
+// Options tunes the checker.
+type Options struct {
+	// MinRatio is the minimum pull-up to pull-down (L/W) ratio for
+	// restoring logic; zero selects the technology default.
+	MinRatio float64
+
+	// MinSize is the minimum legal channel dimension in centimicrons;
+	// zero selects 2λ.
+	MinSize int64
+
+	// Tech supplies process parameters; nil selects tech.Default().
+	Tech *tech.Tech
+}
+
+// Run checks a netlist and returns findings sorted by severity.
+func Run(nl *netlist.Netlist, opt Options) []Finding {
+	tc := opt.Tech
+	if tc == nil {
+		tc = tech.Default()
+	}
+	minRatio := opt.MinRatio
+	if minRatio <= 0 {
+		minRatio = tc.MinRatio
+	}
+	minSize := opt.MinSize
+	if minSize <= 0 {
+		minSize = 2 * tc.Lambda
+	}
+
+	var out []Finding
+	add := func(f Finding) { out = append(out, f) }
+
+	vdd, hasVDD := nl.NetByName("VDD")
+	gnd, hasGND := nl.NetByName("GND")
+	if !hasVDD {
+		add(Finding{Warning, "no-vdd", "no net named VDD", -1, -1})
+		vdd = -1
+	}
+	if !hasGND {
+		add(Finding{Warning, "no-gnd", "no net named GND", -1, -1})
+		gnd = -1
+	}
+	if hasVDD && hasGND && vdd == gnd {
+		add(Finding{Error, "power-short", "VDD and GND are the same net", -1, vdd})
+	}
+
+	// Per-device structure checks.
+	gateDriven := map[int]bool{} // nets that drive some gate
+	sdTouched := map[int]bool{}  // nets touched by some source/drain
+	for i := range nl.Devices {
+		d := &nl.Devices[i]
+		gateDriven[d.Gate] = true
+		sdTouched[d.Source] = true
+		sdTouched[d.Drain] = true
+
+		if d.Type != tech.Capacitor {
+			switch {
+			case len(d.Terminals) < 2:
+				add(Finding{Error, "malformed-transistor",
+					fmt.Sprintf("device %d at %v has %d diffusion terminals (want 2)",
+						i, d.Location, len(d.Terminals)), i, -1})
+			case len(d.Terminals) > 2:
+				add(Finding{Error, "malformed-transistor",
+					fmt.Sprintf("device %d at %v has %d diffusion terminals (want 2)",
+						i, d.Location, len(d.Terminals)), i, -1})
+			case d.Source == d.Drain:
+				add(Finding{Warning, "shorted-transistor",
+					fmt.Sprintf("device %d at %v has source shorted to drain", i, d.Location), i, -1})
+			}
+		}
+		if d.Length < minSize || d.Width < minSize {
+			add(Finding{Error, "undersized-channel",
+				fmt.Sprintf("device %d at %v is %d×%d (min %d)",
+					i, d.Location, d.Length, d.Width, minSize), i, -1})
+		}
+		if d.Type == tech.Enhancement && d.Gate == d.Source && d.Gate == d.Drain {
+			add(Finding{Warning, "self-gated",
+				fmt.Sprintf("device %d at %v gates itself", i, d.Location), i, -1})
+		}
+		if d.Type == tech.Enhancement && (d.Source == vdd && d.Drain == gnd ||
+			d.Source == gnd && d.Drain == vdd) {
+			add(Finding{Warning, "rail-crowbar",
+				fmt.Sprintf("device %d at %v connects VDD directly to GND", i, d.Location), i, -1})
+		}
+	}
+
+	// Ratio checks: for each node pulled up by a depletion load and
+	// pulled down by an enhancement device, the Mead–Conway inverter
+	// ratio (Lpu/Wpu)/(Lpd/Wpd) must be at least minRatio.
+	pullupOf := map[int]*netlist.Device{}
+	for i := range nl.Devices {
+		d := &nl.Devices[i]
+		if d.Type == tech.Depletion && (d.Source == vdd || d.Drain == vdd) {
+			node := d.Source
+			if node == vdd {
+				node = d.Drain
+			}
+			pullupOf[node] = d
+		}
+	}
+	for i := range nl.Devices {
+		d := &nl.Devices[i]
+		if d.Type != tech.Enhancement {
+			continue
+		}
+		for _, node := range []int{d.Source, d.Drain} {
+			pu, ok := pullupOf[node]
+			if !ok {
+				continue
+			}
+			other := d.Source + d.Drain - node
+			if other != gnd {
+				continue // only direct pull-downs; chains need the full path
+			}
+			rpu := float64(pu.Length) / float64(pu.Width)
+			rpd := float64(d.Length) / float64(d.Width)
+			if rpd == 0 {
+				continue
+			}
+			if rpu/rpd < minRatio {
+				add(Finding{Warning, "ratio",
+					fmt.Sprintf("node %s: pull-up/pull-down ratio %.2f below %.2f (pu %d/%d, pd %d/%d)",
+						nl.Nets[node].Name(node), rpu/rpd, minRatio,
+						pu.Length, pu.Width, d.Length, d.Width), i, node})
+			}
+		}
+	}
+
+	// Net-level checks.
+	for i := range nl.Nets {
+		isRail := i == vdd || i == gnd
+		switch {
+		case gateDriven[i] && !sdTouched[i] && !isRail && len(nl.Nets[i].Names) == 0:
+			add(Finding{Warning, "floating-gate",
+				fmt.Sprintf("net N%d at %v drives gates but is not driven and has no label",
+					i, nl.Nets[i].Location), -1, i})
+		case !gateDriven[i] && !sdTouched[i] && !isRail && len(nl.Nets[i].Names) == 0:
+			add(Finding{Warning, "dangling-net",
+				fmt.Sprintf("net N%d at %v connects to nothing", i, nl.Nets[i].Location), -1, i})
+		}
+	}
+
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Severity > out[b].Severity })
+	return out
+}
+
+// Count tallies findings by severity.
+func Count(fs []Finding) (errors, warnings int) {
+	for _, f := range fs {
+		if f.Severity == Error {
+			errors++
+		} else {
+			warnings++
+		}
+	}
+	return
+}

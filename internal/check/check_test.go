@@ -1,0 +1,164 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"ace/internal/extract"
+	"ace/internal/gen"
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+func TestCleanInverter(t *testing.T) {
+	res, err := extract.File(gen.Inverter(), extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rename INP so the checker sees a driven input... the inverter's
+	// input is a labelled net, so no floating-gate warning applies.
+	findings := Run(res.Netlist, Options{})
+	errs, _ := Count(findings)
+	if errs != 0 {
+		t.Fatalf("clean inverter has errors: %v", findings)
+	}
+	// The paper's inverter is properly ratioed (pu 1400/400 = 3.5 sq,
+	// pd 400/2800 = 0.14 sq, ratio ≈ 24): no ratio warnings.
+	for _, f := range findings {
+		if f.Code == "ratio" {
+			t.Fatalf("unexpected ratio finding: %v", f)
+		}
+	}
+}
+
+func TestRatioViolation(t *testing.T) {
+	// A weak pull-down: equal squares pull-up and pull-down.
+	nl := &netlist.Netlist{
+		Nets: []netlist.Net{
+			{Names: []string{"VDD"}}, {Names: []string{"GND"}},
+			{Names: []string{"OUT"}}, {Names: []string{"IN"}},
+		},
+		Devices: []netlist.Device{
+			{Type: tech.Depletion, Gate: 2, Source: 0, Drain: 2, Length: 400, Width: 400,
+				Terminals: []netlist.Terminal{{Net: 0}, {Net: 2}}},
+			{Type: tech.Enhancement, Gate: 3, Source: 2, Drain: 1, Length: 400, Width: 400,
+				Terminals: []netlist.Terminal{{Net: 2}, {Net: 1}}},
+		},
+	}
+	findings := Run(nl, Options{})
+	found := false
+	for _, f := range findings {
+		if f.Code == "ratio" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ratio violation not reported: %v", findings)
+	}
+}
+
+func TestMalformedTransistor(t *testing.T) {
+	nl := &netlist.Netlist{
+		Nets: []netlist.Net{
+			{Names: []string{"VDD"}}, {Names: []string{"GND"}}, {},
+		},
+		Devices: []netlist.Device{
+			{Type: tech.Enhancement, Gate: 2, Source: 2, Drain: 2, Length: 400, Width: 400,
+				Terminals: []netlist.Terminal{{Net: 2}}},
+		},
+	}
+	findings := Run(nl, Options{})
+	if !hasCode(findings, "malformed-transistor") {
+		t.Fatalf("missing malformed-transistor: %v", findings)
+	}
+}
+
+func TestPowerShortAndCrowbar(t *testing.T) {
+	nl := &netlist.Netlist{
+		Nets: []netlist.Net{
+			{Names: []string{"VDD", "GND"}},
+		},
+	}
+	findings := Run(nl, Options{})
+	if !hasCode(findings, "power-short") {
+		t.Fatalf("missing power-short: %v", findings)
+	}
+
+	nl2 := &netlist.Netlist{
+		Nets: []netlist.Net{
+			{Names: []string{"VDD"}}, {Names: []string{"GND"}}, {Names: []string{"IN"}},
+		},
+		Devices: []netlist.Device{
+			{Type: tech.Enhancement, Gate: 2, Source: 0, Drain: 1, Length: 400, Width: 400,
+				Terminals: []netlist.Terminal{{Net: 0}, {Net: 1}}},
+		},
+	}
+	if !hasCode(Run(nl2, Options{}), "rail-crowbar") {
+		t.Fatal("missing rail-crowbar")
+	}
+}
+
+func TestUndersized(t *testing.T) {
+	nl := &netlist.Netlist{
+		Nets: []netlist.Net{
+			{Names: []string{"VDD"}}, {Names: []string{"GND"}}, {}, {},
+		},
+		Devices: []netlist.Device{
+			{Type: tech.Enhancement, Gate: 2, Source: 3, Drain: 1, Length: 100, Width: 400,
+				Terminals: []netlist.Terminal{{Net: 3}, {Net: 1}}},
+		},
+	}
+	if !hasCode(Run(nl, Options{}), "undersized-channel") {
+		t.Fatal("missing undersized-channel")
+	}
+}
+
+func TestDanglingNet(t *testing.T) {
+	nl := &netlist.Netlist{
+		Nets: []netlist.Net{
+			{Names: []string{"VDD"}}, {Names: []string{"GND"}}, {}, // N2 dangles
+		},
+	}
+	if !hasCode(Run(nl, Options{}), "dangling-net") {
+		t.Fatal("missing dangling-net")
+	}
+}
+
+func TestMissingRails(t *testing.T) {
+	nl := &netlist.Netlist{Nets: []netlist.Net{{Names: []string{"A"}}}}
+	fs := Run(nl, Options{})
+	if !hasCode(fs, "no-vdd") || !hasCode(fs, "no-gnd") {
+		t.Fatalf("missing rail warnings: %v", fs)
+	}
+}
+
+func TestGateCellLibraryIsClean(t *testing.T) {
+	// Every library gate must extract without checker errors.
+	w := gen.Memory(2, 2)
+	res, err := extract.File(w.File, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := Run(res.Netlist, Options{})
+	for _, f := range fs {
+		if f.Severity == Error {
+			t.Fatalf("library cell produces checker error: %v", f)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Error, "x", "boom", -1, -1}
+	if !strings.Contains(f.String(), "error") || !strings.Contains(f.String(), "boom") {
+		t.Fatalf("format: %s", f)
+	}
+}
+
+func hasCode(fs []Finding, code string) bool {
+	for _, f := range fs {
+		if f.Code == code {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,47 @@
+package cif
+
+import (
+	"testing"
+
+	"ace/internal/geom"
+)
+
+// FuzzParse feeds arbitrary bytes to the CIF parser: it must never
+// panic, and anything it accepts must survive a write/re-parse round
+// trip with the same instantiated bounding box.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"L ND; B 400 1200 -600 -1400;\nE\n",
+		"DS 1 2 1;\n9 inv;\nL NP; P 0 0 10 0 10 10; W 4 0 0 9 9; DF;\nC 1 M X R 0 1 T 5 5;\nE\n",
+		"94 VDD -2600 3800 NM;\nE\n",
+		"(comment (nested)) L NM;B 10,20,0 0;R 60 5 5;E",
+		"DS 1; C 2; DF; DS 2; L ND; B 4 4 0 0; DF; C 1; E",
+		"DD 3;\nL NG; B 2 2 1 1;\nE",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		parsed, err := ParseBytes(data)
+		if err != nil {
+			return
+		}
+		// Round trip must stay parseable with the same extent.
+		text := String(parsed)
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("rewrite unparseable: %v\noriginal: %q\nrewritten: %q", err, data, text)
+		}
+		bb1, ok1 := BBoxItems(parsed.Top, parsed.Symbols, map[int]geom.Rect{})
+		bb2, ok2 := BBoxItems(back.Top, back.Symbols, map[int]geom.Rect{})
+		if ok1 != ok2 {
+			t.Fatalf("bbox presence changed: %v vs %v", ok1, ok2)
+		}
+		if ok1 && bb1 != bb2 {
+			t.Fatalf("bbox changed: %v vs %v\noriginal: %q", bb1, bb2, data)
+		}
+	})
+}

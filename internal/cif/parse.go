@@ -1,0 +1,753 @@
+package cif
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// Parse reads a complete CIF file from r.
+func Parse(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBytes(data)
+}
+
+// ParseString parses CIF from a string.
+func ParseString(s string) (*File, error) { return ParseBytes([]byte(s)) }
+
+// ParseBytes parses CIF from a byte slice.
+func ParseBytes(data []byte) (*File, error) {
+	p := &parser{
+		src:  data,
+		file: &File{Symbols: map[int]*Symbol{}},
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	if err := checkSemantics(p.file); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+type parser struct {
+	src  []byte
+	pos  int
+	line int
+
+	file *File
+
+	cur      *Symbol // nil when at top level
+	layer    tech.Layer
+	hasLayer bool
+	scaleA   int64 // DS scale numerator (1 at top level)
+	scaleB   int64 // DS scale denominator
+	ended    bool
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cif: line %d: %s", p.line+1, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) warnf(format string, args ...any) {
+	p.file.Warnings = append(p.file.Warnings,
+		fmt.Sprintf("line %d: %s", p.line+1, fmt.Sprintf(format, args...)))
+}
+
+func (p *parser) run() error {
+	p.scaleA, p.scaleB = 1, 1
+	for {
+		p.skipBlanks()
+		if p.pos >= len(p.src) {
+			if p.cur != nil {
+				return p.errf("unterminated symbol definition DS %d", p.cur.ID)
+			}
+			return nil
+		}
+		if p.ended {
+			// Everything after E is ignored per the spec.
+			return nil
+		}
+		c := p.src[p.pos]
+		switch {
+		case c == ';':
+			p.pos++ // empty command
+		case c == '(':
+			if err := p.skipComment(); err != nil {
+				return err
+			}
+		case c >= '0' && c <= '9':
+			if err := p.userExtension(); err != nil {
+				return err
+			}
+		case c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z':
+			if err := p.command(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected character %q", c)
+		}
+	}
+}
+
+func (p *parser) command() error {
+	c := upper(p.src[p.pos])
+	p.pos++
+	switch c {
+	case 'D':
+		p.skipBlanks()
+		if p.pos >= len(p.src) {
+			return p.errf("truncated D command")
+		}
+		switch upper(p.src[p.pos]) {
+		case 'S':
+			p.pos++
+			return p.defineStart()
+		case 'F':
+			p.pos++
+			return p.defineFinish()
+		case 'D':
+			p.pos++
+			_, _ = p.number() // symbol number
+			p.warnf("DD (delete definition) ignored")
+			return p.endCommand()
+		}
+		return p.errf("unknown D command")
+	case 'C':
+		return p.call()
+	case 'L':
+		return p.layerCmd()
+	case 'B':
+		return p.box()
+	case 'P':
+		return p.polygon()
+	case 'W':
+		return p.wire()
+	case 'R':
+		return p.roundFlash()
+	case 'E':
+		p.ended = true
+		if p.cur != nil {
+			return p.errf("E inside symbol definition")
+		}
+		return nil
+	}
+	return p.errf("unknown command %q", c)
+}
+
+func (p *parser) defineStart() error {
+	if p.cur != nil {
+		return p.errf("nested DS (symbol %d still open)", p.cur.ID)
+	}
+	id, err := p.number()
+	if err != nil {
+		return p.errf("DS needs a symbol number: %v", err)
+	}
+	a, b := int64(1), int64(1)
+	if n, ok := p.tryNumber(); ok {
+		a = n
+		m, ok2 := p.tryNumber()
+		if !ok2 {
+			return p.errf("DS scale needs both a and b")
+		}
+		b = m
+		if a <= 0 || b <= 0 {
+			return p.errf("DS scale must be positive, got %d/%d", a, b)
+		}
+	}
+	if _, dup := p.file.Symbols[int(id)]; dup {
+		return p.errf("symbol %d defined twice", id)
+	}
+	p.cur = &Symbol{ID: int(id)}
+	p.file.Symbols[int(id)] = p.cur
+	p.scaleA, p.scaleB = a, b
+	return p.endCommand()
+}
+
+func (p *parser) defineFinish() error {
+	if p.cur == nil {
+		return p.errf("DF without DS")
+	}
+	p.cur = nil
+	p.scaleA, p.scaleB = 1, 1
+	return p.endCommand()
+}
+
+func (p *parser) call() error {
+	id, err := p.number()
+	if err != nil {
+		return p.errf("C needs a symbol number: %v", err)
+	}
+	tr := geom.Identity
+	for {
+		p.skipBlanks()
+		if p.pos >= len(p.src) {
+			return p.errf("unterminated call")
+		}
+		switch upper(p.src[p.pos]) {
+		case ';':
+			p.pos++
+			p.emit(Item{Kind: ItemCall, SymbolID: int(id), Trans: tr})
+			return nil
+		case 'T':
+			p.pos++
+			x, err := p.number()
+			if err != nil {
+				return p.errf("T needs x: %v", err)
+			}
+			y, err := p.number()
+			if err != nil {
+				return p.errf("T needs y: %v", err)
+			}
+			tr = tr.Then(geom.Translate(p.scale(x), p.scale(y)))
+		case 'M':
+			p.pos++
+			p.skipBlanks()
+			if p.pos >= len(p.src) {
+				return p.errf("M needs an axis")
+			}
+			switch upper(p.src[p.pos]) {
+			case 'X':
+				p.pos++
+				tr = tr.Then(geom.MirrorX())
+			case 'Y':
+				p.pos++
+				tr = tr.Then(geom.MirrorY())
+			default:
+				return p.errf("M needs X or Y")
+			}
+		case 'R':
+			p.pos++
+			a, err := p.number()
+			if err != nil {
+				return p.errf("R needs a: %v", err)
+			}
+			b, err := p.number()
+			if err != nil {
+				return p.errf("R needs b: %v", err)
+			}
+			rot, snapped := geom.ApproxRotation(a, b)
+			if snapped {
+				p.warnf("rotation (%d,%d) snapped to nearest axis", a, b)
+			}
+			tr = tr.Then(rot)
+		default:
+			return p.errf("unexpected %q in call transformation list", p.src[p.pos])
+		}
+	}
+}
+
+func (p *parser) layerCmd() error {
+	name, err := p.word()
+	if err != nil {
+		return p.errf("L needs a layer name: %v", err)
+	}
+	l, ok := tech.LayerByCIFName(name)
+	if !ok {
+		p.warnf("unknown layer %q; geometry on it will be ignored", name)
+		p.hasLayer = false
+		return p.endCommand()
+	}
+	p.layer = l
+	p.hasLayer = true
+	return p.endCommand()
+}
+
+func (p *parser) box() error {
+	length, err := p.number()
+	if err != nil {
+		return p.errf("B needs length: %v", err)
+	}
+	width, err := p.number()
+	if err != nil {
+		return p.errf("B needs width: %v", err)
+	}
+	cx, err := p.number()
+	if err != nil {
+		return p.errf("B needs cx: %v", err)
+	}
+	cy, err := p.number()
+	if err != nil {
+		return p.errf("B needs cy: %v", err)
+	}
+	var dx, dy int64
+	hasDir := false
+	if n, ok := p.tryNumber(); ok {
+		dx = n
+		dy, err = p.number()
+		if err != nil {
+			return p.errf("B direction needs dy: %v", err)
+		}
+		hasDir = true
+	}
+	if err := p.endCommand(); err != nil {
+		return err
+	}
+	if length < 0 || width < 0 {
+		return p.errf("negative box dimensions %d x %d", length, width)
+	}
+	if !p.requireLayer("box") {
+		return nil
+	}
+	r := geom.RectCWH(p.scale(length), p.scale(width), geom.Pt(p.scale(cx), p.scale(cy)))
+	if hasDir && !(dy == 0 && dx > 0) {
+		// Rotated box: rotate the corners about the centre.
+		rot, snapped := geom.ApproxRotation(dx, dy)
+		if snapped {
+			p.warnf("box direction (%d,%d) snapped to nearest axis", dx, dy)
+		}
+		c := r.Center()
+		tr := geom.Translate(-c.X, -c.Y).Then(rot).Then(geom.Translate(c.X, c.Y))
+		r = tr.ApplyRect(r)
+	}
+	p.emit(Item{Kind: ItemBox, Layer: p.layer, Box: r})
+	return nil
+}
+
+func (p *parser) polygon() error {
+	pts, err := p.points()
+	if err != nil {
+		return err
+	}
+	if err := p.endCommand(); err != nil {
+		return err
+	}
+	if len(pts) < 3 {
+		return p.errf("polygon needs at least 3 points, got %d", len(pts))
+	}
+	if !p.requireLayer("polygon") {
+		return nil
+	}
+	p.emit(Item{Kind: ItemPolygon, Layer: p.layer, Poly: geom.Polygon(pts)})
+	return nil
+}
+
+func (p *parser) wire() error {
+	width, err := p.number()
+	if err != nil {
+		return p.errf("W needs width: %v", err)
+	}
+	pts, err := p.points()
+	if err != nil {
+		return err
+	}
+	if err := p.endCommand(); err != nil {
+		return err
+	}
+	if len(pts) == 0 {
+		return p.errf("wire needs at least 1 point")
+	}
+	if !p.requireLayer("wire") {
+		return nil
+	}
+	p.emit(Item{Kind: ItemWire, Layer: p.layer,
+		Wire: geom.Wire{Width: p.scale(width), Path: pts}})
+	return nil
+}
+
+func (p *parser) roundFlash() error {
+	diam, err := p.number()
+	if err != nil {
+		return p.errf("R needs diameter: %v", err)
+	}
+	cx, err := p.number()
+	if err != nil {
+		return p.errf("R needs cx: %v", err)
+	}
+	cy, err := p.number()
+	if err != nil {
+		return p.errf("R needs cy: %v", err)
+	}
+	if err := p.endCommand(); err != nil {
+		return err
+	}
+	if !p.requireLayer("roundflash") {
+		return nil
+	}
+	// Approximate the flash by its inscribed octagon (DESIGN.md §6).
+	oct := geom.Octagon(p.scale(diam), geom.Pt(p.scale(cx), p.scale(cy)))
+	p.emit(Item{Kind: ItemPolygon, Layer: p.layer, Poly: oct})
+	return nil
+}
+
+func (p *parser) userExtension() error {
+	// The digit has not been consumed yet.
+	digit := p.src[p.pos]
+	p.pos++
+	switch digit {
+	case '9':
+		if p.pos < len(p.src) && p.src[p.pos] == '4' {
+			p.pos++
+			return p.label()
+		}
+		// "9 name;" — symbol name.
+		name, err := p.word()
+		if err != nil {
+			return p.errf("9 needs a name: %v", err)
+		}
+		if p.cur != nil {
+			p.cur.Name = name
+		} else {
+			p.warnf("symbol name %q outside symbol definition ignored", name)
+		}
+		return p.endCommand()
+	default:
+		p.warnf("user extension %q skipped", digit)
+		return p.skipToSemicolon()
+	}
+}
+
+// label parses "94 name x y [layer];" which attaches a user name to
+// the electrical node at (x, y) — Sproull's "Names in CIF" convention
+// that ACE uses for net naming.
+func (p *parser) label() error {
+	name, err := p.word()
+	if err != nil {
+		return p.errf("94 needs a name: %v", err)
+	}
+	x, err := p.number()
+	if err != nil {
+		return p.errf("94 needs x: %v", err)
+	}
+	y, err := p.number()
+	if err != nil {
+		return p.errf("94 needs y: %v", err)
+	}
+	it := Item{Kind: ItemLabel, Name: name, At: geom.Pt(p.scale(x), p.scale(y))}
+	if w, ok := p.tryWord(); ok {
+		if l, lok := tech.LayerByCIFName(w); lok {
+			it.Layer = l
+			it.HasLayer = true
+		} else {
+			p.warnf("label %q names unknown layer %q", name, w)
+		}
+	}
+	if err := p.endCommand(); err != nil {
+		return err
+	}
+	p.emit(it)
+	return nil
+}
+
+func (p *parser) emit(it Item) {
+	if p.cur != nil {
+		p.cur.Items = append(p.cur.Items, it)
+	} else {
+		p.file.Top = append(p.file.Top, it)
+	}
+}
+
+func (p *parser) requireLayer(what string) bool {
+	if !p.hasLayer {
+		p.warnf("%s before any L command ignored", what)
+		return false
+	}
+	return true
+}
+
+func (p *parser) scale(v int64) int64 {
+	if p.scaleA == 1 && p.scaleB == 1 {
+		return v
+	}
+	return v * p.scaleA / p.scaleB
+}
+
+// ---- low-level scanning ----
+
+func upper(c byte) byte {
+	if c >= 'a' && c <= 'z' {
+		return c - 'a' + 'A'
+	}
+	return c
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLetter(c byte) bool { return c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z' }
+
+// skipBlanks advances over separator characters (whitespace, commas —
+// anything that cannot start a command or operand).
+func (p *parser) skipBlanks() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '\n' {
+			p.line++
+			p.pos++
+			continue
+		}
+		if c == ' ' || c == '\t' || c == '\r' || c == ',' {
+			p.pos++
+			continue
+		}
+		return
+	}
+}
+
+func (p *parser) skipComment() error {
+	depth := 0
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				p.pos++
+				return nil
+			}
+		case '\n':
+			p.line++
+		}
+		p.pos++
+	}
+	return p.errf("unterminated comment")
+}
+
+func (p *parser) skipToSemicolon() error {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ';' {
+			p.pos++
+			return nil
+		}
+		if c == '\n' {
+			p.line++
+		}
+		p.pos++
+	}
+	return p.errf("unterminated command")
+}
+
+// endCommand consumes separators up to and including the terminating
+// semicolon.
+func (p *parser) endCommand() error {
+	p.skipBlanks()
+	if p.pos >= len(p.src) || p.src[p.pos] != ';' {
+		if p.pos < len(p.src) {
+			return p.errf("expected ';', found %q", p.src[p.pos])
+		}
+		return p.errf("expected ';', found end of input")
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) number() (int64, error) {
+	n, ok := p.tryNumber()
+	if !ok {
+		if p.pos < len(p.src) {
+			return 0, fmt.Errorf("expected number, found %q", p.src[p.pos])
+		}
+		return 0, fmt.Errorf("expected number, found end of input")
+	}
+	return n, nil
+}
+
+func (p *parser) tryNumber() (int64, bool) {
+	p.skipBlanks()
+	i := p.pos
+	neg := false
+	if i < len(p.src) && p.src[i] == '-' {
+		neg = true
+		i++
+	}
+	if i >= len(p.src) || !isDigit(p.src[i]) {
+		return 0, false
+	}
+	var v int64
+	for i < len(p.src) && isDigit(p.src[i]) {
+		v = v*10 + int64(p.src[i]-'0')
+		i++
+	}
+	p.pos = i
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+func (p *parser) word() (string, error) {
+	w, ok := p.tryWord()
+	if !ok {
+		return "", fmt.Errorf("expected word")
+	}
+	return w, nil
+}
+
+// points reads pairs of numbers until the terminating semicolon is in
+// sight.
+func (p *parser) points() ([]geom.Point, error) {
+	var pts []geom.Point
+	for {
+		x, ok := p.tryNumber()
+		if !ok {
+			return pts, nil
+		}
+		y, err := p.number()
+		if err != nil {
+			return nil, p.errf("point needs both coordinates: %v", err)
+		}
+		pts = append(pts, geom.Pt(p.scale(x), p.scale(y)))
+	}
+}
+
+func (p *parser) tryWord() (string, bool) {
+	p.skipBlanks()
+	i := p.pos
+	for i < len(p.src) {
+		c := p.src[i]
+		if c == ';' || c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',' || c == '(' {
+			break
+		}
+		i++
+	}
+	if i == p.pos {
+		return "", false
+	}
+	w := string(p.src[p.pos:i])
+	p.pos = i
+	return w, true
+}
+
+// checkSemantics validates calls and detects definition cycles.
+func checkSemantics(f *File) error {
+	var undefined []int
+	check := func(items []Item) {
+		for _, it := range items {
+			if it.Kind == ItemCall {
+				if _, ok := f.Symbols[it.SymbolID]; !ok {
+					undefined = append(undefined, it.SymbolID)
+				}
+			}
+		}
+	}
+	check(f.Top)
+	for _, s := range f.Symbols {
+		check(s.Items)
+	}
+	if len(undefined) > 0 {
+		return fmt.Errorf("cif: call to undefined symbol(s) %v", undefined)
+	}
+
+	// Cycle detection over the call graph.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var cycle []int
+	var visit func(id int) bool
+	visit = func(id int) bool {
+		switch color[id] {
+		case grey:
+			cycle = append(cycle, id)
+			return false
+		case black:
+			return true
+		}
+		color[id] = grey
+		for _, it := range f.Symbols[id].Items {
+			if it.Kind == ItemCall && !visit(it.SymbolID) {
+				return false
+			}
+		}
+		color[id] = black
+		return true
+	}
+	for id := range f.Symbols {
+		if !visit(id) {
+			return fmt.Errorf("cif: recursive symbol definition involving DS %d", cycle[0])
+		}
+	}
+	return nil
+}
+
+// TopSymbol returns the effective top of the design. If the file has
+// top-level items they are the top; otherwise, the unique symbol that
+// is never called is the top. When several symbols are uncalled the
+// highest-numbered one wins (matching common practice), with a warning
+// via the second return.
+func (f *File) TopSymbol() ([]Item, string) {
+	if len(f.Top) > 0 {
+		return f.Top, ""
+	}
+	called := map[int]bool{}
+	for _, s := range f.Symbols {
+		for _, it := range s.Items {
+			if it.Kind == ItemCall {
+				called[it.SymbolID] = true
+			}
+		}
+	}
+	var roots []int
+	for id := range f.Symbols {
+		if !called[id] {
+			roots = append(roots, id)
+		}
+	}
+	if len(roots) == 0 {
+		return nil, "no top-level geometry and no uncalled symbol"
+	}
+	best := roots[0]
+	for _, id := range roots[1:] {
+		if id > best {
+			best = id
+		}
+	}
+	warn := ""
+	if len(roots) > 1 {
+		warn = fmt.Sprintf("multiple uncalled symbols %v; using DS %d", roots, best)
+	}
+	return []Item{{Kind: ItemCall, SymbolID: best, Trans: geom.Identity}}, warn
+}
+
+// Stats summarises a file for reporting.
+type Stats struct {
+	Symbols  int
+	Calls    int
+	Boxes    int
+	Polygons int
+	Wires    int
+	Labels   int
+}
+
+// FileStats counts the file's definition-level contents (without
+// instantiation).
+func FileStats(f *File) Stats {
+	var s Stats
+	count := func(items []Item) {
+		for _, it := range items {
+			switch it.Kind {
+			case ItemBox:
+				s.Boxes++
+			case ItemPolygon:
+				s.Polygons++
+			case ItemWire:
+				s.Wires++
+			case ItemCall:
+				s.Calls++
+			case ItemLabel:
+				s.Labels++
+			}
+		}
+	}
+	s.Symbols = len(f.Symbols)
+	count(f.Top)
+	for _, sym := range f.Symbols {
+		count(sym.Items)
+	}
+	return s
+}
+
+// String renders stats compactly.
+func (s Stats) String() string {
+	return strings.TrimSpace(fmt.Sprintf(
+		"symbols=%d calls=%d boxes=%d polygons=%d wires=%d labels=%d",
+		s.Symbols, s.Calls, s.Boxes, s.Polygons, s.Wires, s.Labels))
+}

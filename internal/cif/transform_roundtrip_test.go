@@ -1,0 +1,66 @@
+package cif
+
+import (
+	"testing"
+
+	"ace/internal/geom"
+)
+
+// TestAllOrthogonalTransformsRoundTrip pushes every one of the eight
+// orthogonal orientations (plus translation) through CIF text and
+// back: the writer must find a T/M/R decomposition the parser maps to
+// the same transformation.
+func TestAllOrthogonalTransformsRoundTrip(t *testing.T) {
+	r90, _ := geom.Rotate(0, 1)
+	r180, _ := geom.Rotate(-1, 0)
+	r270, _ := geom.Rotate(0, -1)
+	rots := []geom.Transform{geom.Identity, r90, r180, r270}
+	var all []geom.Transform
+	for _, r := range rots {
+		all = append(all, r, geom.MirrorX().Then(r))
+	}
+
+	probe := []geom.Point{geom.Pt(0, 0), geom.Pt(13, 5), geom.Pt(-7, 29)}
+	for i, lin := range all {
+		tr := lin.Then(geom.Translate(int64(100+i), int64(-50*i)))
+		f := &File{Symbols: map[int]*Symbol{
+			1: {ID: 1, Items: []Item{{Kind: ItemBox, Layer: 0, Box: geom.R(0, 0, 10, 10)}}},
+		}}
+		f.Top = append(f.Top, Item{Kind: ItemCall, SymbolID: 1, Trans: tr})
+		text := String(f)
+		back, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("transform %d: reparse: %v\n%s", i, err, text)
+		}
+		got := back.Top[0].Trans
+		for _, p := range probe {
+			if got.Apply(p) != tr.Apply(p) {
+				t.Fatalf("transform %d changed: %v vs %v at %v\n%s",
+					i, got, tr, p, text)
+			}
+		}
+	}
+}
+
+// TestWriterOddBoxes: odd-dimension boxes survive the centre-based
+// CIF box encoding.
+func TestWriterOddBoxes(t *testing.T) {
+	f := &File{Symbols: map[int]*Symbol{}}
+	boxes := []geom.Rect{
+		geom.R(0, 0, 5, 3),
+		geom.R(-7, -3, 2, 8),
+		geom.R(1, 1, 2, 2),
+	}
+	for _, b := range boxes {
+		f.Top = append(f.Top, Item{Kind: ItemBox, Layer: 0, Box: b})
+	}
+	back, err := ParseString(String(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range boxes {
+		if back.Top[i].Box != b {
+			t.Fatalf("box %d: %v -> %v", i, b, back.Top[i].Box)
+		}
+	}
+}

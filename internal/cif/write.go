@@ -1,0 +1,159 @@
+package cif
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ace/internal/geom"
+)
+
+// Write emits the file as CIF text. Symbols are written in ascending
+// id order followed by the top-level items and the E command. The
+// output round-trips through Parse.
+func Write(w io.Writer, f *File) error {
+	bw := &errWriter{w: w}
+	ids := make([]int, 0, len(f.Symbols))
+	for id := range f.Symbols {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := f.Symbols[id]
+		bw.printf("DS %d 1 1;\n", id)
+		if s.Name != "" {
+			bw.printf("9 %s;\n", s.Name)
+		}
+		writeItems(bw, s.Items)
+		bw.printf("DF;\n")
+	}
+	writeItems(bw, f.Top)
+	bw.printf("E\n")
+	return bw.err
+}
+
+// String renders the file as CIF text.
+func String(f *File) string {
+	var sb strings.Builder
+	_ = Write(&sb, f)
+	return sb.String()
+}
+
+func writeItems(bw *errWriter, items []Item) {
+	curLayer := -1
+	setLayer := func(l int) {
+		if l != curLayer {
+			bw.printf("L %s;\n", itemLayerName(l))
+			curLayer = l
+		}
+	}
+	for _, it := range items {
+		switch it.Kind {
+		case ItemBox:
+			setLayer(int(it.Layer))
+			writeBox(bw, it.Box)
+		case ItemPolygon:
+			setLayer(int(it.Layer))
+			bw.printf("P")
+			for _, p := range it.Poly {
+				bw.printf(" %d %d", p.X, p.Y)
+			}
+			bw.printf(";\n")
+		case ItemWire:
+			setLayer(int(it.Layer))
+			bw.printf("W %d", it.Wire.Width)
+			for _, p := range it.Wire.Path {
+				bw.printf(" %d %d", p.X, p.Y)
+			}
+			bw.printf(";\n")
+		case ItemCall:
+			bw.printf("C %d%s;\n", it.SymbolID, transformText(it.Trans))
+		case ItemLabel:
+			if it.HasLayer {
+				bw.printf("94 %s %d %d %s;\n", it.Name, it.At.X, it.At.Y, it.Layer.CIFName())
+			} else {
+				bw.printf("94 %s %d %d;\n", it.Name, it.At.X, it.At.Y)
+			}
+		}
+	}
+}
+
+func writeBox(bw *errWriter, r geom.Rect) {
+	l, wd := r.W(), r.H()
+	c := r.Center()
+	// RectCWH places the centre at floor for odd extents; emitting the
+	// floored centre round-trips exactly for even extents (the normal
+	// case for λ-aligned layout). Odd extents are written via corners
+	// using a degenerate polygon-free form: adjust centre so that
+	// RectCWH(l, w, c) == r.
+	cx := r.XMin + l/2
+	cy := r.YMin + wd/2
+	_ = c
+	bw.printf("B %d %d %d %d;\n", l, wd, cx, cy)
+}
+
+func transformText(t geom.Transform) string {
+	if t.IsIdentity() {
+		return ""
+	}
+	var sb strings.Builder
+	// Decompose the orthogonal transform into (rotation/mirror) then
+	// translation: linear part first, then T C F.
+	lin := geom.Transform{A: t.A, B: t.B, D: t.D, E: t.E}
+	switch {
+	case lin == geom.Identity:
+		// nothing
+	case lin == geom.MirrorX():
+		sb.WriteString(" M X")
+	case lin == geom.MirrorY():
+		sb.WriteString(" M Y")
+	default:
+		if r, ok := rotationVector(lin); ok {
+			sb.WriteString(fmt.Sprintf(" R %d %d", r.X, r.Y))
+		} else {
+			// Mirror followed by rotation covers the remaining cases.
+			mx := geom.MirrorX()
+			rest := geom.Transform{
+				A: lin.A*mx.A + lin.B*mx.D, B: lin.A*mx.B + lin.B*mx.E,
+				D: lin.D*mx.A + lin.E*mx.D, E: lin.D*mx.B + lin.E*mx.E,
+			}
+			if r, ok := rotationVector(rest); ok {
+				sb.WriteString(fmt.Sprintf(" M X R %d %d", r.X, r.Y))
+			}
+		}
+	}
+	if t.C != 0 || t.F != 0 {
+		sb.WriteString(fmt.Sprintf(" T %d %d", t.C, t.F))
+	}
+	return sb.String()
+}
+
+func rotationVector(lin geom.Transform) (geom.Point, bool) {
+	// A rotation maps (1,0) to (A, D) and (0,1) to (B, E) with the
+	// proper orientation A*E - B*D = 1.
+	if lin.A*lin.E-lin.B*lin.D != 1 {
+		return geom.Point{}, false
+	}
+	return geom.Pt(lin.A, lin.D), true
+}
+
+func itemLayerName(l int) string {
+	names := []string{"ND", "NP", "NM", "NC", "NB", "NI", "NG"}
+	if l >= 0 && l < len(names) {
+		return names[l]
+	}
+	return "NX"
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

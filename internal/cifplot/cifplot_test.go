@@ -1,0 +1,164 @@
+package cifplot
+
+import (
+	"math/rand"
+	"testing"
+
+	"ace/internal/extract"
+	"ace/internal/frontend"
+	"ace/internal/gen"
+	"ace/internal/geom"
+	"ace/internal/netlist"
+	"ace/internal/scan"
+	"ace/internal/tech"
+)
+
+func box(l tech.Layer, x0, y0, x1, y1 int64) frontend.Box {
+	return frontend.Box{Layer: l, Rect: geom.R(x0, y0, x1, y1)}
+}
+
+func TestTransistor(t *testing.T) {
+	res, err := ExtractBoxes([]frontend.Box{
+		box(tech.Diff, 0, 0, 100, 300),
+		box(tech.Poly, -50, 100, 150, 200),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl := res.Netlist
+	if len(nl.Devices) != 1 || len(nl.Nets) != 3 {
+		t.Fatalf("devices %d nets %d", len(nl.Devices), len(nl.Nets))
+	}
+	d := nl.Devices[0]
+	if d.Length != 100 || d.Width != 100 || d.Type != tech.Enhancement {
+		t.Fatalf("device %+v", d)
+	}
+}
+
+func TestInverterMatchesACE(t *testing.T) {
+	f := gen.Inverter()
+	aceRes, err := extract.File(f, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := frontend.New(f, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := stream.Drain()
+	res, err := ExtractBoxes(boxes, Options{Labels: stream.Labels()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, reason := netlist.Equivalent(aceRes.Netlist, res.Netlist)
+	if !eq {
+		t.Fatalf("cifplot disagrees with ACE: %s\nACE:\n%s\ncifplot:\n%s",
+			reason, aceRes.Netlist, res.Netlist)
+	}
+	for _, nm := range []string{"VDD", "GND", "INP", "OUT"} {
+		if _, ok := res.Netlist.NetByName(nm); !ok {
+			t.Fatalf("net %s missing", nm)
+		}
+	}
+	// The L/W rule is shared, so sizes must agree exactly.
+	for _, want := range [][2]int64{{400, 2800}, {1400, 400}} {
+		found := false
+		for _, d := range res.Netlist.Devices {
+			if d.Length == want[0] && d.Width == want[1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no device with L=%d W=%d\n%s", want[0], want[1], res.Netlist)
+		}
+	}
+}
+
+// TestRandomDifferential cross-validates against the scanline
+// extractor on random layouts — unlike the raster baseline, this one
+// accepts unaligned geometry, so coordinates are arbitrary.
+func TestRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	layers := []tech.Layer{tech.Diff, tech.Poly, tech.Metal, tech.Cut, tech.Buried, tech.Implant}
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(22)
+		boxes := make([]frontend.Box, n)
+		for i := range boxes {
+			l := layers[rng.Intn(len(layers))]
+			x := int64(rng.Intn(900))
+			y := int64(rng.Intn(900))
+			boxes[i] = box(l, x, y, x+int64(20+rng.Intn(300)), y+int64(20+rng.Intn(300)))
+		}
+		cres, err := ExtractBoxes(boxes, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sres, err := scan.Sweep(newSliceSource(boxes), scan.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, reason := netlist.Equivalent(sres.Netlist, cres.Netlist)
+		if !eq {
+			t.Fatalf("trial %d: scan and cifplot disagree: %s\nboxes: %v\nscan:\n%s\ncifplot:\n%s",
+				trial, reason, boxes, sres.Netlist, cres.Netlist)
+		}
+	}
+}
+
+type sliceSource struct {
+	boxes []frontend.Box
+	pos   int
+}
+
+func newSliceSource(boxes []frontend.Box) *sliceSource {
+	s := &sliceSource{boxes: append([]frontend.Box(nil), boxes...)}
+	for i := 1; i < len(s.boxes); i++ {
+		for j := i; j > 0 && s.boxes[j].Rect.YMax > s.boxes[j-1].Rect.YMax; j-- {
+			s.boxes[j], s.boxes[j-1] = s.boxes[j-1], s.boxes[j]
+		}
+	}
+	return s
+}
+
+func (s *sliceSource) NextTop() (int64, bool) {
+	if s.pos >= len(s.boxes) {
+		return 0, false
+	}
+	return s.boxes[s.pos].Rect.YMax, true
+}
+
+func (s *sliceSource) Next() (frontend.Box, bool) {
+	if s.pos >= len(s.boxes) {
+		return frontend.Box{}, false
+	}
+	b := s.boxes[s.pos]
+	s.pos++
+	return b, true
+}
+
+func TestEmpty(t *testing.T) {
+	res, err := ExtractBoxes(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Netlist.Nets) != 0 {
+		t.Fatal("expected empty netlist")
+	}
+}
+
+func TestCountersProgress(t *testing.T) {
+	res, err := ExtractBoxes([]frontend.Box{
+		box(tech.Metal, 0, 0, 100, 100),
+		box(tech.Metal, 100, 0, 200, 100),
+		box(tech.Metal, 400, 0, 500, 100),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.BoxesIn != 3 || res.Counters.PairsChecked == 0 {
+		t.Fatalf("counters %+v", res.Counters)
+	}
+	if len(res.Netlist.Nets) != 2 {
+		t.Fatalf("nets %d", len(res.Netlist.Nets))
+	}
+}

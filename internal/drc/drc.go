@@ -1,0 +1,215 @@
+// Package drc is a Mead–Conway NMOS design-rule checker built on the
+// same front end as the extractors — the HEXT paper notes the window
+// machinery "can be used for plotting, design-rule checking, or other
+// tasks", and DRC is the CMU report's constant companion topic (Hon's
+// hierarchical DRC, Whitney's checker, Seiler's DRC engine).
+//
+// Rules are checked morphologically on whole-layer regions:
+// minimum width by opening (a feature that disappears under a w×w
+// opening is thinner than w), minimum spacing by closing (a gap that a
+// s×s closing fills is narrower than s), contact surround by erosion,
+// and transistor gate/source-drain extension by axis-aligned dilation
+// of the channel region.
+package drc
+
+import (
+	"fmt"
+	"sort"
+
+	"ace/internal/frontend"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// Rules is the rule deck in λ units.
+type Rules struct {
+	// Per-layer minimum feature width.
+	WidthDiff, WidthPoly, WidthMetal, WidthCut, WidthBuried int64
+
+	// Per-layer minimum spacing (same layer).
+	SpaceDiff, SpacePoly, SpaceMetal, SpaceCut int64
+
+	// CutSurround is the overlap a cut needs from metal and from the
+	// poly/diffusion beneath.
+	CutSurround int64
+
+	// GateExtension is how far poly must extend beyond the channel and
+	// diffusion beyond the gate (source/drain).
+	GateExtension int64
+
+	// ImplantSurround is the margin by which implant must enclose any
+	// channel it touches.
+	ImplantSurround int64
+}
+
+// MeadConway returns the classic NMOS rule deck. Metal spacing is 2λ
+// rather than Mead & Conway's 3λ: the inverter published in ACE
+// Figure 3-4 places its metal rails 2λ apart, so the original CMU
+// flow evidently used the relaxed value.
+func MeadConway() Rules {
+	return Rules{
+		WidthDiff: 2, WidthPoly: 2, WidthMetal: 3, WidthCut: 2, WidthBuried: 2,
+		SpaceDiff: 3, SpacePoly: 2, SpaceMetal: 2, SpaceCut: 2,
+		CutSurround:     1,
+		GateExtension:   2,
+		ImplantSurround: 1,
+	}
+}
+
+// Violation is one design-rule finding.
+type Violation struct {
+	Rule  string // stable identifier, e.g. "width-metal"
+	Layer tech.Layer
+	Where geom.Rect // marker covering the offending area
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %v", v.Rule, v.Where)
+}
+
+// Options configures a check.
+type Options struct {
+	Rules *Rules     // nil selects MeadConway
+	Tech  *tech.Tech // nil selects tech.Default (for λ)
+}
+
+// CheckBoxes runs the rule deck over flat geometry.
+func CheckBoxes(boxes []frontend.Box, opt Options) []Violation {
+	rules := MeadConway()
+	if opt.Rules != nil {
+		rules = *opt.Rules
+	}
+	tc := opt.Tech
+	if tc == nil {
+		tc = tech.Default()
+	}
+	lam := tc.Lambda
+
+	var perLayer [tech.NumLayers][]geom.Rect
+	for _, b := range boxes {
+		perLayer[b.Layer] = append(perLayer[b.Layer], b.Rect)
+	}
+	for l := range perLayer {
+		perLayer[l] = geom.Canonicalize(perLayer[l])
+	}
+
+	var out []Violation
+	add := func(rule string, layer tech.Layer, where []geom.Rect) {
+		for _, r := range where {
+			out = append(out, Violation{Rule: rule, Layer: layer, Where: r})
+		}
+	}
+
+	// Width rules.
+	widths := []struct {
+		layer tech.Layer
+		min   int64
+	}{
+		{tech.Diff, rules.WidthDiff},
+		{tech.Poly, rules.WidthPoly},
+		{tech.Metal, rules.WidthMetal},
+		{tech.Cut, rules.WidthCut},
+		{tech.Buried, rules.WidthBuried},
+	}
+	for _, w := range widths {
+		if w.min <= 0 {
+			continue
+		}
+		add("width-"+w.layer.CIFName(), w.layer,
+			geom.ThinnerThan(perLayer[w.layer], w.min*lam))
+	}
+
+	// Spacing rules.
+	spacings := []struct {
+		layer tech.Layer
+		min   int64
+	}{
+		{tech.Diff, rules.SpaceDiff},
+		{tech.Poly, rules.SpacePoly},
+		{tech.Metal, rules.SpaceMetal},
+		{tech.Cut, rules.SpaceCut},
+	}
+	for _, s := range spacings {
+		if s.min <= 0 {
+			continue
+		}
+		add("space-"+s.layer.CIFName(), s.layer,
+			geom.GapsNarrowerThan(perLayer[s.layer], s.min*lam))
+	}
+
+	// Contact surround: every cut must sit inside metal eroded by the
+	// surround, and inside (poly ∪ diff) eroded likewise.
+	if rules.CutSurround > 0 && len(perLayer[tech.Cut]) > 0 {
+		d := rules.CutSurround * lam
+		add("cut-metal-surround", tech.Cut,
+			geom.SubtractRegions(perLayer[tech.Cut], geom.Erode(perLayer[tech.Metal], d)))
+		under := geom.UnionRegions(perLayer[tech.Poly], perLayer[tech.Diff])
+		add("cut-under-surround", tech.Cut,
+			geom.SubtractRegions(perLayer[tech.Cut], geom.Erode(under, d)))
+	}
+
+	// Transistor extension rules on the channel region.
+	overlap := geom.IntersectRegions(perLayer[tech.Diff], perLayer[tech.Poly])
+	channel := geom.SubtractRegions(overlap, perLayer[tech.Buried])
+	if rules.GateExtension > 0 && len(channel) > 0 {
+		d := rules.GateExtension * lam
+		grown := geom.UnionRegions(dilateX(channel, d), dilateY(channel, d))
+		add("gate-extension", tech.Poly,
+			geom.SubtractRegions(
+				geom.SubtractRegions(grown, perLayer[tech.Diff]),
+				perLayer[tech.Poly]))
+		add("sd-extension", tech.Diff,
+			geom.SubtractRegions(
+				geom.SubtractRegions(grown, perLayer[tech.Poly]),
+				perLayer[tech.Diff]))
+	}
+
+	// Implant enclosure: a channel the implant touches must lie fully
+	// inside the implant eroded by the surround.
+	if rules.ImplantSurround > 0 && len(perLayer[tech.Implant]) > 0 && len(channel) > 0 {
+		d := rules.ImplantSurround * lam
+		touched := geom.IntersectRegions(channel, perLayer[tech.Implant])
+		ok := geom.IntersectRegions(channel, geom.Erode(perLayer[tech.Implant], d))
+		add("implant-surround", tech.Implant, geom.SubtractRegions(touched, ok))
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rule != out[j].Rule {
+			return out[i].Rule < out[j].Rule
+		}
+		a, b := out[i].Where, out[j].Where
+		if a.YMin != b.YMin {
+			return a.YMin < b.YMin
+		}
+		return a.XMin < b.XMin
+	})
+	return out
+}
+
+// dilateX grows the region in x only (Minkowski sum with a horizontal
+// segment of half-length d).
+func dilateX(region []geom.Rect, d int64) []geom.Rect {
+	out := make([]geom.Rect, len(region))
+	for i, r := range region {
+		out[i] = geom.Rect{XMin: r.XMin - d, YMin: r.YMin, XMax: r.XMax + d, YMax: r.YMax}
+	}
+	return geom.Canonicalize(out)
+}
+
+// dilateY grows the region in y only.
+func dilateY(region []geom.Rect, d int64) []geom.Rect {
+	out := make([]geom.Rect, len(region))
+	for i, r := range region {
+		out[i] = geom.Rect{XMin: r.XMin, YMin: r.YMin - d, XMax: r.XMax, YMax: r.YMax + d}
+	}
+	return geom.Canonicalize(out)
+}
+
+// Summary tallies violations by rule.
+func Summary(vs []Violation) map[string]int {
+	m := map[string]int{}
+	for _, v := range vs {
+		m[v.Rule]++
+	}
+	return m
+}

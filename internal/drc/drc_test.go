@@ -1,0 +1,174 @@
+package drc
+
+import (
+	"testing"
+
+	"ace/internal/frontend"
+	"ace/internal/gen"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+const lam = gen.Lambda
+
+func box(l tech.Layer, x0, y0, x1, y1 int64) frontend.Box {
+	return frontend.Box{Layer: l, Rect: geom.R(x0*lam, y0*lam, x1*lam, y1*lam)}
+}
+
+func check(t *testing.T, boxes ...frontend.Box) []Violation {
+	t.Helper()
+	return CheckBoxes(boxes, Options{})
+}
+
+func want(t *testing.T, vs []Violation, rule string) {
+	t.Helper()
+	for _, v := range vs {
+		if v.Rule == rule {
+			return
+		}
+	}
+	t.Fatalf("missing %q in %v", rule, vs)
+}
+
+func wantClean(t *testing.T, vs []Violation) {
+	t.Helper()
+	if len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+}
+
+func TestWidthRules(t *testing.T) {
+	// A 1λ metal wire (min 3λ).
+	want(t, check(t, box(tech.Metal, 0, 0, 20, 1)), "width-NM")
+	// 3λ metal is fine.
+	wantClean(t, check(t, box(tech.Metal, 0, 0, 20, 3)))
+	// 1λ poly sliver.
+	want(t, check(t, box(tech.Poly, 0, 0, 1, 10)), "width-NP")
+	wantClean(t, check(t, box(tech.Poly, 0, 0, 2, 10)))
+	// 1λ diffusion.
+	want(t, check(t, box(tech.Diff, 0, 0, 10, 1)), "width-ND")
+}
+
+func TestWidthNeck(t *testing.T) {
+	// Two fat pads joined by a 1λ neck: only the neck is flagged.
+	vs := check(t,
+		box(tech.Metal, 0, 0, 10, 10),
+		box(tech.Metal, 10, 4, 20, 5),
+		box(tech.Metal, 20, 0, 30, 10))
+	want(t, vs, "width-NM")
+	for _, v := range vs {
+		if v.Where.XMin < 10*lam-lam || v.Where.XMax > 20*lam+lam {
+			t.Fatalf("violation marker outside the neck: %v", v)
+		}
+	}
+}
+
+func TestSpacingRules(t *testing.T) {
+	// Metal bars 1λ apart (min 2λ).
+	want(t, check(t,
+		box(tech.Metal, 0, 0, 10, 4),
+		box(tech.Metal, 0, 5, 10, 9)), "space-NM")
+	// 2λ apart is fine.
+	wantClean(t, check(t,
+		box(tech.Metal, 0, 0, 10, 4),
+		box(tech.Metal, 0, 6, 10, 10)))
+	// Diffusion needs 3λ.
+	want(t, check(t,
+		box(tech.Diff, 0, 0, 10, 2),
+		box(tech.Diff, 0, 4, 10, 6)), "space-ND")
+	wantClean(t, check(t,
+		box(tech.Diff, 0, 0, 10, 2),
+		box(tech.Diff, 0, 5, 10, 7)))
+}
+
+func TestCutSurround(t *testing.T) {
+	// Cut flush with the metal edge: no 1λ surround.
+	vs := check(t,
+		box(tech.Metal, 0, 0, 4, 4),
+		box(tech.Diff, -1, -1, 5, 5),
+		box(tech.Cut, 0, 1, 2, 3))
+	want(t, vs, "cut-metal-surround")
+	// Properly surrounded by both layers.
+	wantClean(t, check(t,
+		box(tech.Metal, 0, 0, 4, 4),
+		box(tech.Diff, 0, 0, 4, 4),
+		box(tech.Cut, 1, 1, 3, 3)))
+	// Cut with no poly/diff beneath at all.
+	vs = check(t,
+		box(tech.Metal, 0, 0, 4, 4),
+		box(tech.Cut, 1, 1, 3, 3))
+	want(t, vs, "cut-under-surround")
+}
+
+func TestGateExtension(t *testing.T) {
+	// Poly ends flush with the channel edge: the gate must overhang 2λ.
+	vs := check(t,
+		box(tech.Diff, 0, 0, 2, 10),
+		box(tech.Poly, 0, 4, 2, 6)) // poly exactly as wide as diff
+	want(t, vs, "gate-extension")
+	// Proper overhang both sides.
+	wantClean(t, check(t,
+		box(tech.Diff, 0, 0, 2, 10),
+		box(tech.Poly, -2, 4, 4, 6)))
+}
+
+func TestSDExtension(t *testing.T) {
+	// Diffusion ends at the channel edge: no source.
+	vs := check(t,
+		box(tech.Diff, 0, 4, 2, 10),
+		box(tech.Poly, -2, 4, 4, 6)) // channel at the diffusion's bottom edge
+	want(t, vs, "sd-extension")
+	wantClean(t, check(t,
+		box(tech.Diff, 0, 2, 2, 10),
+		box(tech.Poly, -2, 4, 4, 6)))
+}
+
+func TestImplantSurround(t *testing.T) {
+	// Implant partially covering a channel.
+	vs := check(t,
+		box(tech.Diff, 0, 0, 2, 10),
+		box(tech.Poly, -2, 4, 4, 6),
+		box(tech.Implant, -1, 3, 1, 7)) // covers only half the channel
+	want(t, vs, "implant-surround")
+	// Full 1λ enclosure is clean.
+	wantClean(t, check(t,
+		box(tech.Diff, 0, 2, 2, 10),
+		box(tech.Poly, -2, 4, 4, 6),
+		box(tech.Implant, -1, 3, 3, 7)))
+}
+
+func TestLibraryCellsAreClean(t *testing.T) {
+	// Every generator workload must be DRC-clean — the library is the
+	// reference implementation of the rule deck.
+	workloads := []gen.Workload{
+		{Name: "inverter", File: gen.Inverter()},
+		{Name: "four", File: gen.FourInverters()},
+		gen.InverterChain(3),
+		gen.Memory(2, 3),
+		gen.Datapath(2, 2),
+	}
+	for _, w := range workloads {
+		stream, err := frontend.New(w.File, frontend.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		vs := CheckBoxes(stream.Drain(), Options{})
+		if len(vs) != 0 {
+			t.Errorf("%s: %d violations: %v", w.Name, len(vs), Summary(vs))
+			for i, v := range vs {
+				if i > 5 {
+					break
+				}
+				t.Logf("  %v", v)
+			}
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	vs := []Violation{{Rule: "a"}, {Rule: "a"}, {Rule: "b"}}
+	m := Summary(vs)
+	if m["a"] != 2 || m["b"] != 1 {
+		t.Fatalf("summary %v", m)
+	}
+}

@@ -1,0 +1,220 @@
+package drc
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"ace/internal/frontend"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// Hierarchical (tile-memoised) checking: the CMU report's constant
+// companion topic — Hon's hierarchical analysis and Whitney's
+// hierarchical design-rule checker. Design rules are local, so the
+// chip is cut into tiles, each checked with a halo of context wide
+// enough to see every rule; identical tile contents (a memory array
+// is thousands of identical tiles) are checked once and answered from
+// a memo table thereafter, exactly like HEXT's window table.
+
+// HierOptions configures hierarchical checking.
+type HierOptions struct {
+	Options
+
+	// TileSize is the tile edge in λ; zero selects 64. Reuse is best
+	// when the tile size matches the design's repetition pitch: a tile
+	// grid that beats against the cell pitch sees phase-shifted copies
+	// and misses the memo.
+	TileSize int64
+
+	// Halo is the context margin in λ seen around each tile. It must
+	// be at least twice the longest-range rule; zero selects 8.
+	Halo int64
+}
+
+// HierCounters reports the tiling work.
+type HierCounters struct {
+	Tiles       int
+	UniqueTiles int
+	MemoHits    int
+}
+
+// HierResult is a hierarchical check outcome.
+type HierResult struct {
+	Violations []Violation
+	Counters   HierCounters
+}
+
+// CheckHierarchical runs the rule deck tile by tile with memoisation.
+// Its violations cover exactly the same area as CheckBoxes' (markers
+// may be fragmented differently along tile boundaries).
+func CheckHierarchical(boxes []frontend.Box, opt HierOptions) HierResult {
+	tc := opt.Tech
+	if tc == nil {
+		tc = tech.Default()
+	}
+	tile := opt.TileSize
+	if tile <= 0 {
+		tile = 64
+	}
+	halo := opt.Halo
+	if halo <= 0 {
+		halo = 8
+	}
+	tilePx := tile * tc.Lambda
+	haloPx := halo * tc.Lambda
+
+	var res HierResult
+	if len(boxes) == 0 {
+		return res
+	}
+	bb := boxes[0].Rect
+	for _, b := range boxes[1:] {
+		bb = bb.Union(b.Rect)
+	}
+
+	// Bucket boxes by the tiles their halo-expanded extent touches.
+	tix := func(v, min int64) int64 { return floorDiv(v-min, tilePx) }
+	type key struct{ tx, ty int64 }
+	buckets := map[key][]frontend.Box{}
+	for _, b := range boxes {
+		r := b.Rect
+		x0 := tix(r.XMin-haloPx, bb.XMin)
+		x1 := tix(r.XMax+haloPx-1, bb.XMin)
+		y0 := tix(r.YMin-haloPx, bb.YMin)
+		y1 := tix(r.YMax+haloPx-1, bb.YMin)
+		for ty := y0; ty <= y1; ty++ {
+			for tx := x0; tx <= x1; tx++ {
+				k := key{tx, ty}
+				buckets[k] = append(buckets[k], b)
+			}
+		}
+	}
+
+	memo := map[string][]Violation{} // violations relative to the tile origin
+
+	keys := make([]key, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].ty != keys[j].ty {
+			return keys[i].ty < keys[j].ty
+		}
+		return keys[i].tx < keys[j].tx
+	})
+
+	perRule := map[string]map[tech.Layer][]geom.Rect{}
+	for _, k := range keys {
+		res.Counters.Tiles++
+		core := geom.Rect{
+			XMin: bb.XMin + k.tx*tilePx,
+			YMin: bb.YMin + k.ty*tilePx,
+		}
+		core.XMax = core.XMin + tilePx
+		core.YMax = core.YMin + tilePx
+		ctx := geom.Rect{
+			XMin: core.XMin - haloPx, YMin: core.YMin - haloPx,
+			XMax: core.XMax + haloPx, YMax: core.YMax + haloPx,
+		}
+		origin := geom.Pt(core.XMin, core.YMin)
+
+		// Clip the bucket's geometry to the context window and rebase.
+		var clipped []frontend.Box
+		for _, b := range buckets[k] {
+			r := b.Rect.Intersect(ctx)
+			if r.Empty() {
+				continue
+			}
+			clipped = append(clipped, frontend.Box{
+				Layer: b.Layer,
+				Rect:  r.Translate(geom.Pt(-origin.X, -origin.Y)),
+			})
+		}
+		if len(clipped) == 0 {
+			continue
+		}
+
+		h := tileKey(clipped)
+		vs, ok := memo[h]
+		if ok {
+			res.Counters.MemoHits++
+		} else {
+			res.Counters.UniqueTiles++
+			// Check the context window; keep only markers touching the
+			// core tile (relative coords: [0, tilePx)²). Artifacts from
+			// clipping live within rule reach of the halo boundary and
+			// never reach the core.
+			coreRel := geom.Rect{XMin: 0, YMin: 0, XMax: tilePx, YMax: tilePx}
+			for _, v := range CheckBoxes(clipped, opt.Options) {
+				cl := v.Where.Intersect(coreRel)
+				if !cl.Empty() {
+					v.Where = cl
+					vs = append(vs, v)
+				}
+			}
+			memo[h] = vs
+		}
+		for _, v := range vs {
+			key := v.Rule
+			if perRule[key] == nil {
+				perRule[key] = map[tech.Layer][]geom.Rect{}
+			}
+			perRule[key][v.Layer] = append(perRule[key][v.Layer],
+				v.Where.Translate(origin))
+		}
+	}
+
+	// Merge the per-tile fragments back into clean markers.
+	rules := make([]string, 0, len(perRule))
+	for rule := range perRule {
+		rules = append(rules, rule)
+	}
+	sort.Strings(rules)
+	for _, rule := range rules {
+		for layer, rects := range perRule[rule] {
+			for _, r := range geom.Canonicalize(rects) {
+				res.Violations = append(res.Violations,
+					Violation{Rule: rule, Layer: layer, Where: r})
+			}
+		}
+	}
+	sort.Slice(res.Violations, func(i, j int) bool {
+		a, b := res.Violations[i], res.Violations[j]
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		if a.Where.YMin != b.Where.YMin {
+			return a.Where.YMin < b.Where.YMin
+		}
+		return a.Where.XMin < b.Where.XMin
+	})
+	return res
+}
+
+func tileKey(boxes []frontend.Box) string {
+	recs := make([][]byte, len(boxes))
+	for i, b := range boxes {
+		var buf [33]byte
+		buf[0] = byte(b.Layer)
+		binary.LittleEndian.PutUint64(buf[1:], uint64(b.Rect.XMin))
+		binary.LittleEndian.PutUint64(buf[9:], uint64(b.Rect.YMin))
+		binary.LittleEndian.PutUint64(buf[17:], uint64(b.Rect.XMax))
+		binary.LittleEndian.PutUint64(buf[25:], uint64(b.Rect.YMax))
+		recs[i] = buf[:]
+	}
+	sort.Slice(recs, func(i, j int) bool { return string(recs[i]) < string(recs[j]) })
+	out := make([]byte, 0, len(recs)*33)
+	for _, r := range recs {
+		out = append(out, r...)
+	}
+	return string(out)
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

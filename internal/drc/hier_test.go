@@ -1,0 +1,118 @@
+package drc
+
+import (
+	"math/rand"
+	"testing"
+
+	"ace/internal/frontend"
+	"ace/internal/gen"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// regionsByRule groups violation markers into per-(rule, layer)
+// regions so fragment boundaries don't matter in comparisons.
+func regionsByRule(vs []Violation) map[string][]geom.Rect {
+	m := map[string][]geom.Rect{}
+	for _, v := range vs {
+		k := v.Rule + "/" + v.Layer.CIFName()
+		m[k] = append(m[k], v.Where)
+	}
+	for k := range m {
+		m[k] = geom.Canonicalize(m[k])
+	}
+	return m
+}
+
+func sameViolations(t *testing.T, flat, hier []Violation, ctx string) {
+	t.Helper()
+	fm, hm := regionsByRule(flat), regionsByRule(hier)
+	for k, fr := range fm {
+		if !geom.SameRegion(fr, hm[k]) {
+			t.Fatalf("%s: rule %s differs\nflat: %v\nhier: %v", ctx, k, fr, hm[k])
+		}
+	}
+	for k := range hm {
+		if _, ok := fm[k]; !ok {
+			t.Fatalf("%s: hierarchical invented rule %s: %v", ctx, k, hm[k])
+		}
+	}
+}
+
+func TestHierMatchesFlatOnWorkloads(t *testing.T) {
+	workloads := []gen.Workload{
+		{Name: "inverter", File: gen.Inverter()},
+		gen.Memory(4, 6),
+		gen.Mesh(6),
+		gen.NORPlane([][]bool{{true, false, true}, {true, true, false}}),
+	}
+	for _, w := range workloads {
+		stream, err := frontend.New(w.File, frontend.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		boxes := stream.Drain()
+		flat := CheckBoxes(boxes, Options{})
+		hier := CheckHierarchical(boxes, HierOptions{TileSize: 24})
+		sameViolations(t, flat, hier.Violations, w.Name)
+	}
+}
+
+func TestHierMatchesFlatOnRandomDirty(t *testing.T) {
+	// Random layouts full of genuine violations: the tiled checker
+	// must find exactly the same regions.
+	rng := rand.New(rand.NewSource(61))
+	layers := []tech.Layer{tech.Diff, tech.Poly, tech.Metal, tech.Cut, tech.Implant}
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(25)
+		boxes := make([]frontend.Box, n)
+		for i := range boxes {
+			l := layers[rng.Intn(len(layers))]
+			x := int64(rng.Intn(40)) * lam
+			y := int64(rng.Intn(40)) * lam
+			boxes[i] = frontend.Box{Layer: l, Rect: geom.R(
+				x, y, x+int64(1+rng.Intn(8))*lam, y+int64(1+rng.Intn(8))*lam)}
+		}
+		flat := CheckBoxes(boxes, Options{})
+		for _, tileSize := range []int64{16, 40} {
+			hier := CheckHierarchical(boxes, HierOptions{TileSize: tileSize})
+			sameViolations(t, flat, hier.Violations, "random")
+		}
+	}
+}
+
+func TestHierMemoisation(t *testing.T) {
+	// A big regular array: almost every tile repeats.
+	w := gen.Memory(16, 16)
+	stream, err := frontend.New(w.File, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := stream.Drain()
+	// Tile 36λ matches the array's row pitch; when the tile grid beats
+	// against the cell pitch (e.g. 32λ) most tiles are phase-shifted
+	// copies and the memo misses — alignment is what makes
+	// hierarchical DRC pay, exactly as with HEXT's windows.
+	res := CheckHierarchical(boxes, HierOptions{TileSize: 36})
+	if len(res.Violations) != 0 {
+		t.Fatalf("library array not clean: %v", res.Violations[:min(8, len(res.Violations))])
+	}
+	c := res.Counters
+	if c.MemoHits == 0 || c.UniqueTiles*3 > c.Tiles {
+		t.Fatalf("memoisation ineffective: %+v", c)
+	}
+}
+
+func TestHierEmpty(t *testing.T) {
+	res := CheckHierarchical(nil, HierOptions{})
+	if len(res.Violations) != 0 || res.Counters.Tiles != 0 {
+		t.Fatalf("empty: %+v", res)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+// Package extract ties ACE together: CIF in, wirelist out. It runs
+// the front end (parse + lazy instantiate + sort) and the back end
+// (scanline sweep) and reports the per-phase time distribution the
+// paper measures in §5.
+package extract
+
+import (
+	"io"
+	"time"
+
+	"ace/internal/cif"
+	"ace/internal/frontend"
+	"ace/internal/netlist"
+	"ace/internal/scan"
+)
+
+// Options configures an extraction.
+type Options struct {
+	// KeepGeometry records net and device geometry in the output
+	// (ACE's user option; off by default exactly as in the paper:
+	// "Under normal operation this is suppressed").
+	KeepGeometry bool
+
+	// Grid is the manhattanisation grid for non-manhattan geometry;
+	// zero selects the front-end default.
+	Grid int64
+
+	// Profile enables per-phase timing. It adds two clock reads per
+	// front-end call, so leave it off for pure benchmarking runs.
+	Profile bool
+
+	// InsertionSort selects the paper's original per-box insertion
+	// sort in the back end (see scan.Options.InsertionSort); used by
+	// the ablation benchmark.
+	InsertionSort bool
+}
+
+// Phases is the paper's §5 time breakdown.
+type Phases struct {
+	Parse    time.Duration // parsing the CIF text
+	FrontEnd time.Duration // instantiating and sorting geometry
+	Insert   time.Duration // entering geometry into the active lists
+	Devices  time.Duration // computing devices and nets
+	Output   time.Duration // building the output netlist
+	Total    time.Duration
+}
+
+// Misc returns the time not attributed to a specific phase.
+func (p Phases) Misc() time.Duration {
+	m := p.Total - p.Parse - p.FrontEnd - p.Insert - p.Devices - p.Output
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Result is a completed extraction.
+type Result struct {
+	Netlist  *netlist.Netlist
+	Counters scan.Counters
+	Frontend frontend.Stats
+	Phases   Phases
+	Warnings []string
+}
+
+// Reader extracts a CIF design from r.
+func Reader(r io.Reader, opt Options) (*Result, error) {
+	t0 := time.Now()
+	f, err := cif.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	parse := time.Since(t0)
+	res, err := File(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Parse = parse
+	res.Phases.Total += parse
+	return res, nil
+}
+
+// String extracts a CIF design from source text.
+func String(src string, opt Options) (*Result, error) {
+	t0 := time.Now()
+	f, err := cif.ParseString(src)
+	if err != nil {
+		return nil, err
+	}
+	parse := time.Since(t0)
+	res, err := File(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases.Parse = parse
+	res.Phases.Total += parse
+	return res, nil
+}
+
+// File extracts an already-parsed design.
+func File(f *cif.File, opt Options) (*Result, error) {
+	t0 := time.Now()
+	stream, err := frontend.New(f, frontend.Options{Grid: opt.Grid})
+	if err != nil {
+		return nil, err
+	}
+
+	var src scan.Source = stream
+	var timed *timedSource
+	if opt.Profile {
+		timed = &timedSource{inner: stream}
+		src = timed
+	}
+
+	// The sweep needs the labels up front; forcing them early costs
+	// one walk of the call heap and keeps the sweep single-pass.
+	labels := stream.Labels()
+
+	res, err := scan.Sweep(src, scan.Options{
+		KeepGeometry:  opt.KeepGeometry,
+		Labels:        labels,
+		InsertionSort: opt.InsertionSort,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Netlist:  res.Netlist,
+		Counters: res.Counters,
+		Frontend: stream.Stats(),
+		Warnings: append(f.Warnings, res.Warnings...),
+	}
+	out.Phases.Total = time.Since(t0)
+	if opt.Profile {
+		fe := timed.spent
+		out.Phases.FrontEnd = fe
+		// Front-end calls happen inside the sweep's insert phase;
+		// attribute them to the front end, not to insertion.
+		out.Phases.Insert = res.Timing.Insert - fe
+		if out.Phases.Insert < 0 {
+			out.Phases.Insert = 0
+		}
+		out.Phases.Devices = res.Timing.Devices
+		out.Phases.Output = res.Timing.Output
+	}
+	return out, nil
+}
+
+// timedSource measures the time spent inside the front end.
+type timedSource struct {
+	inner scan.Source
+	spent time.Duration
+}
+
+func (t *timedSource) NextTop() (int64, bool) {
+	s := time.Now()
+	y, ok := t.inner.NextTop()
+	t.spent += time.Since(s)
+	return y, ok
+}
+
+func (t *timedSource) Next() (frontend.Box, bool) {
+	s := time.Now()
+	b, ok := t.inner.Next()
+	t.spent += time.Since(s)
+	return b, ok
+}

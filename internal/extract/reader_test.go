@@ -1,0 +1,23 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReaderEntryPoint(t *testing.T) {
+	res, err := Reader(strings.NewReader("L ND; B 100 100 0 0;\nL NP; B 300 20 0 0;\nE\n"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Netlist.Devices) != 1 {
+		t.Fatalf("devices %d", len(res.Netlist.Devices))
+	}
+	if res.Phases.Parse <= 0 || res.Phases.Total < res.Phases.Parse {
+		t.Fatalf("phases %+v", res.Phases)
+	}
+	// Parse errors surface.
+	if _, err := Reader(strings.NewReader("DS 1;\n"), Options{}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

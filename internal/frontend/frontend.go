@@ -1,0 +1,340 @@
+// Package frontend implements ACE's front end: it parses a CIF design
+// and delivers fully-instantiated, manhattanised boxes to the back end
+// sorted from the top of the chip to the bottom — without ever
+// instantiating the whole chip at once.
+//
+// The sort uses a max-heap keyed by box top. Symbol calls sit in the
+// heap as single entries keyed by the top of their transformed
+// bounding box; a call is expanded one level only when the sweep
+// actually reaches it (ACE §4: "recursively expands only those cells
+// that intersect the current scanline"). A cell entirely below the
+// scanline therefore costs one heap entry, not its full contents.
+package frontend
+
+import (
+	"fmt"
+
+	"ace/internal/cif"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// Box is one axis-aligned piece of mask geometry.
+type Box struct {
+	Layer tech.Layer
+	Rect  geom.Rect
+}
+
+// Label is an instantiated net name annotation.
+type Label struct {
+	Name     string
+	At       geom.Point
+	Layer    tech.Layer
+	HasLayer bool
+}
+
+// Options configures instantiation.
+type Options struct {
+	// Grid is the manhattanisation grid for non-manhattan geometry in
+	// centimicrons. Zero selects the default of 10 (λ/20 at the
+	// standard NMOS λ of 200).
+	Grid int64
+
+	// KeepGlass instructs the stream to also deliver overglass
+	// geometry; extraction ignores it, so by default it is dropped.
+	KeepGlass bool
+}
+
+// Stats reports front-end work counters.
+type Stats struct {
+	BoxesOut      int // boxes delivered to the back end
+	CellsExpanded int // symbol instances expanded
+	PeakHeap      int // maximum heap size reached
+	NonManhattan  int // polygons/wires/rotated boxes approximated
+}
+
+// Stream delivers boxes in descending top-edge order.
+type Stream struct {
+	syms   map[int]*cif.Symbol
+	bboxes map[int]geom.Rect
+	grid   int64
+	keepNG bool
+
+	heap   []entry
+	labels []Label
+	stats  Stats
+	bbox   geom.Rect
+	hasBB  bool
+
+	// labelMemo caches per-symbol "subtree contains labels"; callSink,
+	// when set, diverts label-bearing calls from the heap during
+	// Labels()'s forced expansion.
+	labelMemo map[int]bool
+	callSink  *[]entry
+}
+
+type entryKind int8
+
+const (
+	entryBox entryKind = iota
+	entryCall
+)
+
+type entry struct {
+	top   int64
+	kind  entryKind
+	box   Box
+	sym   int
+	trans geom.Transform
+}
+
+// New builds a stream over the file's top cell. It returns an error if
+// the design has no geometry at all.
+func New(f *cif.File, opts Options) (*Stream, error) {
+	top, _ := f.TopSymbol()
+	return NewItems(top, f.Symbols, opts)
+}
+
+// NewItems builds a stream over an explicit item list (used by HEXT to
+// instantiate window contents).
+func NewItems(items []cif.Item, syms map[int]*cif.Symbol, opts Options) (*Stream, error) {
+	grid := opts.Grid
+	if grid <= 0 {
+		grid = 10
+	}
+	s := &Stream{
+		syms:   syms,
+		bboxes: map[int]geom.Rect{},
+		grid:   grid,
+		keepNG: opts.KeepGlass,
+	}
+	s.pushItems(items, geom.Identity)
+	if len(s.heap) == 0 && len(s.labels) == 0 {
+		return nil, fmt.Errorf("frontend: design contains no geometry")
+	}
+	bb, ok := cif.BBoxItems(items, syms, s.bboxes)
+	if ok {
+		s.bbox = bb
+		s.hasBB = true
+	}
+	return s, nil
+}
+
+// BBox returns the design's bounding box.
+func (s *Stream) BBox() geom.Rect { return s.bbox }
+
+// Labels returns every label in the design. Only calls whose symbol
+// subtree actually contains labels are expanded, so the front end's
+// laziness is preserved for ordinary geometry (labels typically live
+// at the top level).
+func (s *Stream) Labels() []Label {
+	// Pull label-bearing calls out of the heap.
+	var queue []entry
+	w := 0
+	for _, e := range s.heap {
+		if e.kind == entryCall && s.hasLabels(e.sym) {
+			queue = append(queue, e)
+		} else {
+			s.heap[w] = e
+			w++
+		}
+	}
+	if w == len(s.heap) {
+		return s.labels // nothing to expand
+	}
+	s.heap = s.heap[:w]
+	s.fixHeap()
+
+	// Expand the queue iteratively; geometry goes back into the heap,
+	// label-bearing sub-calls stay in the queue.
+	for len(queue) > 0 {
+		e := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		s.stats.CellsExpanded++
+		s.callSink = &queue
+		s.pushItems(s.syms[e.sym].Items, e.trans)
+		s.callSink = nil
+	}
+	return s.labels
+}
+
+// hasLabels reports whether a symbol's subtree contains any label.
+func (s *Stream) hasLabels(id int) bool {
+	if v, ok := s.labelMemo[id]; ok {
+		return v
+	}
+	if s.labelMemo == nil {
+		s.labelMemo = map[int]bool{}
+	}
+	s.labelMemo[id] = false // break cycles defensively
+	found := false
+	for _, it := range s.syms[id].Items {
+		switch it.Kind {
+		case cif.ItemLabel:
+			found = true
+		case cif.ItemCall:
+			if s.hasLabels(it.SymbolID) {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+	}
+	s.labelMemo[id] = found
+	return found
+}
+
+// Stats returns work counters.
+func (s *Stream) Stats() Stats { return s.stats }
+
+// NextTop reports the top edge of the next box without consuming it.
+func (s *Stream) NextTop() (int64, bool) {
+	for len(s.heap) > 0 && s.heap[0].kind == entryCall {
+		e := s.pop()
+		s.expand(e)
+	}
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].top, true
+}
+
+// Next returns the next box in descending top order.
+func (s *Stream) Next() (Box, bool) {
+	if _, ok := s.NextTop(); !ok {
+		return Box{}, false
+	}
+	e := s.pop()
+	s.stats.BoxesOut++
+	return e.box, true
+}
+
+// Drain returns all remaining boxes (mostly for tests and the
+// baselines, which want the flat list).
+func (s *Stream) Drain() []Box {
+	var out []Box
+	for {
+		b, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, b)
+	}
+}
+
+func (s *Stream) expand(e entry) {
+	sym := s.syms[e.sym]
+	s.stats.CellsExpanded++
+	s.pushItems(sym.Items, e.trans)
+}
+
+func (s *Stream) pushItems(items []cif.Item, tr geom.Transform) {
+	for _, it := range items {
+		switch it.Kind {
+		case cif.ItemBox:
+			s.pushBox(it.Layer, tr.ApplyRect(it.Box))
+		case cif.ItemPolygon:
+			s.stats.NonManhattan++
+			for _, r := range it.Poly.Apply(tr).Manhattanize(s.grid) {
+				s.pushBox(it.Layer, r)
+			}
+		case cif.ItemWire:
+			s.stats.NonManhattan++
+			w := it.Wire
+			tw := geom.Wire{Width: w.Width, Path: make([]geom.Point, len(w.Path))}
+			for i, p := range w.Path {
+				tw.Path[i] = tr.Apply(p)
+			}
+			for _, r := range tw.Boxes(s.grid) {
+				s.pushBox(it.Layer, r)
+			}
+		case cif.ItemCall:
+			sub, ok := cif.SymbolBBox(it.SymbolID, s.syms, s.bboxes)
+			if !ok {
+				continue // empty symbol
+			}
+			t := it.Trans.Then(tr)
+			e := entry{
+				top:   t.ApplyRect(sub).YMax,
+				kind:  entryCall,
+				sym:   it.SymbolID,
+				trans: t,
+			}
+			if s.callSink != nil && s.hasLabels(it.SymbolID) {
+				*s.callSink = append(*s.callSink, e)
+			} else {
+				s.push(e)
+			}
+		case cif.ItemLabel:
+			s.labels = append(s.labels, Label{
+				Name:     it.Name,
+				At:       tr.Apply(it.At),
+				Layer:    it.Layer,
+				HasLayer: it.HasLayer,
+			})
+		}
+	}
+}
+
+func (s *Stream) pushBox(l tech.Layer, r geom.Rect) {
+	if r.Empty() {
+		return
+	}
+	if l == tech.Glass && !s.keepNG {
+		return
+	}
+	s.push(entry{top: r.YMax, kind: entryBox, box: Box{Layer: l, Rect: r}})
+}
+
+// ---- max-heap keyed by top ----
+
+func (s *Stream) push(e entry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s.heap[p].top >= s.heap[i].top {
+			break
+		}
+		s.heap[p], s.heap[i] = s.heap[i], s.heap[p]
+		i = p
+	}
+	if len(s.heap) > s.stats.PeakHeap {
+		s.stats.PeakHeap = len(s.heap)
+	}
+}
+
+func (s *Stream) pop() entry {
+	e := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	s.siftDown(0)
+	return e
+}
+
+func (s *Stream) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && s.heap[l].top > s.heap[m].top {
+			m = l
+		}
+		if r < n && s.heap[r].top > s.heap[m].top {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.heap[i], s.heap[m] = s.heap[m], s.heap[i]
+		i = m
+	}
+}
+
+func (s *Stream) fixHeap() {
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}

@@ -1,0 +1,293 @@
+package frontend
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ace/internal/cif"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+func stream(t *testing.T, src string) *Stream {
+	t.Helper()
+	f, err := cif.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	s, err := New(f, Options{})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	return s
+}
+
+func TestSortedDescendingTops(t *testing.T) {
+	src := `
+L ND;
+B 10 10 0 0;
+B 10 10 0 100;
+B 10 10 0 50;
+B 10 10 0 -30;
+E
+`
+	s := stream(t, src)
+	boxes := s.Drain()
+	if len(boxes) != 4 {
+		t.Fatalf("boxes %d", len(boxes))
+	}
+	for i := 1; i < len(boxes); i++ {
+		if boxes[i].Rect.YMax > boxes[i-1].Rect.YMax {
+			t.Fatalf("out of order: %v after %v", boxes[i].Rect, boxes[i-1].Rect)
+		}
+	}
+}
+
+func TestHierarchyExpansion(t *testing.T) {
+	src := `
+DS 1; L ND; B 100 100 50 50; DF;
+DS 2; C 1; C 1 T 200 0; DF;
+C 2;
+C 2 T 0 1000;
+E
+`
+	s := stream(t, src)
+	boxes := s.Drain()
+	if len(boxes) != 4 {
+		t.Fatalf("boxes %d, want 4", len(boxes))
+	}
+	// The two instances at y offset 1000 must come first.
+	if boxes[0].Rect.YMax != 1100 || boxes[1].Rect.YMax != 1100 {
+		t.Fatalf("top boxes wrong: %v %v", boxes[0].Rect, boxes[1].Rect)
+	}
+	st := s.Stats()
+	if st.CellsExpanded != 6 { // 2×C2 + 4×C1
+		t.Fatalf("cells expanded %d, want 6", st.CellsExpanded)
+	}
+	if st.BoxesOut != 4 {
+		t.Fatalf("boxes out %d", st.BoxesOut)
+	}
+}
+
+func TestLazyExpansion(t *testing.T) {
+	// A deep row of cells: reading only the top boxes must not expand
+	// cells that lie entirely below.
+	var sb strings.Builder
+	sb.WriteString("DS 1; L ND; B 100 100 50 50; DF;\n")
+	for i := 0; i < 50; i++ {
+		// Each instance 200 lower than the previous.
+		sb.WriteString("C 1 T 0 ")
+		sb.WriteString(itoa(-200 * i))
+		sb.WriteString(";\n")
+	}
+	sb.WriteString("E\n")
+	s := stream(t, sb.String())
+	b, ok := s.Next()
+	if !ok || b.Rect.YMax != 100 {
+		t.Fatalf("first box %v %v", b, ok)
+	}
+	if got := s.Stats().CellsExpanded; got != 1 {
+		t.Fatalf("expanded %d cells for one box, want 1", got)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+func TestTransformedInstances(t *testing.T) {
+	src := `
+DS 1; L NP; B 100 20 50 10; DF;
+C 1 R 0 1;
+E
+`
+	s := stream(t, src)
+	boxes := s.Drain()
+	if len(boxes) != 1 {
+		t.Fatalf("boxes %d", len(boxes))
+	}
+	r := boxes[0].Rect
+	if r.W() != 20 || r.H() != 100 {
+		t.Fatalf("rotated instance box %v", r)
+	}
+}
+
+func TestLabelsInstantiated(t *testing.T) {
+	src := `
+DS 1; L ND; B 10 10 0 0; 94 A 5 5; DF;
+C 1 T 100 100;
+94 TOPLVL 0 0;
+E
+`
+	s := stream(t, src)
+	s.Drain()
+	labels := s.Labels()
+	if len(labels) != 2 {
+		t.Fatalf("labels %d: %+v", len(labels), labels)
+	}
+	var a, top *Label
+	for i := range labels {
+		switch labels[i].Name {
+		case "A":
+			a = &labels[i]
+		case "TOPLVL":
+			top = &labels[i]
+		}
+	}
+	if a == nil || a.At != geom.Pt(105, 105) {
+		t.Fatalf("label A: %+v", a)
+	}
+	if top == nil || top.At != geom.Pt(0, 0) {
+		t.Fatalf("label TOPLVL: %+v", top)
+	}
+}
+
+func TestLabelsForceExpansion(t *testing.T) {
+	// Labels must be found even if the caller never drains geometry.
+	src := `
+DS 1; L ND; B 10 10 0 0; 94 DEEP 1 2; DF;
+C 1;
+E
+`
+	s := stream(t, src)
+	labels := s.Labels()
+	if len(labels) != 1 || labels[0].Name != "DEEP" {
+		t.Fatalf("labels %+v", labels)
+	}
+}
+
+func TestPolygonExpansion(t *testing.T) {
+	src := "L ND; P 0 0 100 0 0 100;\nE\n"
+	s := stream(t, src)
+	boxes := s.Drain()
+	if len(boxes) == 0 {
+		t.Fatal("polygon expanded to no boxes")
+	}
+	if s.Stats().NonManhattan != 1 {
+		t.Fatalf("NonManhattan %d", s.Stats().NonManhattan)
+	}
+	var area int64
+	rects := make([]geom.Rect, len(boxes))
+	for i, b := range boxes {
+		if b.Layer != tech.Diff {
+			t.Fatalf("layer %v", b.Layer)
+		}
+		rects[i] = b.Rect
+	}
+	area = geom.UnionArea(rects)
+	if area < 4000 || area > 6000 {
+		t.Fatalf("triangle area %d not near 5000", area)
+	}
+}
+
+func TestGlassDropped(t *testing.T) {
+	src := "L NG; B 100 100 0 0;\nL ND; B 10 10 0 0;\nE\n"
+	s := stream(t, src)
+	boxes := s.Drain()
+	if len(boxes) != 1 || boxes[0].Layer != tech.Diff {
+		t.Fatalf("glass not dropped: %+v", boxes)
+	}
+	// With KeepGlass the box must appear.
+	f, _ := cif.ParseString(src)
+	s2, _ := New(f, Options{KeepGlass: true})
+	if got := len(s2.Drain()); got != 2 {
+		t.Fatalf("KeepGlass boxes %d", got)
+	}
+}
+
+func TestEmptyDesignErrors(t *testing.T) {
+	f, err := cif.ParseString("E\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(f, Options{}); err == nil {
+		t.Fatal("empty design should error")
+	}
+}
+
+func TestBBox(t *testing.T) {
+	src := "DS 1; L ND; B 100 100 50 50; DF;\nC 1;\nC 1 T 500 500;\nE\n"
+	s := stream(t, src)
+	if s.BBox() != geom.R(0, 0, 600, 600) {
+		t.Fatalf("bbox %v", s.BBox())
+	}
+}
+
+func TestHeapRandomized(t *testing.T) {
+	// Property: for random flat designs, output is a permutation of
+	// input sorted by descending YMax.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(100)
+		var sb strings.Builder
+		sb.WriteString("L ND;\n")
+		tops := make(map[int64]int)
+		for i := 0; i < n; i++ {
+			y := int64(rng.Intn(1000))
+			tops[y+5]++
+			sb.WriteString("B 10 10 ")
+			sb.WriteString(itoa(rng.Intn(1000)))
+			sb.WriteString(" ")
+			sb.WriteString(itoa(int(y)))
+			sb.WriteString(";\n")
+		}
+		sb.WriteString("E\n")
+		s := stream(t, sb.String())
+		prev := int64(1 << 60)
+		count := 0
+		for {
+			b, ok := s.Next()
+			if !ok {
+				break
+			}
+			count++
+			if b.Rect.YMax > prev {
+				t.Fatalf("unsorted output")
+			}
+			prev = b.Rect.YMax
+			tops[b.Rect.YMax]--
+		}
+		if count != n {
+			t.Fatalf("lost boxes: %d of %d", count, n)
+		}
+		for y, c := range tops {
+			if c != 0 {
+				t.Fatalf("top %d count %d", y, c)
+			}
+		}
+	}
+}
+
+func TestNextTopDoesNotConsume(t *testing.T) {
+	s := stream(t, "L ND; B 10 10 0 0;\nE\n")
+	y1, ok1 := s.NextTop()
+	y2, ok2 := s.NextTop()
+	if !ok1 || !ok2 || y1 != y2 || y1 != 5 {
+		t.Fatalf("NextTop %d/%v %d/%v", y1, ok1, y2, ok2)
+	}
+	if _, ok := s.Next(); !ok {
+		t.Fatal("box lost")
+	}
+	if _, ok := s.NextTop(); ok {
+		t.Fatal("stream should be empty")
+	}
+}

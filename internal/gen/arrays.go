@@ -1,0 +1,209 @@
+package gen
+
+import (
+	"math/rand"
+
+	"ace/internal/cif"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// Workload bundles a generated design with the ground truth the tests
+// and benchmark harnesses check against.
+type Workload struct {
+	Name        string
+	File        *cif.File
+	WantDevices int // exact expected device count
+	WantNets    int // exact expected net count (0 = not asserted)
+}
+
+// InverterChain builds a functional chain of n inverters (stage i
+// drives stage i+1) with IN, OUT, VDD and GND labels. It is the
+// simulator example's workload.
+func InverterChain(n int) Workload {
+	if n < 1 {
+		n = 1
+	}
+	d := NewDesign()
+	cell := ChainInverterCell(d, "chainInv")
+	row := d.Cell("chain")
+	for i := 0; i < n; i++ {
+		row.CallAt(cell, int64(i)*GateCellWidth*Lambda, 0)
+	}
+	d.CallTop(row, geom.Identity)
+	h := GateCellHeight(1)
+	d.LabelTopOn("GND", 1*Lambda, 2*Lambda, tech.Metal)
+	d.LabelTopOn("VDD", 1*Lambda, (h-2)*Lambda, tech.Metal)
+	d.LabelTopOn("IN", 0, 7*Lambda, tech.Poly)
+	d.LabelTopOn("OUT", int64(n)*GateCellWidth*Lambda, (h-17)*Lambda, tech.Poly)
+	return Workload{
+		Name:        "chain",
+		File:        d.File(),
+		WantDevices: 2 * n,
+		WantNets:    n + 3,
+	}
+}
+
+// RingOscillator builds a closed loop of n chain inverters: the last
+// stage's output routes back (on poly, below the GND rail) to the
+// first stage's input. An odd n oscillates — the simulator must report
+// X; an even n is bistable.
+func RingOscillator(n int) Workload {
+	if n < 2 {
+		n = 2
+	}
+	d := NewDesign()
+	cell := ChainInverterCell(d, "ringInv")
+	ring := d.Cell("ring")
+	for i := 0; i < n; i++ {
+		ring.CallAt(cell, int64(i)*GateCellWidth*Lambda, 0)
+	}
+	h := GateCellHeight(1)
+	right := int64(n) * GateCellWidth
+	// Feedback: drop from the last output wire, run under the cells,
+	// rise into the first input riser. Poly crosses the metal rails
+	// and nothing else.
+	ring.LBox(tech.Poly, right-2, -4, right, h-16) // drop on the right
+	ring.LBox(tech.Poly, 0, -4, right, -2)         // return run
+	ring.LBox(tech.Poly, 0, -4, 2, 8)              // rise into the riser
+	d.CallTop(ring, geom.Identity)
+	d.LabelTopOn("GND", 1*Lambda, 2*Lambda, tech.Metal)
+	d.LabelTopOn("VDD", 1*Lambda, (h-2)*Lambda, tech.Metal)
+	d.LabelTopOn("TAP", 0, -3*Lambda, tech.Poly)
+	return Workload{
+		Name:        "ring",
+		File:        d.File(),
+		WantDevices: 2 * n,
+		WantNets:    n + 2, // VDD, GND, n stage nets (the loop closes)
+	}
+}
+
+// Memory builds a rows×cols array of two-device storage cells under a
+// two-level hierarchy (cell → row → array): the testram-style workload
+// on which HEXT shines. Rows are separated by a 4λ gap, so each row
+// keeps its own rails.
+func Memory(rows, cols int) Workload {
+	d := NewDesign()
+	cell := GateCell(d, "ramCell", 1)
+	row := d.Cell("ramRow")
+	for c := 0; c < cols; c++ {
+		row.CallAt(cell, int64(c)*GateCellWidth*Lambda, 0)
+	}
+	arr := d.Cell("ramArray")
+	pitch := (GateCellHeight(1) + 4) * Lambda
+	for r := 0; r < rows; r++ {
+		arr.CallAt(row, 0, int64(r)*pitch)
+	}
+	d.CallTop(arr, geom.Identity)
+	d.LabelTopOn("GND0", 1*Lambda, 2*Lambda, tech.Metal)
+	d.LabelTopOn("VDD0", 1*Lambda, (GateCellHeight(1)-2)*Lambda, tech.Metal)
+	return Workload{
+		Name:        "memory",
+		File:        d.File(),
+		WantDevices: 2 * rows * cols,
+		// Per row: VDD + GND + per cell one IN and one OUT net.
+		WantNets: rows * (2 + 2*cols),
+	}
+}
+
+// SquareArrayCell is the HEXT Table 4-1 basic cell: "a single
+// transistor formed by the overlap of diffusion and polysilicon",
+// drawn with a 4λ margin inside a 20λ tile so abutted tiles do not
+// touch electrically.
+const squareTile = 20
+
+// SquareArray builds an n-cell square array (n must be a power of 4)
+// as a complete binary tree of symbols, exactly as the HEXT analysis
+// assumes: each level doubles one dimension.
+func SquareArray(n int) Workload {
+	if n < 1 {
+		n = 1
+	}
+	d := NewDesign()
+	cell := d.Cell("xcell")
+	cell.LBox(tech.Diff, 8, 4, 10, 16)
+	cell.LBox(tech.Poly, 4, 8, 16, 10)
+
+	cur := cell
+	wx, wy := int64(squareTile), int64(squareTile)
+	cells := 1
+	for cells < n {
+		next := d.Cell("lvl" + itoa(cells*2))
+		if wx <= wy {
+			next.CallAt(cur, 0, 0)
+			next.CallAt(cur, wx*Lambda, 0)
+			wx *= 2
+		} else {
+			next.CallAt(cur, 0, 0)
+			next.CallAt(cur, 0, wy*Lambda)
+			wy *= 2
+		}
+		cur = next
+		cells *= 2
+	}
+	d.CallTop(cur, geom.Identity)
+	return Workload{
+		Name:        "squareArray",
+		File:        d.File(),
+		WantDevices: cells,
+		WantNets:    3 * cells, // each isolated transistor: poly + 2 diff stubs
+	}
+}
+
+// Mesh builds ACE §4's worst case: n horizontal poly lines crossing n
+// vertical diffusion lines — 2n boxes forming n² transistors.
+func Mesh(n int) Workload {
+	d := NewDesign()
+	c := d.Cell("mesh")
+	span := int64(4 * n)
+	for i := int64(0); i < int64(n); i++ {
+		c.LBox(tech.Poly, -2, 4*i, span, 4*i+2)
+		c.LBox(tech.Diff, 4*i, -2, 4*i+2, span)
+	}
+	d.CallTop(c, geom.Identity)
+	return Workload{
+		Name:        "mesh",
+		File:        d.File(),
+		WantDevices: n * n,
+		// Each diffusion column is cut into n+1 conducting segments;
+		// each poly row stays one net.
+		WantNets: n*(n+1) + n,
+	}
+}
+
+// Statistical builds a flat design following the Bentley–Haken–Hon
+// model used in ACE §4's expected-case analysis: n squares of edge
+// ~7.6λ (rounded to 8λ) uniformly distributed over a [0.8·√n·λ]²
+// region, λ-aligned, on the conducting layers. It drives the E6
+// complexity-counter experiment.
+func Statistical(n int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDesign()
+	c := d.Cell("stat")
+	side := int64(float64(n) * 0.64) // (0.8·√n)² = 0.64·n, in λ²
+	// side is the area; the edge length in λ:
+	edge := isqrt(side)
+	if edge < 16 {
+		edge = 16
+	}
+	layers := []tech.Layer{tech.Diff, tech.Poly, tech.Metal}
+	for i := 0; i < n; i++ {
+		l := layers[rng.Intn(len(layers))]
+		x := int64(rng.Intn(int(edge)))
+		y := int64(rng.Intn(int(edge)))
+		c.LBox(l, x, y, x+8, y+8)
+	}
+	d.CallTop(c, geom.Identity)
+	return Workload{Name: "statistical", File: d.File()}
+}
+
+func isqrt(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	x := int64(1)
+	for x*x < v {
+		x++
+	}
+	return x
+}

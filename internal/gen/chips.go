@@ -1,0 +1,306 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ace/internal/cif"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// Datapath builds a bit-sliced datapath: one stage cell containing
+// `bits` vertically stacked 2-input gates, instantiated `stages` times
+// in a row — the riscb-style workload (regular in one dimension).
+func Datapath(bits, stages int) Workload {
+	d := NewDesign()
+	slice := GateCell(d, "bitSlice", 2)
+	stage := d.Cell("stage")
+	pitch := (GateCellHeight(2) + 4) * Lambda
+	for b := 0; b < bits; b++ {
+		stage.CallAt(slice, 0, int64(b)*pitch)
+	}
+	row := d.Cell("datapath")
+	for s := 0; s < stages; s++ {
+		row.CallAt(stage, int64(s)*(GateCellWidth+4)*Lambda, 0)
+	}
+	d.CallTop(row, geom.Identity)
+	return Workload{
+		Name:        "datapath",
+		File:        d.File(),
+		WantDevices: 3 * bits * stages,
+		// Stages are separated by a 4λ gap, so nothing is shared:
+		// each gate contributes its full isolated net count.
+		WantNets: bits * stages * GateNets(2),
+	}
+}
+
+// Irregular builds random-logic structure: n gates with 1–3 inputs
+// placed at irregular positions (no two windows alike), plus metal
+// routing wires crossing the whole block. This is the schip2/psc-style
+// workload on which HEXT's windowing pays little.
+func Irregular(nGates int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDesign()
+	cells := []*Cell{
+		GateCell(d, "inv", 1),
+		GateCell(d, "nand2", 2),
+		GateCell(d, "nand3", 3),
+	}
+
+	colsPerRow := isqrt(int64(nGates))
+	if colsPerRow < 1 {
+		colsPerRow = 1
+	}
+	rowPitch := (GateCellHeight(3) + 8) * Lambda
+	devices := 0
+	nets := 0
+	var x, y, maxX int64
+	col := int64(0)
+	for g := 0; g < nGates; g++ {
+		k := 1 + rng.Intn(3)
+		d.CallTop(cells[k-1], geom.Translate(x, y))
+		devices += GateDevices(k)
+		nets += GateNets(k)
+		x += (GateCellWidth + 2 + int64(rng.Intn(8))) * Lambda
+		if x > maxX {
+			maxX = x
+		}
+		col++
+		if col >= colsPerRow {
+			col = 0
+			x = int64(rng.Intn(6)) * Lambda
+			y += rowPitch
+		}
+	}
+	// Routing: horizontal metal wires through the gaps between rows.
+	// Metal crosses poly and diffusion without connecting, so they add
+	// boxes and nets but no devices.
+	rows := (nGates + int(colsPerRow) - 1) / int(colsPerRow)
+	wires := 0
+	for r := 1; r < rows; r++ {
+		wy := int64(r)*rowPitch - 6*Lambda
+		for w := int64(0); w < 3; w++ {
+			d.Top(cif.Item{Kind: cif.ItemBox, Layer: tech.Metal,
+				Box: geom.R(0, wy+2*w*Lambda, maxX+GateCellWidth*Lambda, wy+(2*w+1)*Lambda)})
+			wires++
+		}
+	}
+	return Workload{
+		Name:        "irregular",
+		File:        d.File(),
+		WantDevices: devices,
+		WantNets:    nets + wires,
+	}
+}
+
+// Chip is a named benchmark workload standing in for one of the
+// paper's seven (lost) test chips, with the published device count.
+type Chip struct {
+	Name         string
+	PaperDevices int     // device count from Table 5-1
+	PaperBoxes   float64 // box count in thousands, from Table 5-1
+	Mix          string  // structural character used to synthesise it
+}
+
+// Chips lists the paper's benchmark chips in Table 5-1 order.
+var Chips = []Chip{
+	{"cherry", 881, 7.4, "small mixed design"},
+	{"dchip", 4884, 50.7, "datapath + control"},
+	{"schip2", 9473, 109.0, "irregular random logic"},
+	{"testram", 20480, 196.9, "regular memory array"},
+	{"psc", 25521, 251.5, "irregular + arrays"},
+	{"scheme81", 32031, 418.3, "processor: datapath + memory + control"},
+	{"riscb", 42084, 533.0, "bit-sliced datapath"},
+}
+
+// ChipByName returns the chip record with the given name.
+func ChipByName(name string) (Chip, bool) {
+	for _, c := range Chips {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Chip{}, false
+}
+
+// Build synthesises the chip at the given scale (1.0 = the published
+// device count; smaller scales shrink every component proportionally
+// for quick benchmark runs). The returned workload's WantDevices is
+// exact.
+func (c Chip) Build(scale float64) Workload {
+	target := int(float64(c.PaperDevices) * scale)
+	if target < 8 {
+		target = 8
+	}
+	var w Workload
+	switch c.Name {
+	case "testram":
+		rows, cols := memoryShape(target / 2)
+		w = Memory(rows, cols)
+	case "schip2":
+		w = Irregular(gatesForDevices(target, 3.0), 1002)
+	case "psc":
+		w = composite(target, 0.30, 0.15, c.Name, 1003)
+	case "riscb":
+		w = composite(target, 0.15, 0.70, c.Name, 1004)
+	case "dchip":
+		w = composite(target, 0.20, 0.50, c.Name, 1005)
+	case "scheme81":
+		w = composite(target, 0.35, 0.35, c.Name, 1006)
+	default: // cherry and anything unknown: small mixed design
+		w = composite(target, 0.25, 0.35, c.Name, 1001)
+	}
+	w.Name = c.Name
+	return w
+}
+
+// memoryShape picks a near-square rows×cols decomposition.
+func memoryShape(cells int) (rows, cols int) {
+	if cells < 1 {
+		cells = 1
+	}
+	rows = int(isqrt(int64(cells)))
+	if rows < 1 {
+		rows = 1
+	}
+	cols = (cells + rows - 1) / rows
+	return rows, cols
+}
+
+// gatesForDevices converts a device budget into a gate count given the
+// mean devices per gate.
+func gatesForDevices(devices int, meanPerGate float64) int {
+	g := int(float64(devices) / meanPerGate)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// composite builds a chip from a memory block, a datapath block and an
+// irregular block stacked vertically with generous gaps, hitting the
+// device target exactly with a filler row of gates.
+func composite(target int, memFrac, dpFrac float64, name string, seed int64) Workload {
+	d := NewDesign()
+	devices := 0
+	nets := 0
+	var yOff int64 // in λ
+
+	place := func(w Workload, height int64) {
+		importWorkload(d, w, geom.Translate(0, yOff*Lambda))
+		devices += w.WantDevices
+		nets += w.WantNets
+		yOff += height + 16
+	}
+
+	if memDev := int(float64(target) * memFrac); memDev >= 4 {
+		rows, cols := memoryShape(memDev / 2)
+		place(Memory(rows, cols), int64(rows)*(GateCellHeight(1)+4))
+	}
+
+	if dpDev := int(float64(target) * dpFrac); dpDev >= 24 {
+		// Wider datapaths get more bits so the block stays roughly
+		// square (the Bentley–Haken–Hon model's assumption); a single
+		// 1000-stage 8-bit row would distort the scanline's active
+		// list far beyond anything a real floorplan produces.
+		bits := 8
+		if dpDev > 2400 {
+			bits = 32
+		}
+		stages := dpDev / (3 * bits)
+		if stages < 1 {
+			stages = 1
+		}
+		place(Datapath(bits, stages), int64(bits)*(GateCellHeight(2)+4))
+	}
+
+	// Irregular block with most of the remainder, keeping slack for
+	// the exact-count filler.
+	if irrDev := target - devices - 14; irrDev >= 6 {
+		iw := Irregular(gatesForDevices(irrDev, 3.0), seed)
+		place(iw, workloadHeight(iw))
+	}
+
+	// Filler: single gates to land exactly on the target.
+	fill := d.Cell("filler_" + name)
+	var fx int64
+	idx := 0
+	for remain := target - devices; remain > 0; remain = target - devices {
+		if remain == 1 {
+			// A bare poly-over-diff transistor tile.
+			fill.LBox(tech.Diff, fx+8, 4, fx+10, 16)
+			fill.LBox(tech.Poly, fx+4, 8, fx+16, 10)
+			devices++
+			nets += 3
+			break
+		}
+		k := 1
+		switch {
+		case remain >= 4 && remain%3 == 1:
+			k = 3
+		case remain >= 3 && remain%2 == 1:
+			k = 2
+		}
+		g := GateCell(d, fmt.Sprintf("fg_%s_%d", name, idx), k)
+		idx++
+		fill.Call(g, geom.Translate(fx*Lambda, 0))
+		devices += GateDevices(k)
+		nets += GateNets(k)
+		fx += GateCellWidth + 4
+	}
+	d.CallTop(fill, geom.Translate(0, yOff*Lambda))
+
+	return Workload{Name: name, File: d.File(), WantDevices: devices, WantNets: nets}
+}
+
+// importWorkload copies another design's symbols and top items into d
+// under fresh ids, applying tr to the top-level items. Labels are
+// dropped to avoid duplicate names across blocks.
+func importWorkload(d *Design, w Workload, tr geom.Transform) {
+	remap := map[int]int{}
+	ids := make([]int, 0, len(w.File.Symbols))
+	for id := range w.File.Symbols {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		remap[id] = d.nextID
+		d.nextID++
+	}
+	for _, id := range ids {
+		src := w.File.Symbols[id]
+		dst := &cif.Symbol{ID: remap[id], Name: src.Name}
+		for _, it := range src.Items {
+			if it.Kind == cif.ItemCall {
+				it.SymbolID = remap[it.SymbolID]
+			}
+			dst.Items = append(dst.Items, it)
+		}
+		d.file.Symbols[dst.ID] = dst
+	}
+	for _, it := range w.File.Top {
+		switch it.Kind {
+		case cif.ItemCall:
+			it.SymbolID = remap[it.SymbolID]
+			it.Trans = it.Trans.Then(tr)
+		case cif.ItemBox:
+			it.Box = tr.ApplyRect(it.Box)
+		case cif.ItemLabel:
+			continue
+		default:
+			continue // gen never places polygons or wires at top level
+		}
+		d.file.Top = append(d.file.Top, it)
+	}
+}
+
+// workloadHeight returns the λ height of a workload's bounding box.
+func workloadHeight(w Workload) int64 {
+	bb, ok := cif.BBoxItems(w.File.Top, w.File.Symbols, map[int]geom.Rect{})
+	if !ok {
+		return 0
+	}
+	return (bb.YMax - bb.YMin + Lambda - 1) / Lambda
+}

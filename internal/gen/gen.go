@@ -1,0 +1,104 @@
+// Package gen builds synthetic NMOS workloads as CIF designs: the
+// paper's inverter (Figure 3-3), a small cell library, regular arrays,
+// bit-sliced datapaths and irregular random logic — the raw material
+// for reproducing every table in the two papers. The original
+// benchmark chips (cherry … riscb) are lost; chips.go builds
+// structural stand-ins with the published device counts (see DESIGN.md
+// "Substitutions").
+package gen
+
+import (
+	"ace/internal/cif"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// Design incrementally builds a cif.File.
+type Design struct {
+	file   *cif.File
+	nextID int
+}
+
+// NewDesign returns an empty design.
+func NewDesign() *Design {
+	return &Design{file: &cif.File{Symbols: map[int]*cif.Symbol{}}, nextID: 1}
+}
+
+// Cell starts a new symbol definition with the given name.
+func (d *Design) Cell(name string) *Cell {
+	s := &cif.Symbol{ID: d.nextID, Name: name}
+	d.file.Symbols[s.ID] = s
+	d.nextID++
+	return &Cell{sym: s}
+}
+
+// File finishes the design and returns the CIF file.
+func (d *Design) File() *cif.File { return d.file }
+
+// Top appends an item to the design's top level.
+func (d *Design) Top(items ...cif.Item) {
+	d.file.Top = append(d.file.Top, items...)
+}
+
+// CallTop instantiates a cell at the design's top level.
+func (d *Design) CallTop(c *Cell, tr geom.Transform) {
+	d.Top(cif.Item{Kind: cif.ItemCall, SymbolID: c.sym.ID, Trans: tr})
+}
+
+// LabelTop places a net-name label at the design's top level.
+func (d *Design) LabelTop(name string, x, y int64) {
+	d.Top(cif.Item{Kind: cif.ItemLabel, Name: name, At: geom.Pt(x, y)})
+}
+
+// LabelTopOn places a layer-qualified label at the top level.
+func (d *Design) LabelTopOn(name string, x, y int64, layer tech.Layer) {
+	d.Top(cif.Item{Kind: cif.ItemLabel, Name: name, At: geom.Pt(x, y),
+		Layer: layer, HasLayer: true})
+}
+
+// Cell is a symbol under construction.
+type Cell struct {
+	sym *cif.Symbol
+}
+
+// ID returns the CIF symbol number.
+func (c *Cell) ID() int { return c.sym.ID }
+
+// Box adds a rectangle given by opposite corners.
+func (c *Cell) Box(layer tech.Layer, x0, y0, x1, y1 int64) *Cell {
+	c.sym.Items = append(c.sym.Items, cif.Item{
+		Kind: cif.ItemBox, Layer: layer, Box: geom.R(x0, y0, x1, y1),
+	})
+	return c
+}
+
+// BoxCWH adds a rectangle in CIF "B length width cx cy" form, so
+// geometry can be transcribed straight from the paper's figures.
+func (c *Cell) BoxCWH(layer tech.Layer, length, width, cx, cy int64) *Cell {
+	c.sym.Items = append(c.sym.Items, cif.Item{
+		Kind: cif.ItemBox, Layer: layer,
+		Box: geom.RectCWH(length, width, geom.Pt(cx, cy)),
+	})
+	return c
+}
+
+// Label places a net-name label inside the cell.
+func (c *Cell) Label(name string, x, y int64) *Cell {
+	c.sym.Items = append(c.sym.Items, cif.Item{
+		Kind: cif.ItemLabel, Name: name, At: geom.Pt(x, y),
+	})
+	return c
+}
+
+// Call instantiates another cell inside this one.
+func (c *Cell) Call(sub *Cell, tr geom.Transform) *Cell {
+	c.sym.Items = append(c.sym.Items, cif.Item{
+		Kind: cif.ItemCall, SymbolID: sub.sym.ID, Trans: tr,
+	})
+	return c
+}
+
+// CallAt is Call with a plain translation.
+func (c *Cell) CallAt(sub *Cell, dx, dy int64) *Cell {
+	return c.Call(sub, geom.Translate(dx, dy))
+}

@@ -1,0 +1,214 @@
+package gen
+
+import (
+	"testing"
+
+	"ace/internal/extract"
+	"ace/internal/geom"
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+func extractWL(t *testing.T, w Workload) *netlist.Netlist {
+	t.Helper()
+	res, err := extract.File(w.File, extract.Options{})
+	if err != nil {
+		t.Fatalf("%s: extract: %v", w.Name, err)
+	}
+	if probs := res.Netlist.Validate(); len(probs) > 0 {
+		t.Fatalf("%s: invalid netlist: %v", w.Name, probs)
+	}
+	return res.Netlist
+}
+
+func checkCounts(t *testing.T, w Workload) *netlist.Netlist {
+	t.Helper()
+	nl := extractWL(t, w)
+	if w.WantDevices != 0 && len(nl.Devices) != w.WantDevices {
+		t.Fatalf("%s: devices %d, want %d", w.Name, len(nl.Devices), w.WantDevices)
+	}
+	if w.WantNets != 0 && len(nl.Nets) != w.WantNets {
+		t.Fatalf("%s: nets %d, want %d", w.Name, len(nl.Nets), w.WantNets)
+	}
+	return nl
+}
+
+func TestGateCellCounts(t *testing.T) {
+	for k := 1; k <= 3; k++ {
+		d := NewDesign()
+		c := GateCell(d, "g", k)
+		d.CallTop(c, geom.Identity)
+		nl := extractWL(t, Workload{Name: "gate", File: d.File()})
+		if len(nl.Devices) != GateDevices(k) {
+			t.Fatalf("k=%d: devices %d, want %d\n%s", k, len(nl.Devices), GateDevices(k), nl)
+		}
+		if len(nl.Nets) != GateNets(k) {
+			t.Fatalf("k=%d: nets %d, want %d\n%s", k, len(nl.Nets), GateNets(k), nl)
+		}
+		st := nl.Stats()
+		if st.Depletion != 1 || st.Enhancement != k {
+			t.Fatalf("k=%d: stats %v", k, st)
+		}
+		// The depletion load's gate must be tied to one of its own
+		// source/drain nets (the output) — the NMOS load pattern.
+		for _, dev := range nl.Devices {
+			if dev.Type == tech.Depletion {
+				if dev.Gate != dev.Source && dev.Gate != dev.Drain {
+					t.Fatalf("k=%d: load gate not tied to output\n%s", k, nl)
+				}
+			}
+		}
+	}
+}
+
+func TestGateCellSeriesChain(t *testing.T) {
+	// In a 3-input gate the pull-downs are in series: enhancement
+	// devices must form a path GND — n1 — n2 — OUT.
+	d := NewDesign()
+	c := GateCell(d, "nand3", 3)
+	d.CallTop(c, geom.Identity)
+	nl := extractWL(t, Workload{File: d.File()})
+	degree := map[int]int{}
+	for _, dev := range nl.Devices {
+		if dev.Type == tech.Enhancement {
+			degree[dev.Source]++
+			degree[dev.Drain]++
+		}
+	}
+	ones, twos := 0, 0
+	for _, cnt := range degree {
+		switch cnt {
+		case 1:
+			ones++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("series chain broken: degree map %v\n%s", degree, nl)
+		}
+	}
+	if ones != 2 || twos != 2 {
+		t.Fatalf("series chain shape wrong: %v", degree)
+	}
+}
+
+func TestInverterChainCounts(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16} {
+		checkCounts(t, InverterChain(n))
+	}
+}
+
+func TestInverterChainConnectivity(t *testing.T) {
+	w := InverterChain(3)
+	nl := checkCounts(t, w)
+	in, ok := nl.NetByName("IN")
+	if !ok {
+		t.Fatalf("IN missing\n%s", nl)
+	}
+	out, ok := nl.NetByName("OUT")
+	if !ok {
+		t.Fatalf("OUT missing\n%s", nl)
+	}
+	// Follow the chain: stage 1's enh gate is IN; its output feeds the
+	// next gate, ending at OUT after 3 stages.
+	cur := in
+	for stage := 0; stage < 3; stage++ {
+		next := -1
+		for _, dev := range nl.Devices {
+			if dev.Type == tech.Enhancement && dev.Gate == cur {
+				// The pull-down's non-GND terminal is the stage output.
+				for _, term := range []int{dev.Source, dev.Drain} {
+					if g, okG := nl.NetByName("GND"); okG && term != g {
+						next = term
+					}
+				}
+			}
+		}
+		if next < 0 {
+			t.Fatalf("chain broken at stage %d\n%s", stage, nl)
+		}
+		cur = next
+	}
+	if cur != out {
+		t.Fatalf("chain does not end at OUT (ended at net %d)\n%s", cur, nl)
+	}
+}
+
+func TestMemoryCounts(t *testing.T) {
+	checkCounts(t, Memory(3, 5))
+	checkCounts(t, Memory(1, 1))
+}
+
+func TestSquareArrayCounts(t *testing.T) {
+	for _, n := range []int{1, 4, 16, 64} {
+		w := SquareArray(n)
+		if w.WantDevices != n {
+			t.Fatalf("SquareArray(%d) built %d cells", n, w.WantDevices)
+		}
+		checkCounts(t, w)
+	}
+}
+
+func TestMeshCounts(t *testing.T) {
+	for _, n := range []int{2, 5} {
+		checkCounts(t, Mesh(n))
+	}
+}
+
+func TestDatapathCounts(t *testing.T) {
+	checkCounts(t, Datapath(4, 3))
+}
+
+func TestIrregularCounts(t *testing.T) {
+	checkCounts(t, Irregular(25, 7))
+	// Determinism: same seed, same structure.
+	a := Irregular(10, 42)
+	b := Irregular(10, 42)
+	if a.WantDevices != b.WantDevices || a.WantNets != b.WantNets {
+		t.Fatal("Irregular not deterministic")
+	}
+}
+
+func TestStatisticalBuilds(t *testing.T) {
+	w := Statistical(500, 1)
+	nl := extractWL(t, w)
+	if len(nl.Nets) == 0 {
+		t.Fatal("statistical model produced nothing")
+	}
+}
+
+func TestChipsSmallScale(t *testing.T) {
+	for _, c := range Chips {
+		w := c.Build(0.02)
+		nl := checkCounts(t, w)
+		if len(nl.Devices) < 8 {
+			t.Fatalf("%s: suspiciously few devices (%d)", c.Name, len(nl.Devices))
+		}
+	}
+}
+
+func TestChipScaleRoughlyProportional(t *testing.T) {
+	c, _ := ChipByName("testram")
+	small := c.Build(0.01)
+	big := c.Build(0.04)
+	if big.WantDevices < 3*small.WantDevices {
+		t.Fatalf("scaling broken: %d vs %d", small.WantDevices, big.WantDevices)
+	}
+}
+
+func TestChipByName(t *testing.T) {
+	if _, ok := ChipByName("riscb"); !ok {
+		t.Fatal("riscb missing")
+	}
+	if _, ok := ChipByName("nonesuch"); ok {
+		t.Fatal("bogus chip found")
+	}
+}
+
+func TestInverterCellStandalone(t *testing.T) {
+	// Already covered in extract's golden test; here just confirm the
+	// workload wrapper contract.
+	nl := extractWL(t, Workload{Name: "inverter", File: Inverter()})
+	if len(nl.Devices) != 2 || len(nl.Nets) != 4 {
+		t.Fatalf("inverter %d devices %d nets", len(nl.Devices), len(nl.Nets))
+	}
+}

@@ -1,0 +1,145 @@
+package gen
+
+import (
+	"ace/internal/cif"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// InverterPitch is the horizontal pitch at which inverter instances
+// abut so that their VDD, GND and input rails connect.
+const InverterPitch = 4800
+
+// InverterCell adds the paper's inverter (Figure 3-3) to the design
+// and returns the cell. Every rectangle is transcribed from the net
+// and channel geometry listed in the Figure 3-4 wirelist, so an
+// extraction of this cell must reproduce the figure exactly:
+//
+//	nEnh  Length 400  Width 2800 at (-800, -400)
+//	nDep  Length 1400 Width 400  at (-400, 2800)
+//	nets  VDD (-2600,3800), OUT (-800,2800), INP (-800,-400),
+//	      GND (-400,-800)
+//
+// The cell spans x ∈ [-2600, 2200], y ∈ [-3200, 3800]; metal rails for
+// VDD (top), GND and the input (bottom) run the full width so abutting
+// instances at InverterPitch share them.
+func InverterCell(d *Design) *Cell {
+	c := d.Cell("inverter")
+
+	// Diffusion. The two enhancement-channel boxes and the depletion
+	// channel box come from the wirelist's Channel clauses; the rest
+	// from nets N5 (OUT), N11 (GND) and N2 (VDD).
+	c.BoxCWH(tech.Diff, 400, 1200, -600, -1400)  // enh channel, vertical part
+	c.BoxCWH(tech.Diff, 1600, 400, 0, -600)      // enh channel, horizontal part
+	c.BoxCWH(tech.Diff, 400, 1400, -200, 2100)   // dep channel
+	c.BoxCWH(tech.Diff, 400, 1600, -1000, -1200) // N5: source arm left of enh gate
+	c.BoxCWH(tech.Diff, 2000, 400, -200, -200)   // N5: bar above enh gate
+	c.BoxCWH(tech.Diff, 3400, 600, 500, 300)     // N5: output bar running right
+	c.BoxCWH(tech.Diff, 2000, 200, -200, 700)    // N5: riser
+	c.BoxCWH(tech.Diff, 400, 600, -200, 1100)    // N5: butting into the buried contact
+	c.BoxCWH(tech.Diff, 1200, 1200, 200, -1400)  // N11: GND drain block
+	c.BoxCWH(tech.Diff, 400, 200, -200, 2900)    // N2: VDD neck
+	c.BoxCWH(tech.Diff, 800, 800, -200, 3400)    // N2: VDD contact pad
+
+	// Poly.
+	c.BoxCWH(tech.Poly, 800, 800, -600, -2800)  // N9: input contact pad
+	c.BoxCWH(tech.Poly, 400, 1600, -600, -1600) // N9: vertical gate arm
+	c.BoxCWH(tech.Poly, 2600, 400, 500, -600)   // N9: horizontal gate arm
+	c.BoxCWH(tech.Poly, 1200, 2000, -200, 1800) // N5: depletion gate, tied to OUT
+
+	// Metal rails, full cell width.
+	c.BoxCWH(tech.Metal, 4800, 800, -200, 3400)  // VDD
+	c.BoxCWH(tech.Metal, 4800, 800, -200, -1600) // GND
+	c.BoxCWH(tech.Metal, 4800, 800, -200, -2800) // input
+
+	// Contact cuts.
+	c.BoxCWH(tech.Cut, 400, 400, -200, 3400)  // VDD metal ↔ diff
+	c.BoxCWH(tech.Cut, 400, 400, 400, -1600)  // GND metal ↔ diff
+	c.BoxCWH(tech.Cut, 400, 400, -600, -2800) // input metal ↔ poly
+
+	// Buried contact tying the depletion gate (poly) to OUT (diff).
+	c.Box(tech.Buried, -400, 800, 0, 1400)
+
+	// Depletion implant over the load's channel.
+	c.BoxCWH(tech.Implant, 800, 1800, -200, 2100)
+
+	return c
+}
+
+// Inverter builds a standalone single-inverter chip with VDD, GND,
+// INP and OUT labels, reproducing Figures 3-3/3-4 end to end.
+func Inverter() *cif.File {
+	d := NewDesign()
+	inv := InverterCell(d)
+	d.CallTop(inv, geom.Identity)
+	d.LabelTopOn("VDD", -2600, 3800, tech.Metal)
+	d.LabelTopOn("GND", -2600, -1600, tech.Metal)
+	d.LabelTopOn("INP", -2600, -2800, tech.Metal)
+	d.LabelTopOn("OUT", 2200, 300, tech.Diff)
+	return d.File()
+}
+
+// FourInverters builds the HEXT paper's Figure 2-1 workload: four
+// abutting inverters sharing VDD, GND and input rails, constructed as
+// a two-level hierarchy (a pair cell called twice) so the hierarchical
+// extractor has structure to exploit.
+func FourInverters() *cif.File {
+	d := NewDesign()
+	inv := InverterCell(d)
+	pair := d.Cell("invPair")
+	pair.CallAt(inv, 0, 0)
+	pair.CallAt(inv, InverterPitch, 0)
+	quad := d.Cell("invQuad")
+	quad.CallAt(pair, 0, 0)
+	quad.CallAt(pair, 2*InverterPitch, 0)
+	d.CallTop(quad, geom.Identity)
+	d.LabelTopOn("VDD", -2600, 3800, tech.Metal)
+	d.LabelTopOn("GND", -2600, -1600, tech.Metal)
+	d.LabelTopOn("INP", -2600, -2800, tech.Metal)
+	for i := int64(0); i < 4; i++ {
+		d.LabelTopOn(outName(int(i)), 2200+i*InverterPitch, 300, tech.Diff)
+	}
+	return d.File()
+}
+
+// InverterRow builds a row of n abutting inverters (shared rails,
+// common input) under a single row cell.
+func InverterRow(n int) *cif.File {
+	d := NewDesign()
+	inv := InverterCell(d)
+	row := d.Cell("invRow")
+	for i := 0; i < n; i++ {
+		row.CallAt(inv, int64(i)*InverterPitch, 0)
+	}
+	d.CallTop(row, geom.Identity)
+	d.LabelTopOn("VDD", -2600, 3800, tech.Metal)
+	d.LabelTopOn("GND", -2600, -1600, tech.Metal)
+	d.LabelTopOn("INP", -2600, -2800, tech.Metal)
+	return d.File()
+}
+
+func outName(i int) string {
+	return "OUT" + itoa(i)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [24]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

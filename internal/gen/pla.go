@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// NOR-plane geometry (λ units). Columns carry inputs on vertical poly
+// lines; rows carry product terms on horizontal metal lines, each with
+// a depletion pull-up on the right. A programmed crosspoint plants an
+// enhancement pull-down from the row's metal (via a contact) to the
+// column's ground line, gated by the input poly — the classic NMOS
+// PLA plane of Mead & Conway: PROD_r = NOR(inputs programmed in row r).
+const (
+	plaColPitch = 18 // λ between input columns
+	plaRowPitch = 22 // λ between product rows
+)
+
+// NORPlane builds a rows×cols programmable NOR plane. program[r][c]
+// plants a transistor at row r, column c. Labels: IN<c> on each input
+// column, PROD<r> on each product line, VDD, GND.
+//
+// Extraction yields exactly (#programmed + rows) devices and
+// (rows + cols + 2) nets.
+func NORPlane(program [][]bool) Workload {
+	rows := len(program)
+	cols := 0
+	for _, r := range program {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	if rows == 0 || cols == 0 {
+		return Workload{Name: "norplane", File: NewDesign().File()}
+	}
+
+	d := NewDesign()
+	c := d.Cell("norplane")
+
+	colX := func(ci int) int64 { return int64(ci) * plaColPitch } // poly left edge
+	rowY := func(ri int) int64 { return 4 + int64(ri)*plaRowPitch }
+	top := rowY(rows-1) + 18 // plane top: above the last row's pull-up
+	xR := colX(cols-1) + plaColPitch + 4
+
+	// Input poly columns.
+	for ci := 0; ci < cols; ci++ {
+		c.LBox(tech.Poly, colX(ci), 0, colX(ci)+2, top)
+	}
+	// Ground diffusion columns (one per input column) with bottom pads
+	// cut to the GND metal rail.
+	for ci := 0; ci < cols; ci++ {
+		g := colX(ci) + 6
+		c.LBox(tech.Diff, g, -6, g+2, top)
+		c.LBox(tech.Diff, g-1, -6, g+3, -2)
+		c.LBox(tech.Cut, g, -5, g+2, -3)
+	}
+	c.LBox(tech.Metal, -8, -6, xR+13, -2) // GND rail
+	// VDD rail on the right, clear of the GND rail.
+	c.LBox(tech.Metal, xR+9, 2, xR+13, top)
+
+	devices := 0
+	for ri := 0; ri < rows; ri++ {
+		y := rowY(ri)
+		// Product metal line across the plane and into the pull-up.
+		c.LBox(tech.Metal, -8, y-1, xR+4, y+3)
+
+		// Programmed crosspoints.
+		for ci := 0; ci < cols && ci < len(program[ri]); ci++ {
+			if !program[ri][ci] {
+				continue
+			}
+			x := colX(ci)
+			// Contact pad from the product metal down to diffusion.
+			c.LBox(tech.Diff, x-6, y-1, x-2, y+3)
+			c.LBox(tech.Cut, x-5, y, x-3, y+2)
+			// Diffusion stub crossing the poly column into the ground
+			// column: the pull-down transistor.
+			c.LBox(tech.Diff, x-2, y, x+8, y+2)
+			devices++
+		}
+
+		// Pull-up at the row's right end.
+		// Product-node contact pad.
+		c.LBox(tech.Diff, xR-1, y-1, xR+5, y+3)
+		c.LBox(tech.Cut, xR, y, xR+2, y+2)
+		// Depletion channel column up to the VDD contact.
+		c.LBox(tech.Diff, xR, y+3, xR+2, y+13)
+		c.LBox(tech.Poly, xR-2, y+4, xR+4, y+12)
+		c.LBox(tech.Implant, xR-1, y+3, xR+3, y+13)
+		// Gate tie-down to the product node through a buried contact.
+		c.LBox(tech.Poly, xR+3, y-1, xR+5, y+12)
+		c.LBox(tech.Buried, xR+3, y-1, xR+5, y+3)
+		// VDD contact pad and metal stub to the rail.
+		c.LBox(tech.Diff, xR-1, y+13, xR+3, y+17)
+		c.LBox(tech.Cut, xR, y+14, xR+2, y+16)
+		c.LBox(tech.Metal, xR-1, y+13, xR+13, y+17)
+		devices++
+	}
+
+	d.CallTop(c, geom.Identity)
+	for ci := 0; ci < cols; ci++ {
+		d.LabelTopOn("IN"+itoa(ci), (colX(ci)+1)*Lambda, 0, tech.Poly)
+	}
+	for ri := 0; ri < rows; ri++ {
+		d.LabelTopOn("PROD"+itoa(ri), -3*Lambda, (rowY(ri)+1)*Lambda, tech.Metal)
+	}
+	d.LabelTopOn("GND", -3*Lambda, -4*Lambda, tech.Metal)
+	d.LabelTopOn("VDD", (xR+10)*Lambda, 3*Lambda, tech.Metal)
+
+	return Workload{
+		Name:        "norplane",
+		File:        d.File(),
+		WantDevices: devices,
+		WantNets:    rows + cols + 2,
+	}
+}

@@ -1,0 +1,169 @@
+package geom
+
+import "sort"
+
+// Canonicalize converts an arbitrary set of (possibly overlapping)
+// rectangles into the canonical maximal-horizontal-strip form of their
+// union: the result contains disjoint rectangles, each as wide as the
+// union permits, with vertically adjacent rectangles of identical x
+// extent merged. Two rectangle sets cover the same region if and only
+// if their canonical forms are equal, which makes this the basis for
+// geometry comparison throughout the extractor.
+func Canonicalize(rects []Rect) []Rect {
+	in := make([]Rect, 0, len(rects))
+	for _, r := range rects {
+		if !r.Empty() {
+			in = append(in, r)
+		}
+	}
+	if len(in) == 0 {
+		return nil
+	}
+
+	// Collect the y coordinates where the union's cross-section can
+	// change, then sweep band by band.
+	ys := make([]int64, 0, 2*len(in))
+	for _, r := range in {
+		ys = append(ys, r.YMin, r.YMax)
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	ys = dedup64(ys)
+
+	sort.Slice(in, func(i, j int) bool { return in[i].YMin < in[j].YMin })
+
+	type strip struct {
+		x0, x1 int64
+		y0, y1 int64
+	}
+	var open []strip // strips still extendable downward... (we sweep upward)
+	var done []Rect
+
+	active := make([]Rect, 0, 16)
+	next := 0
+	for bi := 0; bi+1 < len(ys); bi++ {
+		y0, y1 := ys[bi], ys[bi+1]
+		for next < len(in) && in[next].YMin <= y0 {
+			active = append(active, in[next])
+			next++
+		}
+		// Drop rects that ended at or before this band.
+		w := active[:0]
+		for _, r := range active {
+			if r.YMax > y0 {
+				w = append(w, r)
+			}
+		}
+		active = w
+
+		ivals := bandIntervals(active)
+
+		// Merge with open strips from the previous band.
+		var still []strip
+		used := make([]bool, len(ivals))
+		for _, s := range open {
+			matched := false
+			if s.y1 == y0 {
+				for i, iv := range ivals {
+					if !used[i] && iv[0] == s.x0 && iv[1] == s.x1 {
+						still = append(still, strip{s.x0, s.x1, s.y0, y1})
+						used[i] = true
+						matched = true
+						break
+					}
+				}
+			}
+			if !matched {
+				done = append(done, Rect{s.x0, s.y0, s.x1, s.y1})
+			}
+		}
+		for i, iv := range ivals {
+			if !used[i] {
+				still = append(still, strip{iv[0], iv[1], y0, y1})
+			}
+		}
+		open = still
+	}
+	for _, s := range open {
+		done = append(done, Rect{s.x0, s.y0, s.x1, s.y1})
+	}
+
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].YMin != done[j].YMin {
+			return done[i].YMin < done[j].YMin
+		}
+		return done[i].XMin < done[j].XMin
+	})
+	return done
+}
+
+// bandIntervals returns the merged x intervals covered by the given
+// rectangles (all assumed to span the current band).
+func bandIntervals(active []Rect) [][2]int64 {
+	if len(active) == 0 {
+		return nil
+	}
+	xs := make([][2]int64, len(active))
+	for i, r := range active {
+		xs[i] = [2]int64{r.XMin, r.XMax}
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i][0] < xs[j][0] })
+	out := xs[:1]
+	for _, iv := range xs[1:] {
+		last := &out[len(out)-1]
+		if iv[0] <= last[1] {
+			if iv[1] > last[1] {
+				last[1] = iv[1]
+			}
+		} else {
+			out = append(out, iv)
+		}
+	}
+	return out
+}
+
+// UnionArea returns the total area covered by the union of the given
+// rectangles.
+func UnionArea(rects []Rect) int64 {
+	var a int64
+	for _, r := range Canonicalize(rects) {
+		a += r.Area()
+	}
+	return a
+}
+
+// BBoxOf returns the bounding box of a set of rectangles.
+func BBoxOf(rects []Rect) Rect {
+	if len(rects) == 0 {
+		return Rect{}
+	}
+	bb := rects[0]
+	for _, r := range rects[1:] {
+		bb = bb.Union(r)
+	}
+	return bb
+}
+
+// SameRegion reports whether two rectangle sets cover exactly the same
+// area.
+func SameRegion(a, b []Rect) bool {
+	ca, cb := Canonicalize(a), Canonicalize(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedup64(s []int64) []int64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

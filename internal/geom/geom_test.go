@@ -1,0 +1,431 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNormalizes(t *testing.T) {
+	r := R(10, 20, -5, 3)
+	want := Rect{-5, 3, 10, 20}
+	if r != want {
+		t.Fatalf("R(10,20,-5,3) = %v, want %v", r, want)
+	}
+}
+
+func TestRectCWH(t *testing.T) {
+	// CIF "B L400 W1200 C-600 -1400" from the paper's inverter.
+	r := RectCWH(400, 1200, Pt(-600, -1400))
+	want := Rect{-800, -2000, -400, -800}
+	if r != want {
+		t.Fatalf("RectCWH = %v, want %v", r, want)
+	}
+	// Odd sizes must still produce the exact extents.
+	r = RectCWH(5, 3, Pt(0, 0))
+	if r.W() != 5 || r.H() != 3 {
+		t.Fatalf("odd RectCWH extents = %dx%d, want 5x3", r.W(), r.H())
+	}
+}
+
+func TestOverlapsAndTouches(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	cases := []struct {
+		b                 Rect
+		overlaps, touches bool
+	}{
+		{R(5, 5, 15, 15), true, true},
+		{R(10, 0, 20, 10), false, true},  // share an edge
+		{R(10, 10, 20, 20), false, true}, // share a corner
+		{R(11, 0, 20, 10), false, false}, // disjoint
+		{R(2, 2, 8, 8), true, true},      // contained
+		{R(0, -5, 10, 0), false, true},   // abut below
+		{R(-10, -10, 0, 0), false, true}, // corner at origin
+		{R(-10, -10, -1, -1), false, false},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.overlaps {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", a, c.b, got, c.overlaps)
+		}
+		if got := a.Touches(c.b); got != c.touches {
+			t.Errorf("%v.Touches(%v) = %v, want %v", a, c.b, got, c.touches)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 20, 20)
+	got := a.Intersect(b)
+	if got != R(5, 5, 10, 10) {
+		t.Fatalf("Intersect = %v", got)
+	}
+	c := R(11, 11, 20, 20)
+	if !a.Intersect(c).Empty() {
+		t.Fatalf("disjoint Intersect not empty: %v", a.Intersect(c))
+	}
+}
+
+func TestOverlapsCommutes(t *testing.T) {
+	f := func(x0, y0, x1, y1, x2, y2, x3, y3 int16) bool {
+		a := R(int64(x0), int64(y0), int64(x1), int64(y1))
+		b := R(int64(x2), int64(y2), int64(x3), int64(y3))
+		return a.Overlaps(b) == b.Overlaps(a) && a.Touches(b) == b.Touches(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectConsistentWithOverlaps(t *testing.T) {
+	f := func(x0, y0, x1, y1, x2, y2, x3, y3 int16) bool {
+		a := R(int64(x0), int64(y0), int64(x1), int64(y1))
+		b := R(int64(x2), int64(y2), int64(x3), int64(y3))
+		i := a.Intersect(b)
+		inBoth := i.XMin < i.XMax && i.YMin < i.YMax
+		return inBoth == a.Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformBasics(t *testing.T) {
+	p := Pt(3, 4)
+	if got := Translate(10, -2).Apply(p); got != Pt(13, 2) {
+		t.Errorf("translate: %v", got)
+	}
+	if got := MirrorX().Apply(p); got != Pt(-3, 4) {
+		t.Errorf("mirror x: %v", got)
+	}
+	if got := MirrorY().Apply(p); got != Pt(3, -4) {
+		t.Errorf("mirror y: %v", got)
+	}
+	r90, err := Rotate(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r90.Apply(p); got != Pt(-4, 3) {
+		t.Errorf("rot90: %v", got)
+	}
+	r180, _ := Rotate(-1, 0)
+	if got := r180.Apply(p); got != Pt(-3, -4) {
+		t.Errorf("rot180: %v", got)
+	}
+	r270, _ := Rotate(0, -1)
+	if got := r270.Apply(p); got != Pt(4, -3) {
+		t.Errorf("rot270: %v", got)
+	}
+	if _, err := Rotate(1, 1); err == nil {
+		t.Error("Rotate(1,1) should fail")
+	}
+}
+
+func TestTransformCompose(t *testing.T) {
+	// CIF semantics: listed transforms apply in order. Mirror in x,
+	// then translate: p -> (-x + 10, y + 5).
+	tr := MirrorX().Then(Translate(10, 5))
+	if got := tr.Apply(Pt(3, 4)); got != Pt(7, 9) {
+		t.Fatalf("compose: %v", got)
+	}
+	// Associativity of Then on random orthogonal transforms.
+	all := orthogonals()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		a := randXform(rng, all)
+		b := randXform(rng, all)
+		c := randXform(rng, all)
+		if a.Then(b).Then(c) != a.Then(b.Then(c)) {
+			t.Fatalf("Then not associative for %v %v %v", a, b, c)
+		}
+		p := Pt(int64(rng.Intn(2000)-1000), int64(rng.Intn(2000)-1000))
+		if b.Apply(a.Apply(p)) != a.Then(b).Apply(p) {
+			t.Fatalf("Then inconsistent with Apply for %v %v", a, b)
+		}
+	}
+}
+
+func orthogonals() []Transform {
+	r0 := Identity
+	r90, _ := Rotate(0, 1)
+	r180, _ := Rotate(-1, 0)
+	r270, _ := Rotate(0, -1)
+	base := []Transform{r0, r90, r180, r270}
+	out := base
+	for _, b := range base {
+		out = append(out, MirrorX().Then(b))
+	}
+	return out
+}
+
+func randXform(rng *rand.Rand, all []Transform) Transform {
+	t := all[rng.Intn(len(all))]
+	return t.Then(Translate(int64(rng.Intn(200)-100), int64(rng.Intn(200)-100)))
+}
+
+func TestApplyRectPreservesArea(t *testing.T) {
+	all := orthogonals()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		r := R(int64(rng.Intn(100)), int64(rng.Intn(100)),
+			int64(rng.Intn(100)), int64(rng.Intn(100)))
+		tr := randXform(rng, all)
+		got := tr.ApplyRect(r)
+		if got.Area() != r.Area() {
+			t.Fatalf("area changed: %v -> %v under %v", r, got, tr)
+		}
+		if got.XMin > got.XMax || got.YMin > got.YMax {
+			t.Fatalf("unnormalised rect %v", got)
+		}
+	}
+}
+
+func TestApproxRotation(t *testing.T) {
+	cases := []struct {
+		a, b    int64
+		want    Point // image of (1, 0) scaled test point (10, 0)
+		snapped bool
+	}{
+		{1, 0, Pt(10, 0), false},
+		{0, 1, Pt(0, 10), false},
+		{-5, 0, Pt(-10, 0), false},
+		{0, -7, Pt(0, -10), false},
+		{3, 1, Pt(10, 0), true}, // snaps to +x
+		{1, 3, Pt(0, 10), true}, // snaps to +y
+		{-3, -1, Pt(-10, 0), true},
+		{0, 0, Pt(10, 0), false}, // zero vector = identity
+	}
+	for _, c := range cases {
+		tr, snapped := ApproxRotation(c.a, c.b)
+		if got := tr.Apply(Pt(10, 0)); got != c.want || snapped != c.snapped {
+			t.Errorf("ApproxRotation(%d,%d): image %v snapped=%v, want %v %v",
+				c.a, c.b, got, snapped, c.want, c.snapped)
+		}
+	}
+}
+
+func TestPolygonIsRect(t *testing.T) {
+	sq := Polygon{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	if r, ok := sq.IsRect(); !ok || r != R(0, 0, 10, 10) {
+		t.Fatalf("square IsRect = %v, %v", r, ok)
+	}
+	tri := Polygon{Pt(0, 0), Pt(10, 0), Pt(5, 10)}
+	if _, ok := tri.IsRect(); ok {
+		t.Fatal("triangle claimed to be a rect")
+	}
+	// Clockwise winding must also be recognised.
+	cw := Polygon{Pt(0, 10), Pt(10, 10), Pt(10, 0), Pt(0, 0)}
+	if _, ok := cw.IsRect(); !ok {
+		t.Fatal("clockwise square not recognised")
+	}
+}
+
+func TestPolygonArea2(t *testing.T) {
+	sq := Polygon{Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)}
+	if sq.Area2() != 200 {
+		t.Fatalf("square Area2 = %d", sq.Area2())
+	}
+	tri := Polygon{Pt(0, 0), Pt(10, 0), Pt(0, 10)}
+	if tri.Area2() != 100 {
+		t.Fatalf("triangle Area2 = %d", tri.Area2())
+	}
+}
+
+func TestManhattanizeRectExact(t *testing.T) {
+	sq := Polygon{Pt(0, 0), Pt(40, 0), Pt(40, 20), Pt(0, 20)}
+	boxes := sq.Manhattanize(10)
+	if len(boxes) != 1 || boxes[0] != R(0, 0, 40, 20) {
+		t.Fatalf("rect polygon boxes = %v", boxes)
+	}
+}
+
+func TestManhattanizeTriangleAreaClose(t *testing.T) {
+	tri := Polygon{Pt(0, 0), Pt(100, 0), Pt(0, 100)}
+	boxes := tri.Manhattanize(10)
+	area := UnionArea(boxes)
+	want := tri.Area2() / 2
+	diff := area - want
+	if diff < 0 {
+		diff = -diff
+	}
+	// Staircase at grid 10 over a 100x100 triangle should stay within
+	// one grid-row of area per band: 10 bands * 10*10/2 ≈ 500.
+	if diff > 600 {
+		t.Fatalf("triangle area %d vs true %d (diff %d)", area, want, diff)
+	}
+	// All boxes must lie on the grid.
+	for _, b := range boxes {
+		if b.XMin%10 != 0 || b.XMax%10 != 0 || b.YMin%10 != 0 || b.YMax%10 != 0 {
+			t.Fatalf("box off grid: %v", b)
+		}
+	}
+}
+
+func TestManhattanizeLShape(t *testing.T) {
+	// Rectilinear polygons should manhattanise exactly regardless of grid.
+	l := Polygon{Pt(0, 0), Pt(30, 0), Pt(30, 10), Pt(10, 10), Pt(10, 30), Pt(0, 30)}
+	boxes := l.Manhattanize(10)
+	if got, want := UnionArea(boxes), int64(500); got != want {
+		t.Fatalf("L-shape area = %d, want %d (boxes %v)", got, want, boxes)
+	}
+}
+
+func TestCanonicalizeMergesAndDedups(t *testing.T) {
+	in := []Rect{R(0, 0, 10, 10), R(0, 10, 10, 20), R(0, 0, 10, 20), R(5, 5, 6, 6)}
+	out := Canonicalize(in)
+	if len(out) != 1 || out[0] != R(0, 0, 10, 20) {
+		t.Fatalf("Canonicalize = %v", out)
+	}
+}
+
+func TestCanonicalizeDisjointStaysDisjoint(t *testing.T) {
+	in := []Rect{R(0, 0, 10, 10), R(20, 0, 30, 10)}
+	out := Canonicalize(in)
+	if len(out) != 2 {
+		t.Fatalf("Canonicalize = %v", out)
+	}
+}
+
+func TestCanonicalizeIdempotentAndAreaPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		in := make([]Rect, n)
+		for i := range in {
+			x := int64(rng.Intn(40))
+			y := int64(rng.Intn(40))
+			in[i] = R(x, y, x+int64(1+rng.Intn(20)), y+int64(1+rng.Intn(20)))
+		}
+		c1 := Canonicalize(in)
+		c2 := Canonicalize(c1)
+		if !SameRegion(c1, c2) || len(c1) != len(c2) {
+			t.Fatalf("not idempotent: %v vs %v", c1, c2)
+		}
+		// Disjointness of output.
+		for i := range c1 {
+			for j := i + 1; j < len(c1); j++ {
+				if c1[i].Overlaps(c1[j]) {
+					t.Fatalf("canonical rects overlap: %v %v", c1[i], c1[j])
+				}
+			}
+		}
+		// Area by inclusion sampling: every input point covered iff
+		// covered by output.
+		for k := 0; k < 50; k++ {
+			p := Pt(int64(rng.Intn(70)), int64(rng.Intn(70)))
+			inIn := coveredStrict(in, p)
+			inOut := coveredStrict(c1, p)
+			if inIn != inOut {
+				t.Fatalf("coverage mismatch at %v: in=%v out=%v", p, inIn, inOut)
+			}
+		}
+	}
+}
+
+func coveredStrict(rs []Rect, p Point) bool {
+	for _, r := range rs {
+		if p.X >= r.XMin && p.X < r.XMax && p.Y >= r.YMin && p.Y < r.YMax {
+			return true
+		}
+	}
+	return false
+}
+
+func TestWireBoxesStraight(t *testing.T) {
+	w := Wire{Width: 4, Path: []Point{Pt(0, 0), Pt(20, 0)}}
+	boxes := w.Boxes(1)
+	if len(boxes) != 1 || boxes[0] != R(-2, -2, 22, 2) {
+		t.Fatalf("horizontal wire boxes = %v", boxes)
+	}
+	w = Wire{Width: 4, Path: []Point{Pt(0, 0), Pt(0, 30)}}
+	boxes = w.Boxes(1)
+	if len(boxes) != 1 || boxes[0] != R(-2, -2, 2, 32) {
+		t.Fatalf("vertical wire boxes = %v", boxes)
+	}
+}
+
+func TestWireBoxesBend(t *testing.T) {
+	w := Wire{Width: 4, Path: []Point{Pt(0, 0), Pt(20, 0), Pt(20, 20)}}
+	boxes := w.Boxes(1)
+	area := UnionArea(boxes)
+	// Two arms of 4x22 and 4x22 overlapping in a 4x4 joint.
+	want := int64(24*4 + 22*4 - 4*4 - 2*4) // exact: horiz (-2..22)x(-2..2), vert (18..22)x(-2..32)
+	_ = want
+	if area == 0 {
+		t.Fatal("bend wire produced no area")
+	}
+	// The two arms must be connected: canonical form of a connected
+	// region has every box touching at least one other (when >1 box).
+	if len(boxes) > 1 {
+		for i, b := range boxes {
+			touches := false
+			for j, c := range boxes {
+				if i != j && b.Touches(c) {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				t.Fatalf("disconnected wire box %v in %v", b, boxes)
+			}
+		}
+	}
+}
+
+func TestWireDiagonal(t *testing.T) {
+	w := Wire{Width: 8, Path: []Point{Pt(0, 0), Pt(40, 40)}}
+	boxes := w.Boxes(4)
+	if len(boxes) == 0 {
+		t.Fatal("diagonal wire produced no boxes")
+	}
+	// End caps must be present so the wire connects to abutting geometry.
+	bb := BBoxOf(boxes)
+	if !bb.Contains(Pt(0, 0)) || !bb.Contains(Pt(40, 40)) {
+		t.Fatalf("diagonal wire misses endpoints: bbox %v", bb)
+	}
+}
+
+func TestOctagon(t *testing.T) {
+	oct := Octagon(100, Pt(0, 0))
+	if len(oct) != 8 {
+		t.Fatalf("octagon has %d vertices", len(oct))
+	}
+	bb := oct.BBox()
+	if bb.W() != 100 || bb.H() != 100 {
+		t.Fatalf("octagon bbox %v", bb)
+	}
+	if oct.Area2() <= 0 {
+		t.Fatal("octagon not counter-clockwise")
+	}
+}
+
+func TestUnionAreaOverlap(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 0, 15, 10)
+	if got := UnionArea([]Rect{a, b}); got != 150 {
+		t.Fatalf("UnionArea = %d, want 150", got)
+	}
+}
+
+func TestDivRound(t *testing.T) {
+	cases := []struct{ n, d, want int64 }{
+		{7, 2, 4}, {-7, 2, -3}, {5, 2, 3}, {-5, 2, -2},
+		{6, 3, 2}, {-6, 3, -2}, {1, 4, 0}, {3, 4, 1}, {-3, 4, -1},
+	}
+	for _, c := range cases {
+		if got := divRound(c.n, c.d); got != c.want {
+			t.Errorf("divRound(%d,%d) = %d, want %d", c.n, c.d, got, c.want)
+		}
+	}
+}
+
+func TestFloorCeilDiv(t *testing.T) {
+	if floorDiv(-1, 10) != -1 || floorDiv(0, 10) != 0 || floorDiv(9, 10) != 0 ||
+		floorDiv(10, 10) != 1 || floorDiv(-10, 10) != -1 || floorDiv(-11, 10) != -2 {
+		t.Fatal("floorDiv wrong")
+	}
+	if ceilDiv(1, 10) != 1 || ceilDiv(0, 10) != 0 || ceilDiv(-9, 10) != 0 ||
+		ceilDiv(11, 10) != 2 {
+		t.Fatal("ceilDiv wrong")
+	}
+}

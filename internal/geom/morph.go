@@ -1,0 +1,110 @@
+package geom
+
+// Morphological operations on rectangle regions, used by the design
+// rule checker: minimum width is checked with an opening (erode then
+// dilate — anything that vanishes is thinner than the structuring
+// square) and minimum spacing with a closing (dilate then erode —
+// anything that appears is a gap narrower than the square).
+
+// Dilate grows the region by d on every side (Minkowski sum with a
+// (2d)×(2d) square). A non-positive d returns the canonical region
+// unchanged.
+func Dilate(rects []Rect, d int64) []Rect {
+	if d <= 0 {
+		return Canonicalize(rects)
+	}
+	out := make([]Rect, 0, len(rects))
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		out = append(out, Rect{r.XMin - d, r.YMin - d, r.XMax + d, r.YMax + d})
+	}
+	return Canonicalize(out)
+}
+
+// Erode shrinks the region by d on every side: the result contains
+// exactly the points whose (2d)×(2d) neighbourhood lies inside the
+// region. Implemented as the complement of the dilated complement,
+// computed within a padded bounding frame.
+func Erode(rects []Rect, d int64) []Rect {
+	if d <= 0 {
+		return Canonicalize(rects)
+	}
+	region := Canonicalize(rects)
+	if len(region) == 0 {
+		return nil
+	}
+	bb := BBoxOf(region)
+	frame := Rect{bb.XMin - 3*d, bb.YMin - 3*d, bb.XMax + 3*d, bb.YMax + 3*d}
+	comp := SubtractRegions([]Rect{frame}, region)
+	compDilated := Dilate(comp, d)
+	return SubtractRegions([]Rect{frame}, compDilated)
+}
+
+// Opening erodes then dilates: the region minus every feature narrower
+// than 2d.
+func Opening(rects []Rect, d int64) []Rect {
+	return Dilate(Erode(rects, d), d)
+}
+
+// Closing dilates then erodes: the region plus every gap or notch
+// narrower than 2d.
+func Closing(rects []Rect, d int64) []Rect {
+	region := Canonicalize(rects)
+	if len(region) == 0 {
+		return nil
+	}
+	return Erode(Dilate(region, d), d)
+}
+
+// ThinnerThan returns the parts of the region whose local width is
+// strictly less than w — the minimum-width violation markers. A
+// feature of width exactly w passes. The computation runs in doubled
+// coordinates so the strict comparison is exact for integer erosion
+// (a width-2d slab erodes to a degenerate line in rectangle
+// representation, which would wrongly flag exact-width features).
+func ThinnerThan(rects []Rect, w int64) []Rect {
+	if w <= 1 {
+		return nil
+	}
+	region2 := scaleRegion(Canonicalize(rects), 2)
+	opened := Opening(region2, w-1)
+	return scaleRegionDown(SubtractRegions(region2, opened))
+}
+
+// GapsNarrowerThan returns the exterior gaps and notches of the region
+// strictly narrower than s — the minimum-spacing violation markers.
+// Components exactly s apart pass.
+func GapsNarrowerThan(rects []Rect, s int64) []Rect {
+	if s <= 1 {
+		return nil
+	}
+	region2 := scaleRegion(Canonicalize(rects), 2)
+	closed := Closing(region2, s-1)
+	return scaleRegionDown(SubtractRegions(closed, region2))
+}
+
+func scaleRegion(rects []Rect, k int64) []Rect {
+	out := make([]Rect, len(rects))
+	for i, r := range rects {
+		out[i] = Rect{r.XMin * k, r.YMin * k, r.XMax * k, r.YMax * k}
+	}
+	return out
+}
+
+// scaleRegionDown halves coordinates, rounding outward so markers
+// never shrink to nothing.
+func scaleRegionDown(rects []Rect) []Rect {
+	out := make([]Rect, 0, len(rects))
+	for _, r := range rects {
+		s := Rect{
+			XMin: floorDiv(r.XMin, 2), YMin: floorDiv(r.YMin, 2),
+			XMax: ceilDiv(r.XMax, 2), YMax: ceilDiv(r.YMax, 2),
+		}
+		if !s.Empty() {
+			out = append(out, s)
+		}
+	}
+	return Canonicalize(out)
+}

@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDilateErodeBasics(t *testing.T) {
+	r := []Rect{R(0, 0, 100, 100)}
+	d := Dilate(r, 10)
+	if len(d) != 1 || d[0] != R(-10, -10, 110, 110) {
+		t.Fatalf("dilate = %v", d)
+	}
+	e := Erode(r, 10)
+	if len(e) != 1 || e[0] != R(10, 10, 90, 90) {
+		t.Fatalf("erode = %v", e)
+	}
+	// Eroding more than half the width annihilates the region.
+	if out := Erode(r, 50); len(out) != 0 {
+		t.Fatalf("over-erode = %v", out)
+	}
+	// d=0 is identity.
+	if out := Dilate(r, 0); !SameRegion(out, r) {
+		t.Fatalf("dilate 0 = %v", out)
+	}
+}
+
+func TestErodeDilateInverseOnFatRegions(t *testing.T) {
+	// For a single rectangle comfortably larger than the element,
+	// opening is the identity.
+	r := []Rect{R(0, 0, 100, 40)}
+	if out := Opening(r, 10); !SameRegion(out, r) {
+		t.Fatalf("opening changed a fat rect: %v", out)
+	}
+	if out := Closing(r, 10); !SameRegion(out, r) {
+		t.Fatalf("closing changed a fat rect: %v", out)
+	}
+}
+
+func TestOpeningRemovesThinFeatures(t *testing.T) {
+	// A fat pad with a thin whisker.
+	r := []Rect{R(0, 0, 100, 100), R(100, 40, 300, 50)} // whisker 10 tall
+	opened := Opening(r, 10)                            // 20×20 square
+	if coveredStrict(opened, Pt(200, 45)) {
+		t.Fatalf("whisker survived opening: %v", opened)
+	}
+	if !coveredStrict(opened, Pt(50, 50)) {
+		t.Fatal("pad did not survive opening")
+	}
+}
+
+func TestThinnerThan(t *testing.T) {
+	r := []Rect{R(0, 0, 100, 100), R(100, 40, 300, 50)}
+	viol := ThinnerThan(r, 20)
+	if len(viol) == 0 {
+		t.Fatal("thin whisker not flagged")
+	}
+	if !coveredStrict(viol, Pt(200, 45)) {
+		t.Fatalf("violation markers miss the whisker: %v", viol)
+	}
+	// A uniformly fat region is clean.
+	if out := ThinnerThan([]Rect{R(0, 0, 100, 100)}, 20); len(out) != 0 {
+		t.Fatalf("fat region flagged: %v", out)
+	}
+}
+
+func TestGapsNarrowerThan(t *testing.T) {
+	// Two fat bars 10 apart.
+	r := []Rect{R(0, 0, 100, 100), R(110, 0, 210, 100)}
+	viol := GapsNarrowerThan(r, 20)
+	if len(viol) == 0 {
+		t.Fatal("narrow gap not flagged")
+	}
+	if !coveredStrict(viol, Pt(105, 50)) {
+		t.Fatalf("violation markers miss the gap: %v", viol)
+	}
+	// Bars 40 apart are clean for a 20 rule.
+	r2 := []Rect{R(0, 0, 100, 100), R(140, 0, 240, 100)}
+	if out := GapsNarrowerThan(r2, 20); len(out) != 0 {
+		t.Fatalf("wide gap flagged: %v", out)
+	}
+}
+
+func TestNotchDetected(t *testing.T) {
+	// A U-shaped region whose notch is 10 wide.
+	u := []Rect{R(0, 0, 30, 100), R(40, 0, 70, 100), R(0, -30, 70, 0)}
+	viol := GapsNarrowerThan(u, 20)
+	if len(viol) == 0 || !coveredStrict(viol, Pt(35, 50)) {
+		t.Fatalf("notch not flagged: %v", viol)
+	}
+}
+
+func TestMorphologyProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(6)
+		r := make([]Rect, n)
+		for i := range r {
+			x := int64(rng.Intn(60))
+			y := int64(rng.Intn(60))
+			r[i] = R(x, y, x+int64(4+rng.Intn(40)), y+int64(4+rng.Intn(40)))
+		}
+		d := int64(1 + rng.Intn(8))
+		region := Canonicalize(r)
+
+		// Anti-extensivity of erosion / extensivity of dilation.
+		if UnionArea(Erode(region, d)) > UnionArea(region) {
+			t.Fatal("erosion grew the region")
+		}
+		if UnionArea(Dilate(region, d)) < UnionArea(region) {
+			t.Fatal("dilation shrank the region")
+		}
+		// Opening ⊆ region ⊆ closing.
+		if len(SubtractRegions(Opening(region, d), region)) != 0 {
+			t.Fatal("opening escaped the region")
+		}
+		if len(SubtractRegions(region, Closing(region, d))) != 0 {
+			t.Fatal("closing lost part of the region")
+		}
+		// Idempotence.
+		o := Opening(region, d)
+		if !SameRegion(o, Opening(o, d)) {
+			t.Fatalf("opening not idempotent (d=%d): %v", d, region)
+		}
+		c := Closing(region, d)
+		if !SameRegion(c, Closing(c, d)) {
+			t.Fatalf("closing not idempotent (d=%d): %v", d, region)
+		}
+		// Erode inverts dilate on already-dilated sets.
+		if !SameRegion(Erode(Dilate(region, d), d), Closing(region, d)) {
+			t.Fatal("closing decomposition broken")
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package geom
+
+import "sort"
+
+// Region boolean operations over rectangle sets. Inputs may overlap
+// arbitrarily; outputs are in canonical maximal-horizontal-strip form
+// (see Canonicalize).
+
+// IntersectRegions returns the region covered by both a and b.
+func IntersectRegions(a, b []Rect) []Rect {
+	return regionOp(a, b, func(x, y bool) bool { return x && y })
+}
+
+// SubtractRegions returns the region covered by a but not b.
+func SubtractRegions(a, b []Rect) []Rect {
+	return regionOp(a, b, func(x, y bool) bool { return x && !y })
+}
+
+// UnionRegions returns the region covered by either a or b.
+func UnionRegions(a, b []Rect) []Rect {
+	return Canonicalize(append(append([]Rect{}, a...), b...))
+}
+
+func regionOp(a, b []Rect, keep func(inA, inB bool) bool) []Rect {
+	in := make([]Rect, 0, len(a)+len(b))
+	for _, r := range a {
+		if !r.Empty() {
+			in = append(in, r)
+		}
+	}
+	na := len(in)
+	for _, r := range b {
+		if !r.Empty() {
+			in = append(in, r)
+		}
+	}
+	if len(in) == 0 {
+		return nil
+	}
+
+	ys := make([]int64, 0, 2*len(in))
+	for _, r := range in {
+		ys = append(ys, r.YMin, r.YMax)
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	ys = dedup64(ys)
+
+	type idxRect struct {
+		r Rect
+		a bool
+	}
+	all := make([]idxRect, len(in))
+	for i, r := range in {
+		all[i] = idxRect{r, i < na}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].r.YMin < all[j].r.YMin })
+
+	var out []Rect
+	var activeA, activeB []Rect
+	next := 0
+	for bi := 0; bi+1 < len(ys); bi++ {
+		y0, y1 := ys[bi], ys[bi+1]
+		for next < len(all) && all[next].r.YMin <= y0 {
+			if all[next].a {
+				activeA = append(activeA, all[next].r)
+			} else {
+				activeB = append(activeB, all[next].r)
+			}
+			next++
+		}
+		activeA = pruneEnded(activeA, y0)
+		activeB = pruneEnded(activeB, y0)
+
+		ia := bandIntervals(activeA)
+		ib := bandIntervals(activeB)
+		for _, iv := range combineIntervals(ia, ib, keep) {
+			out = append(out, Rect{iv[0], y0, iv[1], y1})
+		}
+	}
+	return Canonicalize(out)
+}
+
+func pruneEnded(active []Rect, y int64) []Rect {
+	w := active[:0]
+	for _, r := range active {
+		if r.YMax > y {
+			w = append(w, r)
+		}
+	}
+	return w
+}
+
+// combineIntervals applies keep pointwise over two disjoint sorted
+// interval lists.
+func combineIntervals(a, b [][2]int64, keep func(bool, bool) bool) [][2]int64 {
+	// Collect all boundaries.
+	var xs []int64
+	for _, iv := range a {
+		xs = append(xs, iv[0], iv[1])
+	}
+	for _, iv := range b {
+		xs = append(xs, iv[0], iv[1])
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	xs = dedup64(xs)
+
+	contains := func(list [][2]int64, x0 int64) bool {
+		i := sort.Search(len(list), func(k int) bool { return list[k][1] > x0 })
+		return i < len(list) && list[i][0] <= x0
+	}
+
+	var out [][2]int64
+	for i := 0; i+1 < len(xs); i++ {
+		x0, x1 := xs[i], xs[i+1]
+		if keep(contains(a, x0), contains(b, x0)) {
+			if n := len(out); n > 0 && out[n-1][1] == x0 {
+				out[n-1][1] = x1
+			} else {
+				out = append(out, [2]int64{x0, x1})
+			}
+		}
+	}
+	return out
+}
+
+// ContactLen returns the length of the shared boundary between two
+// non-overlapping rectangles: positive when they abut along a segment,
+// zero for corner-only contact or separation. For overlapping
+// rectangles it returns the overlap's longer side as a connectivity
+// surrogate (any positive value means electrically connected).
+func ContactLen(a, b Rect) int64 {
+	xo := min64(a.XMax, b.XMax) - max64(a.XMin, b.XMin)
+	yo := min64(a.YMax, b.YMax) - max64(a.YMin, b.YMin)
+	switch {
+	case xo > 0 && yo > 0: // overlap
+		return max64(xo, yo)
+	case xo > 0 && yo == 0: // horizontal edge contact
+		return xo
+	case yo > 0 && xo == 0: // vertical edge contact
+		return yo
+	}
+	return 0
+}
+
+// Connected reports whether two rectangles share boundary of positive
+// length (overlap or edge-abut; corner contact does not count).
+func Connected(a, b Rect) bool { return ContactLen(a, b) > 0 }

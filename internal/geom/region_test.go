@@ -1,0 +1,109 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIntersectRegions(t *testing.T) {
+	a := []Rect{R(0, 0, 100, 100)}
+	b := []Rect{R(50, 50, 150, 150)}
+	got := IntersectRegions(a, b)
+	if len(got) != 1 || got[0] != R(50, 50, 100, 100) {
+		t.Fatalf("intersect = %v", got)
+	}
+	if out := IntersectRegions(a, []Rect{R(200, 200, 300, 300)}); len(out) != 0 {
+		t.Fatalf("disjoint intersect = %v", out)
+	}
+}
+
+func TestSubtractRegions(t *testing.T) {
+	a := []Rect{R(0, 0, 100, 100)}
+	b := []Rect{R(25, 25, 75, 75)}
+	got := SubtractRegions(a, b)
+	if UnionArea(got) != 100*100-50*50 {
+		t.Fatalf("subtract area = %d", UnionArea(got))
+	}
+	// Subtracting everything leaves nothing.
+	if out := SubtractRegions(a, a); len(out) != 0 {
+		t.Fatalf("self subtract = %v", out)
+	}
+	// Subtracting nothing is identity.
+	if out := SubtractRegions(a, nil); !SameRegion(out, a) {
+		t.Fatalf("empty subtract = %v", out)
+	}
+}
+
+func TestUnionRegions(t *testing.T) {
+	a := []Rect{R(0, 0, 100, 100)}
+	b := []Rect{R(100, 0, 200, 100)}
+	got := UnionRegions(a, b)
+	if len(got) != 1 || got[0] != R(0, 0, 200, 100) {
+		t.Fatalf("union = %v", got)
+	}
+}
+
+// TestRegionOpsRandom checks the boolean algebra pointwise against
+// brute-force coverage tests.
+func TestRegionOpsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randRects := func() []Rect {
+		n := rng.Intn(8)
+		out := make([]Rect, n)
+		for i := range out {
+			x := int64(rng.Intn(30))
+			y := int64(rng.Intn(30))
+			out[i] = R(x, y, x+int64(1+rng.Intn(15)), y+int64(1+rng.Intn(15)))
+		}
+		return out
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := randRects(), randRects()
+		inter := IntersectRegions(a, b)
+		sub := SubtractRegions(a, b)
+		uni := UnionRegions(a, b)
+		for k := 0; k < 40; k++ {
+			p := Pt(int64(rng.Intn(50)), int64(rng.Intn(50)))
+			inA, inB := coveredStrict(a, p), coveredStrict(b, p)
+			if coveredStrict(inter, p) != (inA && inB) {
+				t.Fatalf("intersect wrong at %v", p)
+			}
+			if coveredStrict(sub, p) != (inA && !inB) {
+				t.Fatalf("subtract wrong at %v", p)
+			}
+			if coveredStrict(uni, p) != (inA || inB) {
+				t.Fatalf("union wrong at %v", p)
+			}
+		}
+		// Area identity: |A| = |A∩B| + |A−B|.
+		if UnionArea(inter)+UnionArea(sub) != UnionArea(a) {
+			t.Fatalf("area identity violated")
+		}
+	}
+}
+
+func TestContactLen(t *testing.T) {
+	cases := []struct {
+		a, b Rect
+		want int64
+	}{
+		{R(0, 0, 10, 10), R(10, 0, 20, 10), 10}, // full edge
+		{R(0, 0, 10, 10), R(10, 5, 20, 15), 5},  // partial edge
+		{R(0, 0, 10, 10), R(0, 10, 10, 20), 10}, // top edge
+		{R(0, 0, 10, 10), R(10, 10, 20, 20), 0}, // corner
+		{R(0, 0, 10, 10), R(11, 0, 20, 10), 0},  // separated
+		{R(0, 0, 10, 10), R(5, 5, 15, 15), 5},   // overlap
+		{R(0, 0, 10, 10), R(2, 2, 8, 8), 6},     // contained
+	}
+	for _, c := range cases {
+		if got := ContactLen(c.a, c.b); got != c.want {
+			t.Errorf("ContactLen(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := ContactLen(c.b, c.a); got != c.want {
+			t.Errorf("ContactLen not symmetric for %v %v", c.a, c.b)
+		}
+		if Connected(c.a, c.b) != (c.want > 0) {
+			t.Errorf("Connected(%v,%v) inconsistent", c.a, c.b)
+		}
+	}
+}

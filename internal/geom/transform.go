@@ -1,0 +1,121 @@
+package geom
+
+import "fmt"
+
+// Transform is an orthogonal affine transformation:
+//
+//	x' = A*x + B*y + C
+//	y' = D*x + E*y + F
+//
+// where the linear part (A B; D E) is one of the eight orthogonal
+// matrices (rotations by multiples of 90° and mirrors). This is the
+// full set needed for CIF symbol calls: CIF permits an arbitrary
+// rotation vector, but all layout in practice (and everything the
+// front end guarantees to keep manhattan) uses axis-aligned vectors;
+// see ApproxRotation for how arbitrary vectors are snapped.
+type Transform struct {
+	A, B, C int64
+	D, E, F int64
+}
+
+// Identity is the do-nothing transformation.
+var Identity = Transform{A: 1, E: 1}
+
+// Translate returns a transformation that shifts by (dx, dy).
+func Translate(dx, dy int64) Transform {
+	return Transform{A: 1, C: dx, E: 1, F: dy}
+}
+
+// MirrorX returns the CIF "M X" transformation (x → −x).
+func MirrorX() Transform { return Transform{A: -1, E: 1} }
+
+// MirrorY returns the CIF "M Y" transformation (y → −y).
+func MirrorY() Transform { return Transform{A: 1, E: -1} }
+
+// Rotate returns the CIF "R a b" transformation for an axis-aligned
+// direction vector: the positive x axis is rotated to point along
+// (a, b). Exactly one of a, b must be non-zero; arbitrary vectors are
+// snapped by ApproxRotation before reaching here.
+func Rotate(a, b int64) (Transform, error) {
+	switch {
+	case a > 0 && b == 0:
+		return Identity, nil
+	case a == 0 && b > 0: // 90° CCW: (x,y) -> (-y, x)
+		return Transform{B: -1, D: 1}, nil
+	case a < 0 && b == 0: // 180°: (x,y) -> (-x,-y)
+		return Transform{A: -1, E: -1}, nil
+	case a == 0 && b < 0: // 270°: (x,y) -> (y, -x)
+		return Transform{B: 1, D: -1}, nil
+	}
+	return Identity, fmt.Errorf("geom: rotation vector (%d,%d) is not axis-aligned", a, b)
+}
+
+// ApproxRotation snaps an arbitrary CIF rotation vector to the nearest
+// axis-aligned vector and returns the corresponding transformation and
+// whether snapping changed the direction. The zero vector maps to the
+// identity.
+func ApproxRotation(a, b int64) (Transform, bool) {
+	if a == 0 && b == 0 {
+		return Identity, false
+	}
+	abs := func(v int64) int64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	var t Transform
+	exact := a == 0 || b == 0
+	if abs(a) >= abs(b) {
+		if a >= 0 {
+			t, _ = Rotate(1, 0)
+		} else {
+			t, _ = Rotate(-1, 0)
+		}
+	} else {
+		if b >= 0 {
+			t, _ = Rotate(0, 1)
+		} else {
+			t, _ = Rotate(0, -1)
+		}
+	}
+	return t, !exact
+}
+
+// Apply maps a point through the transformation.
+func (t Transform) Apply(p Point) Point {
+	return Point{
+		X: t.A*p.X + t.B*p.Y + t.C,
+		Y: t.D*p.X + t.E*p.Y + t.F,
+	}
+}
+
+// ApplyRect maps a rectangle through the transformation, renormalising
+// the corner order. Orthogonal transforms always map rectangles to
+// rectangles.
+func (t Transform) ApplyRect(r Rect) Rect {
+	p := t.Apply(Point{r.XMin, r.YMin})
+	q := t.Apply(Point{r.XMax, r.YMax})
+	return R(p.X, p.Y, q.X, q.Y)
+}
+
+// Then returns the transformation that applies t first, then u — the
+// composition u∘t. This matches CIF call semantics where listed
+// transformations are applied left to right.
+func (t Transform) Then(u Transform) Transform {
+	return Transform{
+		A: u.A*t.A + u.B*t.D,
+		B: u.A*t.B + u.B*t.E,
+		C: u.A*t.C + u.B*t.F + u.C,
+		D: u.D*t.A + u.E*t.D,
+		E: u.D*t.B + u.E*t.E,
+		F: u.D*t.C + u.E*t.F + u.F,
+	}
+}
+
+// IsIdentity reports whether t is the identity transformation.
+func (t Transform) IsIdentity() bool { return t == Identity }
+
+func (t Transform) String() string {
+	return fmt.Sprintf("[%d %d %d; %d %d %d]", t.A, t.B, t.C, t.D, t.E, t.F)
+}

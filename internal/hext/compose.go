@@ -1,0 +1,205 @@
+package hext
+
+import (
+	"sort"
+
+	"ace/internal/geom"
+	"ace/internal/uf"
+)
+
+// compose merges two windows that came from a guillotine cut: for
+// axis 'x', a is the left child and b the right child placed at x=at;
+// for axis 'y', b sits at y=at. Both children span the full extent of
+// the parent along the cut, so the seam is a's entire R (or T) face
+// against b's entire L (or B) face.
+//
+// The routine implements HEXT §3's three steps: find the touching
+// boundary segments, establish signal equivalences element by element,
+// and compute the new window's interface by copying the surviving
+// segments (cost proportional to the parent's perimeter).
+func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winResult {
+	r := &winResult{id: e.nextID(), w: pw, h: ph}
+	c := &compData{kids: [2]*winResult{a, b}}
+	if axis == 'x' {
+		c.at[1] = geom.Pt(at, 0)
+	} else {
+		c.at[1] = geom.Pt(0, at)
+	}
+	r.comp = c
+
+	// Local union-find over (child, idx) pairs for nets and partials.
+	nets := newPairUF()
+	parts := newPairUF()
+
+	var seamA, seamB face
+	if axis == 'x' {
+		seamA, seamB = faceR, faceL
+	} else {
+		seamA, seamB = faceT, faceB
+	}
+
+	// Step 1+2: match seam segments and establish equivalences. Both
+	// sides' seam lists are sorted by lo and joined with a sweep, so
+	// the cost is proportional to the seam contents plus the matches
+	// ("step through the elements of the interface-segment lists").
+	var sa, sb []edge
+	for _, eg := range a.edges {
+		if eg.face == seamA {
+			sa = append(sa, eg)
+		}
+	}
+	for _, eg := range b.edges {
+		if eg.face == seamB {
+			sb = append(sb, eg)
+		}
+	}
+	sortEdges(sa)
+	sortEdges(sb)
+	start := 0
+	for _, ea := range sa {
+		for start < len(sb) && sb[start].hi <= ea.lo {
+			start++
+		}
+		for j := start; j < len(sb) && sb[j].lo < ea.hi; j++ {
+			eb := sb[j]
+			lo := max64(ea.lo, eb.lo)
+			hi := min64(ea.hi, eb.hi)
+			if hi <= lo {
+				continue
+			}
+			e.counters.SeamMatches++
+			ra := ref{0, ea.ref}
+			rb := ref{1, eb.ref}
+			switch {
+			case ea.layer == eChan && eb.layer == eChan:
+				if parts.union(ra, rb) {
+					c.partEquivs = append(c.partEquivs, [2]ref{ra, rb})
+				}
+			case ea.layer == eChan && eb.layer == eDiff:
+				c.partTerms = append(c.partTerms, partTerm{part: ra, net: rb, edge: hi - lo})
+			case ea.layer == eDiff && eb.layer == eChan:
+				c.partTerms = append(c.partTerms, partTerm{part: rb, net: ra, edge: hi - lo})
+			case ea.layer == eb.layer: // conducting layer contact
+				if nets.union(ra, rb) {
+					c.netEquivs = append(c.netEquivs, [2]ref{ra, rb})
+				}
+			}
+		}
+	}
+
+	// Step 3: the parent interface is the children's non-seam edges,
+	// re-based into the parent frame and re-referenced through the
+	// export tables.
+	netExport := map[ref]int32{}
+	partExport := map[ref]int32{}
+	exportNet := func(child int8, idx int32) int32 {
+		root := nets.find(ref{child, idx})
+		if id, ok := netExport[root]; ok {
+			return id
+		}
+		id := int32(len(c.parentNets))
+		c.parentNets = append(c.parentNets, root)
+		netExport[root] = id
+		return id
+	}
+	exportPart := func(child int8, idx int32) int32 {
+		root := parts.find(ref{child, idx})
+		if id, ok := partExport[root]; ok {
+			return id
+		}
+		id := int32(len(c.parentParts))
+		c.parentParts = append(c.parentParts, root)
+		partExport[root] = id
+		return id
+	}
+
+	copyEdges := func(child int8, src *winResult, skip face, dx, dy int64) {
+		for _, eg := range src.edges {
+			if eg.face == skip {
+				continue
+			}
+			ne := eg
+			switch eg.face {
+			case faceB, faceT:
+				ne.lo += dx
+				ne.hi += dx
+			case faceL, faceR:
+				ne.lo += dy
+				ne.hi += dy
+			}
+			if eg.layer == eChan {
+				ne.ref = exportPart(child, eg.ref)
+			} else {
+				ne.ref = exportNet(child, eg.ref)
+			}
+			r.edges = append(r.edges, ne)
+		}
+	}
+	copyEdges(0, a, seamA, 0, 0)
+	copyEdges(1, b, seamB, c.at[1].X, c.at[1].Y)
+
+	// Faces must be re-labelled: for a vertical cut the left child's R
+	// face and the right child's L face were consumed; the remaining
+	// edges keep their face identity, which is already correct in the
+	// parent frame (a's L is the parent's L, b's R the parent's R,
+	// and B/T merge). The same holds for horizontal cuts.
+
+	r.netCount = len(c.parentNets)
+	r.partCount = len(c.parentParts)
+	return r
+}
+
+func sortEdges(es []edge) {
+	sort.Slice(es, func(i, j int) bool { return es[i].lo < es[j].lo })
+}
+
+// pairUF is a small union-find over (child, idx) refs.
+type pairUF struct {
+	f   uf.Forest
+	ids map[ref]int
+	rev []ref
+}
+
+func newPairUF() *pairUF {
+	return &pairUF{ids: map[ref]int{}}
+}
+
+func (p *pairUF) id(r ref) int {
+	if i, ok := p.ids[r]; ok {
+		return i
+	}
+	i := p.f.Make()
+	p.ids[r] = i
+	p.rev = append(p.rev, r)
+	return i
+}
+
+// union joins two refs and reports whether they were previously
+// distinct.
+func (p *pairUF) union(a, b ref) bool {
+	ia, ib := p.id(a), p.id(b)
+	if p.f.Same(ia, ib) {
+		return false
+	}
+	p.f.Union(ia, ib)
+	return true
+}
+
+// find returns the canonical ref of a's class.
+func (p *pairUF) find(r ref) ref {
+	return p.rev[p.f.Find(p.id(r))]
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

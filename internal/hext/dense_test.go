@@ -1,0 +1,28 @@
+package hext
+
+import (
+	"testing"
+
+	"ace/internal/extract"
+	"ace/internal/gen"
+	"ace/internal/netlist"
+)
+
+// TestDenseGeometryTerminates: the Bentley–Haken–Hon statistical model
+// piles up to a hundred overlapping boxes on every point, so no leaf
+// cap is reachable by cutting; the no-progress guard must extract
+// such windows whole instead of recursing exponentially.
+func TestDenseGeometryTerminates(t *testing.T) {
+	w := gen.Statistical(1500, 11)
+	hres, err := Extract(w.File, Options{MaxLeafItems: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ares, err := extract.File(w.File, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq, why := netlist.Equivalent(ares.Netlist, hres.Netlist); !eq {
+		t.Fatalf("dense geometry: %s", why)
+	}
+}

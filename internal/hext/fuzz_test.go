@@ -1,0 +1,35 @@
+package hext
+
+import "testing"
+
+// FuzzParseHierarchical hammers the hierarchical wirelist reader: it
+// must never panic, whatever the nesting, references or numbers.
+func FuzzParseHierarchical(f *testing.F) {
+	f.Add(`(DefPart Window1 (Size 10 10) (Exports N0 )
+ (Part nEnh (Name D0) (Loc 1 1) (T G N0) (T S N1) (T D N2) (Channel (Length 2) (Width 4)))
+ (Local N1 N2 ))
+(Part Window1 (Name Top))`)
+	f.Add(`(DefPart Window1 (Local N0))
+(DefPart Window2 (Exports N0)
+ (Part Window1 (Name P1) (LocOffset 3 4))
+ (Part Window1 (Name P2) (LocOffset 5 6))
+ (Net P1/N0 P2/N0) (Net N0 P1/N0) (Local ))
+(Part Window2 (Name Top))`)
+	f.Add(`(DefPart Window3
+ (Part nDep (Name D0) (Loc 0 0) (T G N0) (T S N0) (T D N0)
+  (Channel (Length 8) (Width 2)) (TPart T0 (Area 16) (Impl 16) (Edges (N0 2) )))
+ (TPart T0 P1/T0))
+(Part Window3 (Name Top))`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<15 {
+			return
+		}
+		nl, err := ParseHierarchicalString(src)
+		if err != nil {
+			return
+		}
+		// Whatever parses must at least be internally consistent
+		// enough to print.
+		_ = nl.Stats()
+	})
+}

@@ -1,0 +1,346 @@
+package hext
+
+import (
+	"fmt"
+	"time"
+
+	"ace/internal/build"
+	"ace/internal/cif"
+	"ace/internal/geom"
+	"ace/internal/netlist"
+)
+
+// Options configures a hierarchical extraction.
+type Options struct {
+	// Grid is the manhattanisation grid for non-manhattan geometry.
+	Grid int64
+
+	// MaxDepth bounds window recursion as a safety net; zero means the
+	// default of 64.
+	MaxDepth int
+
+	// MaxLeafItems caps the size of a geometry-only window handed to
+	// the flat extractor; larger ones are cut in half, which is where
+	// partial transistors arise. Zero selects the default of 2000
+	// (the paper's primitive windows hold "a few hundred to a few
+	// thousand rectangles").
+	MaxLeafItems int
+
+	// DisableMemo turns the window memo table off, so every window is
+	// analysed even when identical to a previous one. Used by the
+	// ablation benchmark to quantify what the paper's "redundant
+	// windows are recognised and extracted only once" is worth.
+	DisableMemo bool
+
+	// Fracture selects the guillotine-cut strategy.
+	Fracture Fracture
+}
+
+// Fracture selects how windows are cut.
+type Fracture int8
+
+const (
+	// FractureBalanced cuts nearest the window's centre (default):
+	// logarithmic recursion, maximal window reuse on regular arrays.
+	FractureBalanced Fracture = iota
+
+	// FractureMinCut cuts where the fewest geometry boxes are split,
+	// minimising seam contents — the "more intelligent fracturing"
+	// HEXT §6 proposes to reduce compose cost.
+	FractureMinCut
+)
+
+// Counters reports the work HEXT performed; Tables 5-1/5-2 of the
+// HEXT paper read these.
+type Counters struct {
+	FlatCalls     int // calls to the (modified) flat extractor
+	ComposeCalls  int // calls to the compose routine
+	MemoHits      int // windows answered from the memo table
+	UniqueWindows int // distinct windows processed
+	CellsExpanded int // one-level instance expansions
+	SeamMatches   int // interface-segment pairs matched
+}
+
+// Timing splits the run into the paper's phases.
+type Timing struct {
+	FrontEnd time.Duration // subdivision, expansion, hashing
+	Flat     time.Duration // leaf extraction (modified ACE)
+	Compose  time.Duration // compose operations
+	Flatten  time.Duration // instantiating the window DAG
+
+	// BackEnd is Flat + Compose, the paper's "back-end" column.
+}
+
+// BackEnd returns flat-extraction plus compose time.
+func (t Timing) BackEnd() time.Duration { return t.Flat + t.Compose }
+
+// Total returns the whole run.
+func (t Timing) Total() time.Duration {
+	return t.FrontEnd + t.Flat + t.Compose + t.Flatten
+}
+
+// Result of a hierarchical extraction.
+type Result struct {
+	Netlist  *netlist.Netlist
+	Counters Counters
+	Timing   Timing
+	Warnings []string
+
+	top *winResult // for hierarchical wirelist emission
+}
+
+// Extract runs HEXT over a parsed CIF design.
+func Extract(f *cif.File, opt Options) (*Result, error) {
+	return NewSession(opt).Extract(f)
+}
+
+// Session is an incremental extractor: the window memo table persists
+// across Extract calls, so re-extracting a design after an edit only
+// analyses the windows whose contents actually changed — the
+// "incremental extractor" direction ACE §6 points at ("The edge-based
+// algorithms are well suited for hierarchical and incremental
+// extractors"). Memo keys are content-derived (symbol ids are replaced
+// by structural hashes), so a session can even be reused across
+// different parses of related designs.
+type Session struct {
+	opt  Options
+	memo map[string]*winResult
+	ids  int
+}
+
+// NewSession creates an incremental extraction session.
+func NewSession(opt Options) *Session {
+	return &Session{opt: opt, memo: map[string]*winResult{}}
+}
+
+// MemoSize reports the number of unique windows retained.
+func (s *Session) MemoSize() int { return len(s.memo) }
+
+// Extract runs HEXT over a design, reusing any windows already
+// analysed in this session.
+func (s *Session) Extract(f *cif.File) (*Result, error) {
+	opt := s.opt
+	grid := opt.Grid
+	if grid <= 0 {
+		grid = 10
+	}
+	maxDepth := opt.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 64
+	}
+	maxLeaf := opt.MaxLeafItems
+	if maxLeaf <= 0 {
+		maxLeaf = 2000
+	}
+	e := &env{
+		session:   s,
+		syms:      f.Symbols,
+		bboxCache: map[int]geom.Rect{},
+		symHashes: map[int]uint64{},
+		memo:      s.memo,
+		grid:      grid,
+		maxDepth:  maxDepth,
+		maxLeaf:   maxLeaf,
+		noMemo:    opt.DisableMemo,
+		fracture:  opt.Fracture,
+	}
+	e.warnings = append(e.warnings, f.Warnings...)
+
+	top, _ := f.TopSymbol()
+	t0 := time.Now()
+	win, origin, ok := e.newTopWindow(top)
+	if !ok {
+		return nil, fmt.Errorf("hext: design contains no geometry")
+	}
+	root, err := e.process(win, 0)
+	if err != nil {
+		return nil, err
+	}
+	frontAndBack := time.Since(t0)
+	e.timing.FrontEnd = frontAndBack - e.timing.Flat - e.timing.Compose
+	if e.timing.FrontEnd < 0 {
+		e.timing.FrontEnd = 0
+	}
+
+	t1 := time.Now()
+	b := &build.Builder{}
+	e.flatten(root, origin, b)
+	nl, _ := b.Finish()
+	e.timing.Flatten = time.Since(t1)
+	for _, lb := range e.overlay {
+		if !lb.matched {
+			e.warnings = append(e.warnings,
+				fmt.Sprintf("label %q at %v matches no conducting geometry", lb.name, lb.at))
+		}
+	}
+
+	return &Result{
+		Netlist:  nl,
+		Counters: e.counters,
+		Timing:   e.timing,
+		Warnings: append(e.warnings, b.Warnings()...),
+		top:      root,
+	}, nil
+}
+
+type env struct {
+	session   *Session
+	syms      map[int]*cif.Symbol
+	bboxCache map[int]geom.Rect
+	symHashes map[int]uint64
+	memo      map[string]*winResult
+	grid      int64
+	maxDepth  int
+	maxLeaf   int
+	noMemo    bool
+	fracture  Fracture
+	overlay   []*overlayLabel
+
+	counters Counters
+	timing   Timing
+	warnings []string
+}
+
+func (e *env) nextID() int {
+	e.session.ids++
+	return e.session.ids
+}
+
+// process extracts one window, via the memo table when possible
+// ("Each time a window is considered for sub-division, the front-end
+// checks a table to see if the window was previously analyzed").
+func (e *env) process(win window, depth int) (*winResult, error) {
+	if depth > e.maxDepth {
+		return nil, fmt.Errorf("hext: window recursion exceeded depth %d", e.maxDepth)
+	}
+	var k string
+	if !e.noMemo {
+		k = e.key(win)
+		if r, ok := e.memo[k]; ok {
+			e.counters.MemoHits++
+			return r, nil
+		}
+	}
+	e.counters.UniqueWindows++
+
+	var r *winResult
+	var err error
+	geoOnly := !win.hasCalls()
+	uncuttable := win.w < 2 && win.h < 2
+	if geoOnly && (len(win.items) <= e.maxLeaf || uncuttable) {
+		t0 := time.Now()
+		r = e.extractLeaf(win)
+		e.timing.Flat += time.Since(t0)
+		e.counters.FlatCalls++
+	} else if axis, at, ok := e.chooseCut(win); ok {
+		a, b := e.splitWindow(win, axis, at)
+		// Guard against pathologically dense geometry: when a cut
+		// duplicates so many straddling boxes that neither side gets
+		// smaller, further cutting can never reach the leaf cap —
+		// extract the window whole instead of recursing exponentially.
+		if geoOnly && len(a.items) >= len(win.items) && len(b.items) >= len(win.items) {
+			t0 := time.Now()
+			r = e.extractLeaf(win)
+			e.timing.Flat += time.Since(t0)
+			e.counters.FlatCalls++
+		} else {
+			var ra, rb *winResult
+			if ra, err = e.process(a, depth+1); err != nil {
+				return nil, err
+			}
+			if rb, err = e.process(b, depth+1); err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			r = e.compose(ra, rb, axis, at, win.w, win.h)
+			e.timing.Compose += time.Since(t0)
+			e.counters.ComposeCalls++
+		}
+	} else if geoOnly {
+		// Oversized but uncuttable geometry: extract it whole.
+		t0 := time.Now()
+		r = e.extractLeaf(win)
+		e.timing.Flat += time.Since(t0)
+		e.counters.FlatCalls++
+	} else {
+		// No cut avoids the instances: expand one level and retry
+		// (the disjoint transformation's recursion step).
+		if r, err = e.process(e.expandOne(win), depth+1); err != nil {
+			return nil, err
+		}
+	}
+	if !e.noMemo {
+		e.memo[k] = r
+	}
+	return r, nil
+}
+
+// flatten instantiates the window DAG into the builder: leaf windows
+// contribute their nets and device accumulators; composed windows
+// apply their seam equivalences. Returns the instance's local-net and
+// local-partial handles.
+func (e *env) flatten(r *winResult, off geom.Point, b *build.Builder) ([]int32, []int32) {
+	if r.leaf != nil {
+		nl := r.leaf.nl
+		nets := make([]int32, len(nl.Nets))
+		for i := range nl.Nets {
+			nets[i] = b.NewNet(nl.Nets[i].Location.Add(off))
+			for _, nm := range nl.Nets[i].Names {
+				b.NameNet(nets[i], nm)
+			}
+		}
+		// Overlay labels falling in this instance's region.
+		region := geom.Rect{XMin: off.X, YMin: off.Y, XMax: off.X + r.w, YMax: off.Y + r.h}
+		for _, lb := range e.overlay {
+			if !lb.matched && region.Contains(lb.at) {
+				if idx, ok := labelNet(nl, lb.at.Sub(off), lb); ok {
+					b.NameNet(nets[idx], lb.name)
+					lb.matched = true
+				}
+			}
+		}
+		partSlot := make(map[int]int, len(r.leaf.partDevs))
+		for slot, di := range r.leaf.partDevs {
+			partSlot[di] = slot
+		}
+		parts := make([]int32, len(r.leaf.partDevs))
+		for i := range nl.Devices {
+			d := &nl.Devices[i]
+			dv := b.NewDev()
+			bbox := geom.BBoxOf(d.Geometry).Translate(off)
+			b.AddDeviceFacts(dv, d.Area, d.ImplArea, bbox)
+			b.AddGate(dv, nets[d.Gate])
+			for _, t := range d.Terminals {
+				b.AddTerm(dv, nets[t.Net], t.Edge)
+			}
+			if slot, ok := partSlot[i]; ok {
+				parts[slot] = dv
+			}
+		}
+		return nets, parts
+	}
+
+	c := r.comp
+	var kn, kp [2][]int32
+	for k := 0; k < 2; k++ {
+		kn[k], kp[k] = e.flatten(c.kids[k], off.Add(c.at[k]), b)
+	}
+	for _, eq := range c.netEquivs {
+		b.UnionNets(kn[eq[0].child][eq[0].idx], kn[eq[1].child][eq[1].idx])
+	}
+	for _, eq := range c.partEquivs {
+		b.UnionDevs(kp[eq[0].child][eq[0].idx], kp[eq[1].child][eq[1].idx])
+	}
+	for _, pt := range c.partTerms {
+		b.AddTerm(kp[pt.part.child][pt.part.idx], kn[pt.net.child][pt.net.idx], pt.edge)
+	}
+	nets := make([]int32, len(c.parentNets))
+	for i, rf := range c.parentNets {
+		nets[i] = kn[rf.child][rf.idx]
+	}
+	parts := make([]int32, len(c.parentParts))
+	for i, rf := range c.parentParts {
+		parts[i] = kp[rf.child][rf.idx]
+	}
+	return nets, parts
+}

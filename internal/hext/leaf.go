@@ -1,0 +1,128 @@
+package hext
+
+import (
+	"sort"
+
+	"ace/internal/cif"
+	"ace/internal/frontend"
+	"ace/internal/geom"
+	"ace/internal/netlist"
+	"ace/internal/scan"
+)
+
+// extractLeaf runs the modified flat extractor over a geometry-only
+// window: ACE's scanline sweep with geometry keeping enabled, followed
+// by interface computation — "the modified version of ACE has extra
+// code to output an interface for each window that it analyzes"
+// (HEXT §3).
+func (e *env) extractLeaf(win window) *winResult {
+	var boxes []frontend.Box
+	var labels []frontend.Label
+	for _, it := range win.items {
+		switch it.kind {
+		case cif.ItemBox:
+			if !it.box.Empty() {
+				boxes = append(boxes, frontend.Box{Layer: it.layer, Rect: it.box})
+			}
+		case cif.ItemLabel:
+			labels = append(labels, frontend.Label{
+				Name: it.name, At: it.at, Layer: it.layer, HasLayer: it.lbL,
+			})
+		}
+	}
+	sort.SliceStable(boxes, func(i, j int) bool {
+		return boxes[i].Rect.YMax > boxes[j].Rect.YMax
+	})
+
+	res, err := scan.Sweep(&boxSource{boxes: boxes}, scan.Options{
+		KeepGeometry: true,
+		Labels:       labels,
+	})
+	if err != nil {
+		// The sweep only fails on internal invariant violations;
+		// surface it as an empty window plus a warning.
+		e.warnings = append(e.warnings, err.Error())
+		res = &scan.Result{Netlist: &netlist.Netlist{}}
+	}
+	e.warnings = append(e.warnings, res.Warnings...)
+
+	r := &winResult{
+		id: e.nextID(),
+		w:  win.w, h: win.h,
+		leaf: &leafData{nl: res.Netlist, boxes: len(boxes)},
+	}
+	r.netCount = len(res.Netlist.Nets)
+
+	frame := geom.Rect{XMin: 0, YMin: 0, XMax: win.w, YMax: win.h}
+
+	// Net interface segments: net geometry touching the boundary.
+	for i := range res.Netlist.Nets {
+		for _, g := range res.Netlist.Nets[i].Geometry {
+			el, ok := elayerOf(g.Layer)
+			if !ok {
+				continue
+			}
+			r.addBoundaryEdges(el, g.Rect, frame, int32(i))
+		}
+	}
+
+	// Partial transistors: devices whose channel touches the boundary.
+	for di := range res.Netlist.Devices {
+		slot := -1
+		for _, cr := range res.Netlist.Devices[di].Geometry {
+			if touchesFrame(cr, frame) {
+				if slot < 0 {
+					slot = len(r.leaf.partDevs)
+					r.leaf.partDevs = append(r.leaf.partDevs, di)
+				}
+				r.addBoundaryEdges(eChan, cr, frame, int32(slot))
+			}
+		}
+	}
+	r.partCount = len(r.leaf.partDevs)
+	return r
+}
+
+// addBoundaryEdges appends interface edges for the parts of rect r
+// lying on the window frame.
+func (w *winResult) addBoundaryEdges(el elayer, r geom.Rect, frame geom.Rect, ref int32) {
+	if r.XMin == frame.XMin {
+		w.edges = append(w.edges, edge{layer: el, face: faceL, lo: r.YMin, hi: r.YMax, ref: ref})
+	}
+	if r.XMax == frame.XMax {
+		w.edges = append(w.edges, edge{layer: el, face: faceR, lo: r.YMin, hi: r.YMax, ref: ref})
+	}
+	if r.YMin == frame.YMin {
+		w.edges = append(w.edges, edge{layer: el, face: faceB, lo: r.XMin, hi: r.XMax, ref: ref})
+	}
+	if r.YMax == frame.YMax {
+		w.edges = append(w.edges, edge{layer: el, face: faceT, lo: r.XMin, hi: r.XMax, ref: ref})
+	}
+}
+
+func touchesFrame(r geom.Rect, frame geom.Rect) bool {
+	return r.XMin == frame.XMin || r.XMax == frame.XMax ||
+		r.YMin == frame.YMin || r.YMax == frame.YMax
+}
+
+// boxSource adapts a pre-sorted box slice to scan.Source.
+type boxSource struct {
+	boxes []frontend.Box
+	pos   int
+}
+
+func (s *boxSource) NextTop() (int64, bool) {
+	if s.pos >= len(s.boxes) {
+		return 0, false
+	}
+	return s.boxes[s.pos].Rect.YMax, true
+}
+
+func (s *boxSource) Next() (frontend.Box, bool) {
+	if s.pos >= len(s.boxes) {
+		return frontend.Box{}, false
+	}
+	b := s.boxes[s.pos]
+	s.pos++
+	return b, true
+}

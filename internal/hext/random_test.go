@@ -1,0 +1,96 @@
+package hext
+
+import (
+	"math/rand"
+	"testing"
+
+	"ace/internal/cif"
+	"ace/internal/extract"
+	"ace/internal/gen"
+	"ace/internal/geom"
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+// TestRandomDifferential extracts random flat layouts with HEXT under
+// an aggressive leaf cap (so geometry gets cut through nets, contacts
+// and channels at arbitrary positions) and demands isomorphism with
+// the flat extractor. This exercises every seam rule the compose
+// machinery has.
+func TestRandomDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	layers := []tech.Layer{tech.Diff, tech.Poly, tech.Metal, tech.Cut, tech.Buried, tech.Implant}
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(24)
+		f := &cif.File{Symbols: map[int]*cif.Symbol{}}
+		for i := 0; i < n; i++ {
+			l := layers[rng.Intn(len(layers))]
+			x := int64(rng.Intn(900))
+			y := int64(rng.Intn(900))
+			f.Top = append(f.Top, cif.Item{
+				Kind: cif.ItemBox, Layer: l,
+				Box: geom.R(x, y, x+int64(20+rng.Intn(300)), y+int64(20+rng.Intn(300))),
+			})
+		}
+		for _, maxLeaf := range []int{2, 5} {
+			hres, err := Extract(f, Options{MaxLeafItems: maxLeaf})
+			if err != nil {
+				t.Fatalf("trial %d: hext: %v", trial, err)
+			}
+			ares, err := extract.File(f, extract.Options{})
+			if err != nil {
+				t.Fatalf("trial %d: ace: %v", trial, err)
+			}
+			eq, reason := netlist.Equivalent(ares.Netlist, hres.Netlist)
+			if !eq {
+				t.Fatalf("trial %d (maxLeaf=%d): %s\nboxes: %+v\nACE:\n%s\nHEXT:\n%s",
+					trial, maxLeaf, reason, f.Top, ares.Netlist, hres.Netlist)
+			}
+		}
+	}
+}
+
+// TestRandomHierarchicalDifferential does the same with hierarchy:
+// random cells instantiated at random (including mirrored and rotated)
+// placements.
+func TestRandomHierarchicalDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	layers := []tech.Layer{tech.Diff, tech.Poly, tech.Metal, tech.Cut, tech.Buried}
+	for trial := 0; trial < 25; trial++ {
+		d := gen.NewDesign()
+		var cells []*gen.Cell
+		for ci := 0; ci < 2+rng.Intn(2); ci++ {
+			c := d.Cell("c")
+			for b := 0; b < 3+rng.Intn(6); b++ {
+				l := layers[rng.Intn(len(layers))]
+				x := int64(rng.Intn(400))
+				y := int64(rng.Intn(400))
+				c.Box(l, x, y, x+int64(20+rng.Intn(200)), y+int64(20+rng.Intn(200)))
+			}
+			cells = append(cells, c)
+		}
+		r90, _ := geom.Rotate(0, 1)
+		xforms := []geom.Transform{geom.Identity, geom.MirrorX(), geom.MirrorY(), r90}
+		for k := 0; k < 4+rng.Intn(6); k++ {
+			c := cells[rng.Intn(len(cells))]
+			tr := xforms[rng.Intn(len(xforms))].
+				Then(geom.Translate(int64(rng.Intn(1500)), int64(rng.Intn(1500))))
+			d.CallTop(c, tr)
+		}
+		f := d.File()
+
+		hres, err := Extract(f, Options{MaxLeafItems: 6})
+		if err != nil {
+			t.Fatalf("trial %d: hext: %v", trial, err)
+		}
+		ares, err := extract.File(f, extract.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: ace: %v", trial, err)
+		}
+		eq, reason := netlist.Equivalent(ares.Netlist, hres.Netlist)
+		if !eq {
+			t.Fatalf("trial %d: %s\nACE:\n%s\nHEXT:\n%s",
+				trial, reason, ares.Netlist, hres.Netlist)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package hext
+
+import (
+	"ace/internal/geom"
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+// face identifies one side of a (rectangular) window.
+type face int8
+
+const (
+	faceL face = iota
+	faceR
+	faceB
+	faceT
+	numFaces
+)
+
+// elayer is the interface-segment layer: the three conducting layers
+// plus the channel pseudo-layer carrying partial transistors.
+type elayer int8
+
+const (
+	eMetal elayer = iota
+	ePoly
+	eDiff
+	eChan
+)
+
+func elayerOf(l tech.Layer) (elayer, bool) {
+	switch l {
+	case tech.Metal:
+		return eMetal, true
+	case tech.Poly:
+		return ePoly, true
+	case tech.Diff:
+		return eDiff, true
+	}
+	return 0, false
+}
+
+// edge is one interface-segment list element: a rectangle edge lying
+// on a window face, carrying the local net (or, for eChan, the local
+// partial-transistor index) it belongs to.
+type edge struct {
+	layer  elayer
+	face   face
+	lo, hi int64 // span along the face: y for L/R, x for B/T
+	ref    int32 // local net index, or partial index for eChan
+}
+
+// winResult is the extracted circuit and interface of one unique
+// window. Composed results reference their children rather than
+// copying them (HEXT §3), so the memo table turns the window tree into
+// a DAG; flattening instantiates it.
+type winResult struct {
+	id   int
+	w, h int64
+
+	edges     []edge
+	netCount  int
+	partCount int
+
+	leaf *leafData
+	comp *compData
+}
+
+// leafData is a geometry-only window extracted by the modified flat
+// extractor.
+type leafData struct {
+	nl *netlist.Netlist
+	// partDevs lists the indices of devices whose channel touches the
+	// window boundary (the window's partial transistors); partial
+	// slot k corresponds to nl.Devices[partDevs[k]].
+	partDevs []int
+	boxes    int // geometry count, for statistics
+}
+
+// ref addresses a net or partial in one of a composed window's two
+// children.
+type ref struct {
+	child int8
+	idx   int32
+}
+
+type partTerm struct {
+	part ref
+	net  ref
+	edge int64
+}
+
+// overlayLabel is a top-level label resolved during flattening rather
+// than carried in window contents (which would defeat memoisation).
+type overlayLabel struct {
+	name     string
+	at       geom.Point
+	layer    tech.Layer
+	hasLayer bool
+	matched  bool
+}
+
+// labelNet finds the net owning a point in a leaf netlist, preferring
+// metal, then poly, then diffusion — ACE's rule.
+func labelNet(nl *netlist.Netlist, p geom.Point, lb *overlayLabel) (int, bool) {
+	best := -1
+	bestPref := 99
+	for i := range nl.Nets {
+		for _, g := range nl.Nets[i].Geometry {
+			if lb.hasLayer && g.Layer != lb.layer {
+				continue
+			}
+			if !g.Rect.Contains(p) {
+				continue
+			}
+			pref := layerPref(g.Layer)
+			if pref < bestPref {
+				best, bestPref = i, pref
+			}
+		}
+	}
+	return best, best >= 0
+}
+
+func layerPref(l tech.Layer) int {
+	switch l {
+	case tech.Metal:
+		return 0
+	case tech.Poly:
+		return 1
+	case tech.Diff:
+		return 2
+	}
+	return 3
+}
+
+// compData records how two child windows compose: placements, the net
+// equivalences and partial-transistor merges established along the
+// seam, and the parent's export tables.
+type compData struct {
+	kids [2]*winResult
+	at   [2]geom.Point
+
+	netEquivs  [][2]ref
+	partEquivs [][2]ref
+	partTerms  []partTerm
+
+	// parentNets[i] is the child net that parent net i stands for;
+	// likewise parentParts for still-open partial transistors.
+	parentNets  []ref
+	parentParts []ref
+}

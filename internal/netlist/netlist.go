@@ -1,0 +1,212 @@
+// Package netlist defines the extractor's output: a flat electrical
+// network of NMOS devices and nets, plus the operations downstream
+// tools need (statistics, isomorphism comparison — the "wirelist
+// comparator" of the paper's introduction).
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// LayerRect is a rectangle on a mask layer; nets record their
+// constituent geometry this way when geometry keeping is enabled.
+type LayerRect struct {
+	Layer tech.Layer
+	Rect  geom.Rect
+}
+
+// Net is one electrical node.
+type Net struct {
+	// Names holds the user-defined names attached via CIF "94" labels,
+	// sorted and deduplicated.
+	Names []string
+
+	// Location is a representative point on the net (the lowest-left
+	// corner of its first geometry, matching ACE's reporting style).
+	Location geom.Point
+
+	// Geometry lists the rectangles that constitute the net, when the
+	// extractor was asked to keep geometry (ACE's user option).
+	Geometry []LayerRect
+}
+
+// Name returns the preferred display name: the first user name or
+// N<index>.
+func (n *Net) Name(index int) string {
+	if len(n.Names) > 0 {
+		return n.Names[0]
+	}
+	return fmt.Sprintf("N%d", index)
+}
+
+// Terminal is one diffusion net contacting a device channel, with the
+// total contact-edge length along which they touch. The two largest
+// terminals become source and drain; extra terminals indicate a
+// malformed device.
+type Terminal struct {
+	Net  int
+	Edge int64 // contact perimeter length in centimicrons
+}
+
+// Device is one extracted transistor or capacitor.
+type Device struct {
+	Type tech.DeviceType
+
+	// Gate, Source and Drain index into Netlist.Nets. For capacitors
+	// Source == Drain.
+	Gate, Source, Drain int
+
+	// Length and Width in centimicrons, per ACE §3: width is the mean
+	// of the source and drain contact-edge lengths; length is channel
+	// area divided by width.
+	Length, Width int64
+
+	// Area is the channel area in square centimicrons.
+	Area int64
+
+	// ImplArea is the implanted portion of the channel area; the
+	// hierarchical extractor needs it to re-derive the device type
+	// when partial transistors merge across window boundaries.
+	ImplArea int64
+
+	// Location is the lower-left corner of the channel bounding box.
+	Location geom.Point
+
+	// Terminals lists every diffusion net touching the channel (the
+	// static checker flags devices with other than two).
+	Terminals []Terminal
+
+	// Geometry lists the channel rectangles when geometry keeping is
+	// enabled.
+	Geometry []geom.Rect
+}
+
+// Netlist is the extractor's flat output.
+type Netlist struct {
+	Name    string
+	Devices []Device
+	Nets    []Net
+}
+
+// Stats summarises a netlist.
+type Stats struct {
+	Devices     int
+	Enhancement int
+	Depletion   int
+	Capacitors  int
+	Nets        int
+	NamedNets   int
+}
+
+// Stats computes summary counts.
+func (nl *Netlist) Stats() Stats {
+	s := Stats{Devices: len(nl.Devices), Nets: len(nl.Nets)}
+	for _, d := range nl.Devices {
+		switch d.Type {
+		case tech.Enhancement:
+			s.Enhancement++
+		case tech.Depletion:
+			s.Depletion++
+		case tech.Capacitor:
+			s.Capacitors++
+		}
+	}
+	for _, n := range nl.Nets {
+		if len(n.Names) > 0 {
+			s.NamedNets++
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("devices=%d (enh=%d dep=%d cap=%d) nets=%d named=%d",
+		s.Devices, s.Enhancement, s.Depletion, s.Capacitors, s.Nets, s.NamedNets)
+}
+
+// NetByName returns the index of the net carrying the given user name.
+func (nl *Netlist) NetByName(name string) (int, bool) {
+	for i := range nl.Nets {
+		for _, n := range nl.Nets[i].Names {
+			if n == name {
+				return i, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// SortCanonical orders devices and (stable-)renumbers nothing; it
+// sorts devices by location then type so that two extractions of the
+// same layout compare deterministically.
+func (nl *Netlist) SortCanonical() {
+	sort.SliceStable(nl.Devices, func(i, j int) bool {
+		a, b := nl.Devices[i], nl.Devices[j]
+		if a.Location.Y != b.Location.Y {
+			return a.Location.Y < b.Location.Y
+		}
+		if a.Location.X != b.Location.X {
+			return a.Location.X < b.Location.X
+		}
+		return a.Type < b.Type
+	})
+}
+
+// Validate performs internal consistency checks and returns the list
+// of problems found (empty when healthy). It is used by tests and by
+// the extractors' debug modes.
+func (nl *Netlist) Validate() []string {
+	var probs []string
+	bad := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	for i, d := range nl.Devices {
+		if d.Gate < 0 || d.Gate >= len(nl.Nets) {
+			bad("device %d: gate net %d out of range", i, d.Gate)
+		}
+		if d.Source < 0 || d.Source >= len(nl.Nets) {
+			bad("device %d: source net %d out of range", i, d.Source)
+		}
+		if d.Drain < 0 || d.Drain >= len(nl.Nets) {
+			bad("device %d: drain net %d out of range", i, d.Drain)
+		}
+		if d.Width <= 0 || d.Length <= 0 {
+			bad("device %d: non-positive size L=%d W=%d", i, d.Length, d.Width)
+		}
+		for _, t := range d.Terminals {
+			if t.Net < 0 || t.Net >= len(nl.Nets) {
+				bad("device %d: terminal net %d out of range", i, t.Net)
+			}
+		}
+	}
+	seen := map[string]int{}
+	for i, n := range nl.Nets {
+		for _, name := range n.Names {
+			if j, dup := seen[name]; dup && j != i {
+				bad("name %q on both net %d and net %d", name, j, i)
+			}
+			seen[name] = i
+		}
+	}
+	return probs
+}
+
+// String renders a compact human-readable listing.
+func (nl *Netlist) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "netlist %q: %s\n", nl.Name, nl.Stats())
+	for i, d := range nl.Devices {
+		fmt.Fprintf(&sb, "  %s D%d L=%d W=%d g=%s s=%s d=%s at %v\n",
+			d.Type, i, d.Length, d.Width,
+			nl.Nets[d.Gate].Name(d.Gate),
+			nl.Nets[d.Source].Name(d.Source),
+			nl.Nets[d.Drain].Name(d.Drain),
+			d.Location)
+	}
+	return sb.String()
+}

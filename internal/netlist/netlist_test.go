@@ -1,0 +1,191 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// inv builds a hand-written inverter netlist: nets 0=VDD 1=GND 2=OUT
+// 3=IN.
+func inv() *Netlist {
+	return &Netlist{
+		Name: "inv",
+		Nets: []Net{
+			{Names: []string{"VDD"}},
+			{Names: []string{"GND"}},
+			{Names: []string{"OUT"}},
+			{Names: []string{"IN"}},
+		},
+		Devices: []Device{
+			{Type: tech.Depletion, Gate: 2, Source: 0, Drain: 2, Length: 1400, Width: 400,
+				Terminals: []Terminal{{Net: 0, Edge: 400}, {Net: 2, Edge: 400}}},
+			{Type: tech.Enhancement, Gate: 3, Source: 2, Drain: 1, Length: 400, Width: 2800,
+				Terminals: []Terminal{{Net: 2, Edge: 3200}, {Net: 1, Edge: 2400}}},
+		},
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := inv().Stats()
+	if s.Devices != 2 || s.Enhancement != 1 || s.Depletion != 1 || s.Nets != 4 || s.NamedNets != 4 {
+		t.Fatalf("stats %+v", s)
+	}
+	if !strings.Contains(s.String(), "devices=2") {
+		t.Fatalf("stats string %q", s.String())
+	}
+}
+
+func TestNetByName(t *testing.T) {
+	nl := inv()
+	if i, ok := nl.NetByName("OUT"); !ok || i != 2 {
+		t.Fatalf("OUT -> %d %v", i, ok)
+	}
+	if _, ok := nl.NetByName("NOPE"); ok {
+		t.Fatal("found nonexistent net")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	nl := inv()
+	if probs := nl.Validate(); len(probs) != 0 {
+		t.Fatalf("clean netlist: %v", probs)
+	}
+	bad := inv()
+	bad.Devices[0].Gate = 99
+	if probs := bad.Validate(); len(probs) == 0 {
+		t.Fatal("out-of-range gate not caught")
+	}
+	dup := inv()
+	dup.Nets[3].Names = []string{"VDD"}
+	if probs := dup.Validate(); len(probs) == 0 {
+		t.Fatal("duplicate name not caught")
+	}
+	zero := inv()
+	zero.Devices[0].Width = 0
+	if probs := zero.Validate(); len(probs) == 0 {
+		t.Fatal("zero width not caught")
+	}
+}
+
+func TestSortCanonicalDeterministic(t *testing.T) {
+	nl := inv()
+	nl.Devices[0].Location = geom.Pt(5, 5)
+	nl.Devices[1].Location = geom.Pt(1, 1)
+	nl.SortCanonical()
+	if nl.Devices[0].Location != geom.Pt(1, 1) {
+		t.Fatal("not sorted by location")
+	}
+}
+
+func TestEquivalentIdentity(t *testing.T) {
+	if eq, why := Equivalent(inv(), inv()); !eq {
+		t.Fatalf("identity: %s", why)
+	}
+}
+
+func TestEquivalentRenumbered(t *testing.T) {
+	a := inv()
+	// Same circuit with nets permuted: 0<->3, 1<->2, devices swapped.
+	b := &Netlist{
+		Nets: []Net{{}, {}, {}, {}},
+		Devices: []Device{
+			{Type: tech.Enhancement, Gate: 0, Source: 1, Drain: 2, Length: 400, Width: 2800,
+				Terminals: []Terminal{{Net: 1}, {Net: 2}}},
+			{Type: tech.Depletion, Gate: 1, Source: 3, Drain: 1, Length: 1400, Width: 400,
+				Terminals: []Terminal{{Net: 3}, {Net: 1}}},
+		},
+	}
+	if eq, why := Equivalent(a, b); !eq {
+		t.Fatalf("renumbered: %s", why)
+	}
+}
+
+func TestEquivalentSourceDrainSwap(t *testing.T) {
+	a := inv()
+	b := inv()
+	b.Devices[1].Source, b.Devices[1].Drain = b.Devices[1].Drain, b.Devices[1].Source
+	if eq, why := Equivalent(a, b); !eq {
+		t.Fatalf("S/D swap must be equivalent: %s", why)
+	}
+}
+
+func TestEquivalentDetectsDifferences(t *testing.T) {
+	a := inv()
+
+	resized := inv()
+	resized.Devices[1].Width = 1234
+	if eq, _ := Equivalent(a, resized); eq {
+		t.Fatal("resize not detected")
+	}
+
+	retyped := inv()
+	retyped.Devices[0].Type = tech.Enhancement
+	if eq, _ := Equivalent(a, retyped); eq {
+		t.Fatal("type change not detected")
+	}
+
+	rewired := inv()
+	rewired.Devices[1].Gate = 0 // gate moved to VDD
+	if eq, _ := Equivalent(a, rewired); eq {
+		t.Fatal("rewire not detected")
+	}
+
+	fewer := inv()
+	fewer.Devices = fewer.Devices[:1]
+	if eq, _ := Equivalent(a, fewer); eq {
+		t.Fatal("device count not detected")
+	}
+}
+
+func TestEquivalentIgnoresUnusedNets(t *testing.T) {
+	a := inv()
+	b := inv()
+	b.Nets = append(b.Nets, Net{}) // an extra dangling net
+	if eq, why := Equivalent(a, b); !eq {
+		t.Fatalf("dangling nets must not affect equivalence: %s", why)
+	}
+}
+
+func TestEquivalentSymmetricCircuit(t *testing.T) {
+	// A highly automorphic circuit: two identical disconnected
+	// inverters; matching requires consistent pairing.
+	double := func() *Netlist {
+		nl := &Netlist{Nets: make([]Net, 8)}
+		for off := 0; off < 8; off += 4 {
+			nl.Devices = append(nl.Devices,
+				Device{Type: tech.Depletion, Gate: off + 2, Source: off, Drain: off + 2,
+					Length: 1400, Width: 400,
+					Terminals: []Terminal{{Net: off}, {Net: off + 2}}},
+				Device{Type: tech.Enhancement, Gate: off + 3, Source: off + 2, Drain: off + 1,
+					Length: 400, Width: 2800,
+					Terminals: []Terminal{{Net: off + 2}, {Net: off + 1}}})
+		}
+		return nl
+	}
+	if eq, why := Equivalent(double(), double()); !eq {
+		t.Fatalf("symmetric circuit: %s", why)
+	}
+}
+
+func TestNetName(t *testing.T) {
+	nl := inv()
+	if nl.Nets[0].Name(0) != "VDD" {
+		t.Fatal("named net")
+	}
+	n := Net{}
+	if n.Name(7) != "N7" {
+		t.Fatalf("anonymous net name %q", n.Name(7))
+	}
+}
+
+func TestString(t *testing.T) {
+	s := inv().String()
+	for _, want := range []string{"nEnh", "nDep", "VDD", "OUT"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package rcx estimates per-net capacitance and resistance from
+// extracted net geometry. ACE deliberately computes neither — "it was
+// undesirable to embed any fixed notion of a circuit model into the
+// extractor code... This information is enough for a post-processing
+// program to compute capacitances and resistances" (ACE §2). This is
+// that post-processing program. It requires an extraction run with
+// geometry keeping enabled.
+package rcx
+
+import (
+	"fmt"
+	"sort"
+
+	"ace/internal/geom"
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+// NetRC is the parasitics estimate for one net.
+type NetRC struct {
+	Net int
+
+	// CapAF is the total area capacitance in attofarads.
+	CapAF float64
+
+	// ResMOhm is a crude end-to-end resistance estimate in milliohms:
+	// per layer, the net's bounding-path squares times the sheet
+	// resistance, paralleled across layers. Good for relative
+	// comparisons (which is what a timing pre-check needs), not SPICE.
+	ResMOhm float64
+
+	// AreaByLayer is the net's area per layer in λ².
+	AreaByLayer [tech.NumLayers]float64
+}
+
+// Annotate computes parasitics for every net. Nets without geometry
+// (extraction ran without KeepGeometry) yield an error.
+func Annotate(nl *netlist.Netlist, tc *tech.Tech) ([]NetRC, error) {
+	if tc == nil {
+		tc = tech.Default()
+	}
+	lam2 := float64(tc.Lambda) * float64(tc.Lambda)
+	out := make([]NetRC, len(nl.Nets))
+	sawGeometry := false
+	for i := range nl.Nets {
+		rc := &out[i]
+		rc.Net = i
+
+		perLayer := map[tech.Layer][]geom.Rect{}
+		for _, g := range nl.Nets[i].Geometry {
+			sawGeometry = true
+			perLayer[g.Layer] = append(perLayer[g.Layer], g.Rect)
+		}
+		var conductances float64
+		for l, rects := range perLayer {
+			area := float64(geom.UnionArea(rects)) / lam2
+			rc.AreaByLayer[l] = area
+			rc.CapAF += area * tc.AreaCapPerLambda2[l]
+
+			// Squares estimate: treat the layer's bounding box as a
+			// wire of its aspect ratio carrying the net end to end.
+			bb := geom.BBoxOf(rects)
+			long := float64(max64(bb.W(), bb.H()))
+			short := float64(min64(bb.W(), bb.H()))
+			if short <= 0 {
+				continue
+			}
+			squares := long / short
+			r := squares * tc.SheetResistance[l]
+			if r > 0 {
+				conductances += 1 / r
+			}
+		}
+		if conductances > 0 {
+			rc.ResMOhm = 1 / conductances
+		}
+	}
+	if len(nl.Nets) > 0 && !sawGeometry {
+		return nil, fmt.Errorf("rcx: netlist has no geometry; extract with KeepGeometry")
+	}
+	return out, nil
+}
+
+// Worst returns the n nets with the largest capacitance, descending.
+func Worst(rcs []NetRC, n int) []NetRC {
+	sorted := append([]NetRC(nil), rcs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].CapAF > sorted[j].CapAF })
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}
+
+// ElmoreNS returns a one-pole RC delay estimate in nanoseconds
+// (R·C with unit conversion), useful for ranking critical nets.
+func (rc NetRC) ElmoreNS() float64 {
+	// mΩ · aF = 1e-3 Ω · 1e-18 F = 1e-21 s = 1e-12 ns.
+	return rc.ResMOhm * rc.CapAF * 1e-12
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package rcx
+
+import (
+	"testing"
+
+	"ace/internal/extract"
+	"ace/internal/gen"
+	"ace/internal/tech"
+)
+
+func TestInverterParasitics(t *testing.T) {
+	res, err := extract.File(gen.Inverter(), extract.Options{KeepGeometry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcs, err := Annotate(res.Netlist, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rcs) != len(res.Netlist.Nets) {
+		t.Fatalf("rc count %d", len(rcs))
+	}
+	// Every net in the inverter has geometry and hence capacitance.
+	for _, rc := range rcs {
+		if rc.CapAF <= 0 {
+			t.Fatalf("net %d has no capacitance", rc.Net)
+		}
+	}
+	// The VDD rail (a full-width metal bar plus diffusion) must carry
+	// more capacitance than the input (poly+metal but smaller area).
+	vdd, _ := res.Netlist.NetByName("VDD")
+	out, _ := res.Netlist.NetByName("OUT")
+	if rcs[vdd].CapAF <= 0 || rcs[out].CapAF <= 0 {
+		t.Fatal("zero cap on principal nets")
+	}
+	// Poly is the most resistive layer here: OUT (includes poly)
+	// should have nonzero resistance.
+	if rcs[out].ResMOhm <= 0 {
+		t.Fatalf("OUT resistance %v", rcs[out].ResMOhm)
+	}
+}
+
+func TestRequiresGeometry(t *testing.T) {
+	res, err := extract.File(gen.Inverter(), extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Annotate(res.Netlist, nil); err == nil {
+		t.Fatal("expected error without geometry")
+	}
+}
+
+func TestWorstOrdering(t *testing.T) {
+	res, err := extract.File(gen.InverterChain(4).File, extract.Options{KeepGeometry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcs, err := Annotate(res.Netlist, tech.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := Worst(rcs, 3)
+	if len(worst) != 3 {
+		t.Fatalf("worst %d", len(worst))
+	}
+	if worst[0].CapAF < worst[1].CapAF || worst[1].CapAF < worst[2].CapAF {
+		t.Fatal("not sorted descending")
+	}
+	// The rails span the whole chain: one of them must top the list.
+	vdd, _ := res.Netlist.NetByName("VDD")
+	gnd, _ := res.Netlist.NetByName("GND")
+	if worst[0].Net != vdd && worst[0].Net != gnd {
+		t.Fatalf("expected a rail on top, got net %d", worst[0].Net)
+	}
+}
+
+func TestElmore(t *testing.T) {
+	rc := NetRC{ResMOhm: 2e6, CapAF: 5e5} // 2kΩ, 0.5pF → 1ns
+	if got := rc.ElmoreNS(); got < 0.99 || got > 1.01 {
+		t.Fatalf("elmore %v, want 1ns", got)
+	}
+}

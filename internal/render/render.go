@@ -1,0 +1,159 @@
+// Package render draws CIF layouts as images — the plotting half of
+// the historical cifplot, and the "other tasks" the HEXT front end was
+// built to serve. Layers blend translucently in the classic
+// Mead–Conway colour scheme (green diffusion, red poly, blue metal,
+// black cuts, yellow implant).
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"ace/internal/frontend"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+// Options controls rendering.
+type Options struct {
+	// MaxDim bounds the longer image dimension in pixels; the scale is
+	// chosen so the layout fits. Zero selects 1024.
+	MaxDim int
+
+	// Margin is the border in pixels around the artwork (default 8).
+	Margin int
+
+	// Highlight is painted over the layout in a saturated magenta —
+	// typically one net's extracted geometry, for tracing a signal
+	// through the artwork.
+	Highlight []geom.Rect
+}
+
+// Palette maps layers to the classic NMOS colours.
+var Palette = map[tech.Layer]color.NRGBA{
+	tech.Diff:    {0x22, 0xaa, 0x33, 0xff}, // green
+	tech.Poly:    {0xdd, 0x22, 0x22, 0xff}, // red
+	tech.Metal:   {0x33, 0x55, 0xee, 0xff}, // blue
+	tech.Cut:     {0x10, 0x10, 0x10, 0xff}, // black
+	tech.Buried:  {0x88, 0x55, 0x22, 0xff}, // brown
+	tech.Implant: {0xdd, 0xcc, 0x22, 0xff}, // yellow
+	tech.Glass:   {0x99, 0x99, 0x99, 0xff}, // grey
+}
+
+// drawOrder paints large background layers first, cuts last.
+var drawOrder = []tech.Layer{
+	tech.Implant, tech.Diff, tech.Poly, tech.Metal, tech.Buried, tech.Glass, tech.Cut,
+}
+
+// alpha is the per-layer blend weight (cuts are opaque).
+func alpha(l tech.Layer) float64 {
+	if l == tech.Cut {
+		return 1.0
+	}
+	return 0.55
+}
+
+// Image rasterises the boxes into an RGBA image.
+func Image(boxes []frontend.Box, opt Options) (*image.NRGBA, error) {
+	maxDim := opt.MaxDim
+	if maxDim <= 0 {
+		maxDim = 1024
+	}
+	margin := opt.Margin
+	if margin <= 0 {
+		margin = 8
+	}
+	if len(boxes) == 0 {
+		return nil, fmt.Errorf("render: no geometry")
+	}
+
+	bb := boxes[0].Rect
+	for _, b := range boxes[1:] {
+		bb = bb.Union(b.Rect)
+	}
+	long := bb.W()
+	if bb.H() > long {
+		long = bb.H()
+	}
+	if long <= 0 {
+		return nil, fmt.Errorf("render: degenerate extent %v", bb)
+	}
+	scale := float64(maxDim-2*margin) / float64(long)
+
+	w := int(float64(bb.W())*scale) + 2*margin
+	h := int(float64(bb.H())*scale) + 2*margin
+	img := image.NewNRGBA(image.Rect(0, 0, w, h))
+	for i := range img.Pix {
+		img.Pix[i] = 0xff // white background
+	}
+
+	// y grows upward in layout space, downward in image space.
+	toPx := func(p geom.Point) (int, int) {
+		x := margin + int(float64(p.X-bb.XMin)*scale)
+		y := h - margin - int(float64(p.Y-bb.YMin)*scale)
+		return x, y
+	}
+
+	paint := func(r geom.Rect, col color.NRGBA, a float64) {
+		x0, y1 := toPx(geom.Pt(r.XMin, r.YMin))
+		x1, y0 := toPx(geom.Pt(r.XMax, r.YMax))
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		for y := y0; y < y1 && y < h; y++ {
+			if y < 0 {
+				continue
+			}
+			for x := x0; x < x1 && x < w; x++ {
+				if x < 0 {
+					continue
+				}
+				blend(img, x, y, col, a)
+			}
+		}
+	}
+
+	for _, layer := range drawOrder {
+		col, ok := Palette[layer]
+		if !ok {
+			continue
+		}
+		a := alpha(layer)
+		for _, b := range boxes {
+			if b.Layer == layer {
+				paint(b.Rect, col, a)
+			}
+		}
+	}
+	highlight := color.NRGBA{0xff, 0x00, 0xcc, 0xff}
+	for _, r := range opt.Highlight {
+		paint(r, highlight, 0.65)
+	}
+	return img, nil
+}
+
+func blend(img *image.NRGBA, x, y int, c color.NRGBA, a float64) {
+	i := img.PixOffset(x, y)
+	mix := func(old, new uint8) uint8 {
+		return uint8(float64(old)*(1-a) + float64(new)*a)
+	}
+	img.Pix[i+0] = mix(img.Pix[i+0], c.R)
+	img.Pix[i+1] = mix(img.Pix[i+1], c.G)
+	img.Pix[i+2] = mix(img.Pix[i+2], c.B)
+	img.Pix[i+3] = 0xff
+}
+
+// WritePNG renders the boxes and encodes the image as PNG.
+func WritePNG(w io.Writer, boxes []frontend.Box, opt Options) error {
+	img, err := Image(boxes, opt)
+	if err != nil {
+		return err
+	}
+	return png.Encode(w, img)
+}

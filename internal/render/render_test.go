@@ -1,0 +1,103 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"ace/internal/frontend"
+	"ace/internal/gen"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+func TestImageBasics(t *testing.T) {
+	boxes := []frontend.Box{
+		{Layer: tech.Diff, Rect: geom.R(0, 0, 1000, 1000)},
+		{Layer: tech.Metal, Rect: geom.R(2000, 0, 3000, 1000)},
+	}
+	img, err := Image(boxes, Options{MaxDim: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() > 300 || b.Dy() > 300 || b.Dx() < 50 {
+		t.Fatalf("bounds %v", b)
+	}
+	// Sample the middle of the diffusion box: greener than blue.
+	x := 8 + b.Dx()/8
+	y := b.Dy() / 2
+	r, g, bl, _ := img.At(x, y).RGBA()
+	if g <= bl || g <= r {
+		t.Fatalf("diffusion sample not green: r=%d g=%d b=%d at (%d,%d)", r, g, bl, x, y)
+	}
+	// Sample the gap: white.
+	gx := b.Dx() / 2
+	r, g, bl, _ = img.At(gx, y).RGBA()
+	if r != 0xffff || g != 0xffff || bl != 0xffff {
+		t.Fatalf("gap not white: %d %d %d", r, g, bl)
+	}
+}
+
+func TestOverlapBlends(t *testing.T) {
+	boxes := []frontend.Box{
+		{Layer: tech.Diff, Rect: geom.R(0, 0, 1000, 1000)},
+		{Layer: tech.Poly, Rect: geom.R(0, 0, 1000, 1000)},
+	}
+	img, err := Image(boxes, Options{MaxDim: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	r, g, _, _ := img.At(b.Dx()/2, b.Dy()/2).RGBA()
+	// Both red (poly) and green (diff) must contribute.
+	if r < 0x4000 || g < 0x3000 {
+		t.Fatalf("overlap not blended: r=%d g=%d", r, g)
+	}
+}
+
+func TestWritePNG(t *testing.T) {
+	f := gen.Inverter()
+	stream, err := frontend.New(f, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, stream.Drain(), Options{MaxDim: 400}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("invalid png: %v", err)
+	}
+	if img.Bounds().Dx() < 100 {
+		t.Fatalf("image too small: %v", img.Bounds())
+	}
+}
+
+func TestHighlight(t *testing.T) {
+	boxes := []frontend.Box{
+		{Layer: tech.Diff, Rect: geom.R(0, 0, 1000, 1000)},
+	}
+	img, err := Image(boxes, Options{MaxDim: 100,
+		Highlight: []geom.Rect{geom.R(0, 0, 500, 1000)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	// Left half: magenta dominates (high red+blue); right half: green.
+	r1, g1, b1, _ := img.At(b.Dx()/4, b.Dy()/2).RGBA()
+	if r1 <= g1 || b1 <= g1 {
+		t.Fatalf("highlight sample not magenta: r=%d g=%d b=%d", r1, g1, b1)
+	}
+	r2, g2, _, _ := img.At(3*b.Dx()/4, b.Dy()/2).RGBA()
+	if g2 <= r2 {
+		t.Fatalf("unhighlighted sample not green: r=%d g=%d", r2, g2)
+	}
+}
+
+func TestEmptyErrors(t *testing.T) {
+	if _, err := Image(nil, Options{}); err == nil {
+		t.Fatal("empty geometry should error")
+	}
+}

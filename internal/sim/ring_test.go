@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"testing"
+
+	"ace/internal/extract"
+	"ace/internal/gen"
+)
+
+func ringSim(t *testing.T, n int) (*Simulator, int) {
+	t.Helper()
+	w := gen.RingOscillator(n)
+	res, err := extract.File(w.File, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Netlist.Devices); got != w.WantDevices {
+		t.Fatalf("ring(%d): devices %d, want %d", n, got, w.WantDevices)
+	}
+	if got := len(res.Netlist.Nets); got != w.WantNets {
+		t.Fatalf("ring(%d): nets %d, want %d\n%s", n, got, w.WantNets, res.Netlist)
+	}
+	s, err := New(res.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, w.WantDevices
+}
+
+func TestRingOscillatorOddIsX(t *testing.T) {
+	// An odd ring has no stable state: the fixpoint iteration must
+	// give up and report X rather than hanging or picking a value.
+	for _, n := range []int{3, 5} {
+		s, _ := ringSim(t, n)
+		if err := s.Eval(); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := s.Get("TAP"); got != X {
+			t.Fatalf("ring(%d): TAP=%v, want X (oscillating)", n, got)
+		}
+	}
+}
+
+func TestRingOscillatorWaveform(t *testing.T) {
+	// Kick a 3-ring by driving the tap, release it, and step the
+	// network: the wavefront rotates one inverter per unit delay, so
+	// the tap toggles with period 3 (2n·unit/2 per half-cycle for a
+	// ring of n inverters under synchronous update).
+	s, _ := ringSim(t, 3)
+	if err := s.Set("TAP", H); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Eval(); err != nil {
+		t.Fatal(err)
+	}
+	s.Release("TAP")
+	wave, err := s.Trace("TAP", 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The waveform must contain both levels (oscillation), no X, and
+	// be periodic with period 2n = 6.
+	saw := map[Value]int{}
+	for _, v := range wave {
+		saw[v]++
+	}
+	if saw[X] != 0 {
+		t.Fatalf("X in waveform: %v", wave)
+	}
+	if saw[L] == 0 || saw[H] == 0 {
+		t.Fatalf("not oscillating: %v", wave)
+	}
+	for i := 6; i < len(wave); i++ {
+		if wave[i] != wave[i-6] {
+			t.Fatalf("period not 6: %v", wave)
+		}
+	}
+}
+
+func TestRingEvenIsBistable(t *testing.T) {
+	// An even ring is a latch: undriven it is X (either state is
+	// possible); forcing the tap and releasing it must hold the value.
+	s, _ := ringSim(t, 4)
+	if err := s.Eval(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("TAP"); got != X {
+		t.Fatalf("undriven latch TAP=%v, want X", got)
+	}
+	if err := s.Set("TAP", H); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Eval(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("TAP"); got != H {
+		t.Fatalf("driven TAP=%v, want 1", got)
+	}
+}

@@ -1,0 +1,281 @@
+// Package sim is a switch-level logic simulator for extracted NMOS
+// wirelists — the first of the downstream consumers the paper's
+// introduction motivates ("Logic simulators help validate the logical
+// correctness"). It models ratioed NMOS: depletion loads conduct
+// always but weakly; enhancement pull-downs conduct strongly when
+// their gate is high, so a fighting node resolves low.
+package sim
+
+import (
+	"fmt"
+
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+// Value is a three-state logic level.
+type Value int8
+
+const (
+	X Value = iota // unknown / conflict
+	L              // logic 0
+	H              // logic 1
+)
+
+func (v Value) String() string {
+	switch v {
+	case L:
+		return "0"
+	case H:
+		return "1"
+	}
+	return "X"
+}
+
+// strength orders signal sources: rails beat strong (enhancement
+// path) beats weak (through a depletion device) beats floating.
+type strength int8
+
+const (
+	stNone strength = iota
+	stWeak
+	stStrong
+	stRail
+)
+
+// Simulator evaluates an extracted netlist.
+type Simulator struct {
+	nl *netlist.Netlist
+
+	vdd, gnd int
+	inputs   map[int]Value
+	values   []Value
+
+	// adjacency: device indices touching each net via source/drain.
+	byNet [][]int
+
+	maxIters int
+}
+
+// New builds a simulator. The netlist must contain nets named VDD and
+// GND (the extractor attaches these from CIF labels).
+func New(nl *netlist.Netlist) (*Simulator, error) {
+	vdd, ok := nl.NetByName("VDD")
+	if !ok {
+		return nil, fmt.Errorf("sim: no net named VDD")
+	}
+	gnd, ok := nl.NetByName("GND")
+	if !ok {
+		return nil, fmt.Errorf("sim: no net named GND")
+	}
+	s := &Simulator{
+		nl:       nl,
+		vdd:      vdd,
+		gnd:      gnd,
+		inputs:   map[int]Value{},
+		values:   make([]Value, len(nl.Nets)),
+		byNet:    make([][]int, len(nl.Nets)),
+		maxIters: 4 * (len(nl.Devices) + 4),
+	}
+	for i, d := range nl.Devices {
+		s.byNet[d.Source] = append(s.byNet[d.Source], i)
+		if d.Drain != d.Source {
+			s.byNet[d.Drain] = append(s.byNet[d.Drain], i)
+		}
+	}
+	return s, nil
+}
+
+// Set drives the named net to a value (rail strength).
+func (s *Simulator) Set(name string, v Value) error {
+	i, ok := s.nl.NetByName(name)
+	if !ok {
+		return fmt.Errorf("sim: no net named %s", name)
+	}
+	if i == s.vdd || i == s.gnd {
+		return fmt.Errorf("sim: cannot drive the %s rail", name)
+	}
+	s.inputs[i] = v
+	return nil
+}
+
+// Release removes the drive from an input.
+func (s *Simulator) Release(name string) {
+	if i, ok := s.nl.NetByName(name); ok {
+		delete(s.inputs, i)
+	}
+}
+
+// Get reads the value of a named net after Eval.
+func (s *Simulator) Get(name string) (Value, error) {
+	i, ok := s.nl.NetByName(name)
+	if !ok {
+		return X, fmt.Errorf("sim: no net named %s", name)
+	}
+	return s.values[i], nil
+}
+
+// Value reads a net by index.
+func (s *Simulator) Value(net int) Value { return s.values[net] }
+
+// Eval relaxes the network to a fixpoint from an all-X start. Nets
+// that never settle (ring oscillators, fighting inputs) come out X.
+func (s *Simulator) Eval() error {
+	n := len(s.nl.Nets)
+	cur := make([]Value, n)
+	for i := range cur {
+		cur[i] = X
+	}
+	for it := 0; it < s.maxIters; it++ {
+		next := s.step(cur)
+		same := true
+		for i := range next {
+			if next[i] != cur[i] {
+				same = false
+				break
+			}
+		}
+		cur = next
+		if same {
+			copy(s.values, cur)
+			return nil
+		}
+	}
+	// No fixpoint: report the disagreeing nets as X by running one
+	// more step and X-ing the differences.
+	last := s.step(cur)
+	for i := range cur {
+		if last[i] != cur[i] {
+			cur[i] = X
+		}
+	}
+	copy(s.values, cur)
+	return nil
+}
+
+// Step advances the network one synchronous unit-delay step from its
+// current state (every gate evaluates against the previous values
+// simultaneously). Unlike Eval it preserves dynamic state, so
+// feedback structures behave like hardware: a released ring oscillator
+// rotates its wavefront one stage per step.
+func (s *Simulator) Step() {
+	next := s.step(s.values)
+	copy(s.values, next)
+}
+
+// Trace drives the network for n unit-delay steps and records the
+// named net after each one — a waveform, in the spirit of the timing
+// checks the paper's introduction sends wirelists to simulators for.
+func (s *Simulator) Trace(name string, n int) ([]Value, error) {
+	idx, ok := s.nl.NetByName(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: no net named %s", name)
+	}
+	out := make([]Value, n)
+	for i := 0; i < n; i++ {
+		s.Step()
+		out[i] = s.values[idx]
+	}
+	return out, nil
+}
+
+// step computes one synchronous relaxation step: each net's value
+// given the transistor states implied by prev.
+func (s *Simulator) step(prev []Value) []Value {
+	n := len(s.nl.Nets)
+	val := make([]Value, n)
+	str := make([]strength, n)
+	for i := range val {
+		val[i] = X
+		str[i] = stNone
+	}
+	seed := func(i int, v Value) {
+		val[i] = v
+		str[i] = stRail
+	}
+	seed(s.vdd, H)
+	seed(s.gnd, L)
+	for i, v := range s.inputs {
+		seed(i, v)
+	}
+
+	// Propagate until stable within the step: signals cross conducting
+	// devices, degrading to weak through depletion loads and keeping
+	// strength (capped at strong) through enhancement devices.
+	type item struct{ net int }
+	queue := make([]int, 0, n)
+	inQueue := make([]bool, n)
+	push := func(i int) {
+		if !inQueue[i] {
+			inQueue[i] = true
+			queue = append(queue, i)
+		}
+	}
+	push(s.vdd)
+	push(s.gnd)
+	for i := range s.inputs {
+		push(i)
+	}
+	for len(queue) > 0 {
+		net := queue[0]
+		queue = queue[1:]
+		inQueue[net] = false
+		for _, di := range s.byNet[net] {
+			d := &s.nl.Devices[di]
+			on, degrade := s.conducts(d, prev)
+			if on == L {
+				continue // off
+			}
+			other := d.Source
+			if other == net {
+				other = d.Drain
+			}
+			v := val[net]
+			st := str[net]
+			if st == stNone {
+				continue
+			}
+			if degrade {
+				if st > stWeak {
+					st = stWeak
+				}
+			} else if st > stStrong {
+				st = stStrong
+			}
+			if on == X && v != X {
+				// Conduction uncertain: the signal arrives as X.
+				v = X
+			}
+			if st > str[other] {
+				val[other] = v
+				str[other] = st
+				push(other)
+			} else if st == str[other] && val[other] != v && val[other] != X {
+				val[other] = X
+				push(other)
+			}
+		}
+	}
+	return val
+}
+
+// conducts reports whether a device conducts under prev gate values
+// (H=yes, L=no, X=maybe) and whether passing through it degrades the
+// signal to weak.
+func (s *Simulator) conducts(d *netlist.Device, prev []Value) (Value, bool) {
+	switch d.Type {
+	case tech.Depletion:
+		return H, true // always on, weak (the NMOS load)
+	case tech.Capacitor:
+		return L, false
+	default: // enhancement
+		switch prev[d.Gate] {
+		case H:
+			return H, false
+		case L:
+			return L, false
+		default:
+			return X, false
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"ace/internal/extract"
+	"ace/internal/gen"
+	"ace/internal/geom"
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+func chainSim(t *testing.T, n int) *Simulator {
+	t.Helper()
+	w := gen.InverterChain(n)
+	res, err := extract.File(w.File, extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(res.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInverterChainLogic(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6} {
+		s := chainSim(t, n)
+		for _, in := range []Value{L, H} {
+			if err := s.Set("IN", in); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Eval(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("OUT")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := in
+			if n%2 == 1 { // odd number of inversions
+				if in == H {
+					want = L
+				} else {
+					want = H
+				}
+			}
+			if got != want {
+				t.Fatalf("n=%d in=%v: OUT=%v, want %v", n, in, got, want)
+			}
+		}
+	}
+}
+
+func TestPaperInverter(t *testing.T) {
+	res, err := extract.File(gen.Inverter(), extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(res.Netlist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[Value]Value{L: H, H: L}
+	for in, want := range cases {
+		if err := s.Set("INP", in); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Eval(); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := s.Get("OUT"); got != want {
+			t.Fatalf("INP=%v: OUT=%v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestNandGate(t *testing.T) {
+	// Extract a 2-input NAND from the cell library and verify its
+	// truth table end to end: layout → extraction → simulation.
+	d := gen.NewDesign()
+	c := gen.GateCell(d, "nand2", 2)
+	d.CallTop(c, geom.Identity)
+	h := gen.GateCellHeight(2)
+	d.LabelTopOn("GND", 1*gen.Lambda, 2*gen.Lambda, tech.Metal)
+	d.LabelTop("VDD", 1*gen.Lambda, (h-2)*gen.Lambda)
+	d.LabelTop("A", 5*gen.Lambda, 7*gen.Lambda)
+	d.LabelTop("B", 5*gen.Lambda, 13*gen.Lambda)
+	d.LabelTop("Y", 27*gen.Lambda, (h-19)*gen.Lambda)
+	res, err := extract.File(d.File(), extract.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(res.Netlist)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, res.Netlist)
+	}
+	truth := []struct{ a, b, y Value }{
+		{L, L, H}, {L, H, H}, {H, L, H}, {H, H, L},
+	}
+	for _, tc := range truth {
+		s.Set("A", tc.a)
+		s.Set("B", tc.b)
+		if err := s.Eval(); err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := s.Get("Y"); got != tc.y {
+			t.Fatalf("NAND(%v,%v) = %v, want %v\n%s", tc.a, tc.b, got, tc.y, res.Netlist)
+		}
+	}
+}
+
+func TestUndrivenInputIsX(t *testing.T) {
+	s := chainSim(t, 1)
+	if err := s.Eval(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get("OUT"); got != X {
+		t.Fatalf("undriven chain OUT=%v, want X", got)
+	}
+	// Driving and then releasing the input returns the output to X.
+	s.Set("IN", H)
+	s.Eval()
+	if got, _ := s.Get("OUT"); got != L {
+		t.Fatalf("OUT=%v, want 0", got)
+	}
+	s.Release("IN")
+	s.Eval()
+	if got, _ := s.Get("OUT"); got != X {
+		t.Fatalf("released OUT=%v, want X", got)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	nl := &netlist.Netlist{Nets: []netlist.Net{{Names: []string{"VDD"}}}}
+	if _, err := New(nl); err == nil {
+		t.Fatal("missing GND should error")
+	}
+	s := chainSim(t, 1)
+	if err := s.Set("NOPE", H); err == nil {
+		t.Fatal("unknown net should error")
+	}
+	if err := s.Set("VDD", L); err == nil {
+		t.Fatal("driving a rail should error")
+	}
+	if _, err := s.Get("NOPE"); err == nil {
+		t.Fatal("unknown net should error")
+	}
+}

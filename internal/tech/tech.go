@@ -1,0 +1,150 @@
+// Package tech defines the Mead–Conway NMOS technology the extractor
+// understands: the CIF layer set, which layers conduct, how contact
+// cuts and buried contacts join layers, and the transistor formation
+// rule (ACE §3: "An overlap between diffusion and poly accompanied by
+// the absence of buried results in a potential transistor. The
+// presence of implant determines the type of transistor.").
+package tech
+
+import "fmt"
+
+// Layer identifies one NMOS mask layer.
+type Layer int8
+
+// The Mead–Conway NMOS layer set, in the order the scanline back end
+// traverses them.
+const (
+	Diff    Layer = iota // ND: diffusion
+	Poly                 // NP: polysilicon
+	Metal                // NM: metal
+	Cut                  // NC: contact cut (metal to poly or diffusion)
+	Buried               // NB: buried contact (poly to diffusion)
+	Implant              // NI: depletion-mode implant
+	Glass                // NG: overglass openings
+	numLayers
+)
+
+// NumLayers is the number of mask layers.
+const NumLayers = int(numLayers)
+
+// ConductingLayers are the layers that carry electrical signals and
+// therefore participate in net formation. Non-conducting layers
+// (implant, cut, buried, glass) "cannot transfer any information to
+// the external environment" (HEXT §3) but modulate devices and
+// inter-layer connections.
+var ConductingLayers = []Layer{Diff, Poly, Metal}
+
+// InteractingLayers are the four layers whose overlaps form devices
+// (ACE §3 step 2.c).
+var InteractingLayers = []Layer{Diff, Poly, Buried, Implant}
+
+var cifNames = [NumLayers]string{"ND", "NP", "NM", "NC", "NB", "NI", "NG"}
+var longNames = [NumLayers]string{
+	"diffusion", "poly", "metal", "cut", "buried", "implant", "glass",
+}
+
+// CIFName returns the two-letter CIF layer name (e.g. "ND").
+func (l Layer) CIFName() string {
+	if l < 0 || int(l) >= NumLayers {
+		return fmt.Sprintf("L%d?", int(l))
+	}
+	return cifNames[l]
+}
+
+// String returns the human-readable layer name.
+func (l Layer) String() string {
+	if l < 0 || int(l) >= NumLayers {
+		return fmt.Sprintf("layer(%d)", int(l))
+	}
+	return longNames[l]
+}
+
+// Conducting reports whether the layer carries signals.
+func (l Layer) Conducting() bool { return l == Diff || l == Poly || l == Metal }
+
+// LayerByCIFName maps a CIF layer name to a Layer. Both the canonical
+// NMOS names (ND, NP, …) and the single-letter aliases some tools
+// emit (D, P, M, C, B, I, G) are accepted.
+func LayerByCIFName(name string) (Layer, bool) {
+	switch name {
+	case "ND", "D", "NX": // NX appears in the paper's wirelist channel geometry
+		return Diff, true
+	case "NP", "P":
+		return Poly, true
+	case "NM", "M":
+		return Metal, true
+	case "NC", "C":
+		return Cut, true
+	case "NB", "B":
+		return Buried, true
+	case "NI", "I":
+		return Implant, true
+	case "NG", "G":
+		return Glass, true
+	}
+	return 0, false
+}
+
+// DeviceType classifies an extracted device.
+type DeviceType int8
+
+const (
+	// Enhancement is a normal NMOS enhancement-mode transistor
+	// (diffusion ∧ poly, no buried, no implant).
+	Enhancement DeviceType = iota
+	// Depletion is a depletion-mode transistor (implant present over
+	// the channel) — the NMOS load device.
+	Depletion
+	// Capacitor is a MOS capacitor: a gate region whose single
+	// source/drain net is tied to its gate net.
+	Capacitor
+)
+
+func (d DeviceType) String() string {
+	switch d {
+	case Enhancement:
+		return "nEnh"
+	case Depletion:
+		return "nDep"
+	case Capacitor:
+		return "nCap"
+	}
+	return fmt.Sprintf("device(%d)", int8(d))
+}
+
+// Tech carries the numeric parameters of the process.
+type Tech struct {
+	// Lambda is the half design-rule unit in centimicrons. The
+	// Mead–Conway NMOS default is 200 (λ = 2 µm).
+	Lambda int64
+
+	// MinRatio is the minimum pull-up/pull-down length ratio the
+	// static checker enforces for restoring logic (Mead–Conway use 4:1
+	// for inverters driven by pass transistors, 8:1 otherwise; we
+	// check the conservative 4:1 by default).
+	MinRatio float64
+
+	// AreaCapPerLambda2 gives per-layer capacitance in attofarads per
+	// λ² for the R/C post-processor.
+	AreaCapPerLambda2 [NumLayers]float64
+
+	// SheetResistance gives per-layer resistance in milliohms per
+	// square for the R/C post-processor.
+	SheetResistance [NumLayers]float64
+}
+
+// Default returns the standard Mead–Conway NMOS parameter set used
+// throughout the repository.
+func Default() *Tech {
+	t := &Tech{Lambda: 200, MinRatio: 4.0}
+	// Classic Mead–Conway table 2.1-ish values (aF/λ² at λ=2µm and
+	// mΩ/sq): metal 0.3 fF/µm² etc. The absolute values only matter
+	// to the rcx post-processor's relative ordering.
+	t.AreaCapPerLambda2[Metal] = 120
+	t.AreaCapPerLambda2[Poly] = 160
+	t.AreaCapPerLambda2[Diff] = 400
+	t.SheetResistance[Metal] = 30   // 0.03 Ω/sq
+	t.SheetResistance[Poly] = 30000 // 30 Ω/sq
+	t.SheetResistance[Diff] = 10000 // 10 Ω/sq
+	return t
+}

@@ -1,0 +1,84 @@
+package tech
+
+import "testing"
+
+func TestLayerNames(t *testing.T) {
+	for l := Layer(0); int(l) < NumLayers; l++ {
+		if l.CIFName() == "" || l.String() == "" {
+			t.Fatalf("layer %d has empty name", l)
+		}
+		// Round trip through the CIF name.
+		got, ok := LayerByCIFName(l.CIFName())
+		if !ok || got != l {
+			t.Fatalf("round trip %s: %v %v", l.CIFName(), got, ok)
+		}
+	}
+	if Layer(99).CIFName() == "" || Layer(99).String() == "" {
+		t.Fatal("out-of-range layers must still format")
+	}
+}
+
+func TestLayerAliases(t *testing.T) {
+	cases := map[string]Layer{
+		"ND": Diff, "D": Diff, "NX": Diff,
+		"NP": Poly, "P": Poly,
+		"NM": Metal, "M": Metal,
+		"NC": Cut, "C": Cut,
+		"NB": Buried, "B": Buried,
+		"NI": Implant, "I": Implant,
+		"NG": Glass, "G": Glass,
+	}
+	for name, want := range cases {
+		got, ok := LayerByCIFName(name)
+		if !ok || got != want {
+			t.Errorf("LayerByCIFName(%q) = %v %v, want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := LayerByCIFName("ZZ"); ok {
+		t.Error("bogus layer accepted")
+	}
+}
+
+func TestConducting(t *testing.T) {
+	want := map[Layer]bool{
+		Diff: true, Poly: true, Metal: true,
+		Cut: false, Buried: false, Implant: false, Glass: false,
+	}
+	for l, w := range want {
+		if l.Conducting() != w {
+			t.Errorf("%v.Conducting() = %v", l, l.Conducting())
+		}
+	}
+	if len(ConductingLayers) != 3 || len(InteractingLayers) != 4 {
+		t.Fatal("layer groups wrong")
+	}
+}
+
+func TestDeviceTypeString(t *testing.T) {
+	if Enhancement.String() != "nEnh" || Depletion.String() != "nDep" || Capacitor.String() != "nCap" {
+		t.Fatal("device type names")
+	}
+	if DeviceType(9).String() == "" {
+		t.Fatal("out-of-range device type must format")
+	}
+}
+
+func TestDefault(t *testing.T) {
+	tc := Default()
+	if tc.Lambda != 200 || tc.MinRatio != 4.0 {
+		t.Fatalf("defaults %+v", tc)
+	}
+	for _, l := range ConductingLayers {
+		if tc.AreaCapPerLambda2[l] <= 0 || tc.SheetResistance[l] <= 0 {
+			t.Fatalf("missing parasitics for %v", l)
+		}
+	}
+	// Poly must be more resistive than metal; diffusion more capacitive
+	// than metal — the orderings rcx depends on.
+	if tc.SheetResistance[Poly] <= tc.SheetResistance[Metal] {
+		t.Fatal("poly should be more resistive than metal")
+	}
+	if tc.AreaCapPerLambda2[Diff] <= tc.AreaCapPerLambda2[Metal] {
+		t.Fatal("diffusion should be more capacitive than metal")
+	}
+}

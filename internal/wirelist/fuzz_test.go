@@ -1,0 +1,27 @@
+package wirelist
+
+import "testing"
+
+// FuzzParseFlat hammers the flat wirelist parser: never panic, and
+// every accepted netlist must pass validation well enough to reformat.
+func FuzzParseFlat(f *testing.F) {
+	f.Add(`(DefPart "x" (Part nEnh (T Gate N1) (T Source N2) (T Drain N3) (Channel (Length 2) (Width 4))) (Net N1 IN))`)
+	f.Add(`(DefPart "y" (Local N0 N1))`)
+	f.Add(`(DefPart "z" (DefPart nDep (Export S G D)) (Net N0 VDD (Location 1 2)))`)
+	f.Add(`(DefPart "g" (Net N0 ( CIF " L NM; B L4800 W800 C-200 3400; L ND; B L400 W200 C-200 2900; ")))`)
+	f.Add(`(DefPart "h" (Net N1 ( CIF " L NX; B L1 W1 C0 0; L QQ; B L2 W2 C1 1; ")))`)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			return
+		}
+		nl, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be re-writable and re-parseable.
+		text := Format(nl, Options{})
+		if _, err := ParseString(text); err != nil {
+			t.Fatalf("reformat unparseable: %v\noriginal: %q\nrewritten: %q", err, src, text)
+		}
+	})
+}

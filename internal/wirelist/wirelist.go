@@ -1,0 +1,115 @@
+// Package wirelist reads and writes the CMU hierarchical wirelist
+// format of Frank, Ebeling and Sproull — the LISP-like syntax of
+// Figures 3-4 and 2-2 ("easy to parse and extend").
+//
+// The flat form (this package's Write/Parse) carries a DefPart
+// containing Part statements for each transistor and Net statements
+// for each net. The hierarchical form (written by internal/hext)
+// nests DefParts. The original V085 format specification is lost;
+// token spellings follow the paper's figures (see DESIGN.md §6).
+package wirelist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+// Options configures wirelist output.
+type Options struct {
+	// Geometry includes the CIF geometry of every net and device
+	// (ACE's user option; suppressed under normal operation).
+	Geometry bool
+}
+
+// Write emits a flat netlist in the Figure 3-4 style.
+func Write(w io.Writer, nl *netlist.Netlist, opt Options) error {
+	ew := &errWriter{w: w}
+	name := nl.Name
+	if name == "" {
+		name = "chip"
+	}
+	ew.printf("(DefPart %q\n", name)
+	ew.printf("(DefPart nEnh (Export Source Gate Drain))\n")
+	ew.printf("(DefPart nDep (Export Source Gate Drain))\n")
+	ew.printf("(DefPart nCap (Export Source Gate Drain))\n")
+
+	netName := func(i int) string { return fmt.Sprintf("N%d", i) }
+
+	for i, d := range nl.Devices {
+		ew.printf("(Part %s (InstName D%d) (Location %d %d)\n",
+			d.Type, i, d.Location.X, d.Location.Y)
+		ew.printf(" (T Gate %s) (T Source %s) (T Drain %s)\n",
+			netName(d.Gate), netName(d.Source), netName(d.Drain))
+		ew.printf(" (Channel (Length %d) (Width %d)", d.Length, d.Width)
+		if opt.Geometry && len(d.Geometry) > 0 {
+			ew.printf("\n  ( CIF \"")
+			for _, r := range d.Geometry {
+				ew.printf(" L NX; B L%d W%d C%d %d;", r.W(), r.H(), r.Center().X, r.Center().Y)
+			}
+			ew.printf(" \")")
+		}
+		ew.printf("))\n")
+	}
+
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		ew.printf("(Net %s", netName(i))
+		for _, nm := range n.Names {
+			ew.printf(" %s", nm)
+		}
+		ew.printf(" (Location %d %d)", n.Location.X, n.Location.Y)
+		if opt.Geometry && len(n.Geometry) > 0 {
+			ew.printf("\n ( CIF \"")
+			for _, g := range n.Geometry {
+				r := g.Rect
+				ew.printf(" L %s; B L%d W%d C%d %d;",
+					g.Layer.CIFName(), r.W(), r.H(), r.Center().X, r.Center().Y)
+			}
+			ew.printf(" \")")
+		}
+		ew.printf(")\n")
+	}
+
+	ew.printf("(Local")
+	for i := range nl.Nets {
+		ew.printf(" %s", netName(i))
+	}
+	ew.printf(" ))\n")
+	return ew.err
+}
+
+// Format renders a netlist to a string.
+func Format(nl *netlist.Netlist, opt Options) string {
+	var sb strings.Builder
+	_ = Write(&sb, nl, opt)
+	return sb.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// deviceTypeByName maps the wirelist part names back to device types.
+func deviceTypeByName(s string) (tech.DeviceType, bool) {
+	switch s {
+	case "nEnh":
+		return tech.Enhancement, true
+	case "nDep":
+		return tech.Depletion, true
+	case "nCap":
+		return tech.Capacitor, true
+	}
+	return 0, false
+}
