@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ace/internal/extract"
+	"ace/internal/gen"
+)
+
+// benchEnv records the machine the numbers came from; baselines are
+// only comparable against the same environment.
+type benchEnv struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go"`
+	OS         string  `json:"os"`
+	Arch       string  `json:"arch"`
+	NumCPU     int     `json:"num_cpu"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Scale      float64 `json:"scale"`
+}
+
+type benchResult struct {
+	Chip        string  `json:"chip"`
+	Workers     int     `json:"workers"`
+	Boxes       int     `json:"boxes"`
+	Devices     int     `json:"devices"`
+	Nets        int     `json:"nets"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	BoxesPerSec float64 `json:"boxes_per_sec"`
+	DevsPerSec  float64 `json:"devs_per_sec"`
+}
+
+type benchReport struct {
+	Env     benchEnv      `json:"env"`
+	Results []benchResult `json:"results"`
+}
+
+// runBenchJSON benchmarks serial and banded extraction over the
+// synthetic chips and writes a machine-readable baseline. Worker
+// counts above NumCPU cannot speed anything up, but they still
+// exercise the band-stitch overhead, so the sweep includes them and
+// the env block says how many cores the numbers were taken on.
+func runBenchJSON(path string, scale float64) {
+	report := benchReport{Env: benchEnv{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      scale,
+	}}
+
+	workerSweep := []int{1, 2, 4, 8}
+	for _, c := range gen.Chips {
+		w := c.Build(scale)
+		for _, workers := range workerSweep {
+			opt := extract.Options{Workers: workers}
+			// One untimed run for the design-dependent counts.
+			probe, err := extract.File(w.File, opt)
+			if err != nil {
+				fatal(err)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := extract.File(w.File, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			sec := float64(r.NsPerOp()) / 1e9
+			report.Results = append(report.Results, benchResult{
+				Chip:        c.Name,
+				Workers:     workers,
+				Boxes:       probe.Counters.BoxesIn,
+				Devices:     len(probe.Netlist.Devices),
+				Nets:        len(probe.Netlist.Nets),
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				BoxesPerSec: float64(probe.Counters.BoxesIn) / sec,
+				DevsPerSec:  float64(len(probe.Netlist.Devices)) / sec,
+			})
+			fmt.Fprintf(os.Stderr, "%-10s workers=%d  %12v/op  %8d allocs/op  %10.0f boxes/sec\n",
+				c.Name, workers, time.Duration(r.NsPerOp()), r.AllocsPerOp(),
+				float64(probe.Counters.BoxesIn)*1e9/float64(r.NsPerOp()))
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

@@ -37,10 +37,14 @@ func main() {
 		mesh     = flag.Int("mesh", 0, "extract the n×n worst-case mesh and print timing")
 		model    = flag.Bool("model", false, "reproduce the §4 expected-case model counters (E6)")
 		scale    = flag.Float64("scale", 1.0, "chip scale factor for the table harnesses")
+		bench    = flag.String("bench-json", "", "benchmark the synthetic chips and write a JSON baseline to this file")
 	)
+	flag.IntVar(&flagWorkers, "workers", 0, "split the sweep into this many concurrent bands (0 or 1: serial)")
 	flag.Parse()
 
 	switch {
+	case *bench != "":
+		runBenchJSON(*bench, *scale)
 	case *table51:
 		runTable51(*scale)
 	case *table52:
@@ -71,7 +75,11 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 		defer f.Close()
 		r = f
 	}
-	res, err := extract.Reader(r, extract.Options{KeepGeometry: geometry, Profile: profile || stats})
+	res, err := extract.Reader(r, extract.Options{
+		KeepGeometry: geometry,
+		Profile:      profile || stats,
+		Workers:      flagWorkers,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -213,9 +221,13 @@ func runMesh(n int) {
 		n, n, res.Counters.BoxesIn, len(res.Netlist.Devices), dur)
 }
 
+// flagWorkers is the -workers flag, threaded into every extraction the
+// command runs.
+var flagWorkers int
+
 func timedExtract(f *cif.File) (*extract.Result, time.Duration) {
 	t0 := time.Now()
-	res, err := extract.File(f, extract.Options{})
+	res, err := extract.File(f, extract.Options{Workers: flagWorkers})
 	if err != nil {
 		fatal(err)
 	}

@@ -33,6 +33,15 @@ type Options struct {
 	// sort in the back end (see scan.Options.InsertionSort); used by
 	// the ablation benchmark.
 	InsertionSort bool
+
+	// Workers selects the parallel sweep: the design is split into up
+	// to Workers horizontal bands at scanline stop boundaries, each
+	// band is swept concurrently, and the bands are stitched by
+	// matching their boundary cross-sections (see scan.ParallelSweep).
+	// Zero or one runs the classic serial sweep. The parallel path
+	// materialises the instantiated design up front, so serial wins on
+	// small designs and when memory is tighter than time.
+	Workers int
 }
 
 // Phases is the paper's §5 time breakdown.
@@ -105,6 +114,10 @@ func File(f *cif.File, opt Options) (*Result, error) {
 		return nil, err
 	}
 
+	if opt.Workers > 1 {
+		return parallelFile(f, stream, opt, t0)
+	}
+
 	var src scan.Source = stream
 	var timed *timedSource
 	if opt.Profile {
@@ -141,6 +154,42 @@ func File(f *cif.File, opt Options) (*Result, error) {
 		if out.Phases.Insert < 0 {
 			out.Phases.Insert = 0
 		}
+		out.Phases.Devices = res.Timing.Devices
+		out.Phases.Output = res.Timing.Output
+	}
+	return out, nil
+}
+
+// parallelFile is the Workers > 1 path of File: it materialises the
+// instantiated design (the band partitioner needs the full box list)
+// and runs the band-sharded sweep.
+func parallelFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
+	tFE := time.Now()
+	boxes := stream.Drain()
+	labels := stream.Labels()
+	fe := time.Since(tFE)
+
+	res, err := scan.ParallelSweep(boxes, scan.Options{
+		KeepGeometry:  opt.KeepGeometry,
+		Labels:        labels,
+		InsertionSort: opt.InsertionSort,
+	}, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Netlist:  res.Netlist,
+		Counters: res.Counters,
+		Frontend: stream.Stats(),
+		Warnings: append(f.Warnings, res.Warnings...),
+	}
+	out.Phases.Total = time.Since(t0)
+	if opt.Profile {
+		out.Phases.FrontEnd = fe
+		// Band times overlap in wall-clock; report their sum, which is
+		// the CPU the sweep consumed.
+		out.Phases.Insert = res.Timing.Insert
 		out.Phases.Devices = res.Timing.Devices
 		out.Phases.Output = res.Timing.Output
 	}

@@ -1,0 +1,138 @@
+package extract
+
+import (
+	"testing"
+
+	"ace/internal/gen"
+	"ace/internal/netlist"
+)
+
+// equivSerialParallel extracts serially and with workers bands and
+// requires netlist isomorphism plus identical summary counts.
+func equivSerialParallel(t *testing.T, name string, run func(Options) (*Result, error), workers int) {
+	t.Helper()
+	serial, err := run(Options{})
+	if err != nil {
+		t.Fatalf("%s: serial: %v", name, err)
+	}
+	par, err := run(Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s: workers=%d: %v", name, workers, err)
+	}
+	if probs := par.Netlist.Validate(); len(probs) > 0 {
+		t.Errorf("%s: workers=%d: invalid netlist: %v", name, workers, probs)
+	}
+	if got, want := par.Netlist.Stats(), serial.Netlist.Stats(); got != want {
+		t.Errorf("%s: workers=%d: stats %v, want %v", name, workers, got, want)
+	}
+	eq, reason := netlist.Equivalent(serial.Netlist, par.Netlist)
+	if !eq {
+		t.Errorf("%s: workers=%d not equivalent to serial: %s", name, workers, reason)
+	}
+	if got, want := len(par.Warnings), len(serial.Warnings); got != want {
+		t.Errorf("%s: workers=%d: %d warnings, want %d (%v vs %v)",
+			name, workers, got, want, par.Warnings, serial.Warnings)
+	}
+}
+
+// TestParallelCorpus: every corpus file, parallel ≅ serial.
+func TestParallelCorpus(t *testing.T) {
+	for _, c := range corpus {
+		f := readCorpus(t, c.file)
+		equivSerialParallel(t, c.file, func(o Options) (*Result, error) {
+			return File(f, o)
+		}, 4)
+	}
+}
+
+// TestParallelChips: every synthetic chip at small scale, parallel ≅
+// serial, across several worker counts.
+func TestParallelChips(t *testing.T) {
+	for _, c := range gen.Chips {
+		w := c.Build(0.02)
+		for _, workers := range []int{2, 4, 8} {
+			equivSerialParallel(t, w.Name, func(o Options) (*Result, error) {
+				return File(w.File, o)
+			}, workers)
+		}
+	}
+}
+
+// TestParallelInverterGolden: the parallel path reproduces the paper's
+// inverter exactly — same locations, names and device sizes — because
+// band stitching preserves the serial builder semantics, not just
+// isomorphism.
+func TestParallelInverterGolden(t *testing.T) {
+	// InverterRow makes the design tall enough to cut into real bands
+	// even under the small-design serial fallback.
+	f := gen.InverterRow(64)
+	serial, err := File(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := File(f, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par.Netlist.Devices) != len(serial.Netlist.Devices) {
+		t.Fatalf("devices %d vs %d", len(par.Netlist.Devices), len(serial.Netlist.Devices))
+	}
+	eq, reason := netlist.Equivalent(serial.Netlist, par.Netlist)
+	if !eq {
+		t.Fatal(reason)
+	}
+}
+
+// TestParallelKeepGeometry: geometry keeping survives the band split.
+func TestParallelKeepGeometry(t *testing.T) {
+	c, ok := gen.ChipByName("dchip")
+	if !ok {
+		t.Fatal("dchip missing")
+	}
+	w := c.Build(0.02)
+	par, err := File(w.File, Options{Workers: 4, KeepGeometry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := File(w.File, Options{KeepGeometry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, reason := netlist.Equivalent(serial.Netlist, par.Netlist)
+	if !eq {
+		t.Fatal(reason)
+	}
+	nGeom := func(nl *netlist.Netlist) (nets, devs int) {
+		for i := range nl.Nets {
+			nets += len(nl.Nets[i].Geometry)
+		}
+		for i := range nl.Devices {
+			devs += len(nl.Devices[i].Geometry)
+		}
+		return
+	}
+	sn, sd := nGeom(serial.Netlist)
+	pn, pd := nGeom(par.Netlist)
+	if pn == 0 || pd == 0 {
+		t.Fatalf("parallel geometry missing: nets=%d devs=%d", pn, pd)
+	}
+	// Band boundaries may split rectangles, never drop area; counts can
+	// only grow by at most one rect per seam crossing.
+	if pn < sn || pd < sd {
+		t.Errorf("parallel geometry lost rects: nets %d<%d or devs %d<%d", pn, sn, pd, sd)
+	}
+}
+
+// TestWorkersDegenerate: absurd worker counts fall back gracefully.
+func TestWorkersDegenerate(t *testing.T) {
+	f := gen.Inverter()
+	for _, workers := range []int{1, 2, 1000} {
+		res, err := File(f, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Netlist.Devices) != 2 {
+			t.Fatalf("workers=%d: devices=%d", workers, len(res.Netlist.Devices))
+		}
+	}
+}

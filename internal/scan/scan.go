@@ -142,9 +142,31 @@ type sweeper struct {
 	labels []frontend.Label // sorted by descending y
 	nextLb int
 
+	// Band limits for the parallel sweep: when set, the sweeper
+	// snapshots the strip cross-section touching the band's top and
+	// bottom boundaries so the stitcher can match adjacent bands.
+	band    bandLimits
+	topFace face
+	botFace face
+
 	counters Counters
 	timing   Timing
 	warnings []string
+}
+
+// bandLimits bounds a sweeper to one horizontal band of the design.
+type bandLimits struct {
+	hasTop, hasBot bool
+	top, bot       int64
+}
+
+// face is the cross-section of the strip that touches a band boundary:
+// the conducting intervals and channel intervals, with their element
+// ids in the band builder's id space. It is the band analogue of
+// HEXT's window interface (the edges Compose matches).
+type face struct {
+	poly, diff, metal []ival
+	chans             []ival
 }
 
 func newSweeper(src Source, opt Options) *sweeper {
@@ -347,10 +369,36 @@ func (s *sweeper) strip(yTop, yBot int64) {
 		s.recordGeometry(yTop, yBot)
 	}
 
+	// Snapshot band-boundary cross-sections for the stitcher. A band's
+	// geometry is clipped to its limits, so only the first strip can
+	// touch the top boundary and only the last can touch the bottom;
+	// if no geometry reaches a boundary the face stays empty, exactly
+	// as an empty seam should.
+	if s.band.hasTop && yTop == s.band.top {
+		s.topFace = captureFace(s.curPoly, s.curDiff, s.curMetal, s.curChan)
+	}
+	if s.band.hasBot && yBot == s.band.bot {
+		s.botFace = captureFace(s.curPoly, s.curDiff, s.curMetal, s.curChan)
+	}
+
 	s.prevPoly, s.curPoly = s.curPoly, s.prevPoly
 	s.prevDiff, s.curDiff = s.curDiff, s.prevDiff
 	s.prevMetal, s.curMetal = s.curMetal, s.prevMetal
 	s.prevChan, s.curChan = s.curChan, s.prevChan
+}
+
+// captureFace copies the current strip's interval lists (the scratch
+// buffers are reused every strip, so the snapshot must own its memory).
+func captureFace(poly, diff, metal, chans []ival) face {
+	cp := func(v []ival) []ival {
+		if len(v) == 0 {
+			return nil
+		}
+		out := make([]ival, len(v))
+		copy(out, v)
+		return out
+	}
+	return face{poly: cp(poly), diff: cp(diff), metal: cp(metal), chans: cp(chans)}
 }
 
 // rangesOf converts a sorted active list to merged disjoint ranges.

@@ -69,3 +69,93 @@ func (f *Forest) Reset() {
 	f.rank = f.rank[:0]
 	f.sets = 0
 }
+
+// Forest32 is a union-find over dense int32 ids with path compression
+// and union by size, kept in two flat int32 slices. It is the variant
+// the extractor's builder uses on its hot path: ids stay int32
+// end-to-end (no int conversions), the size array doubles as the
+// class-cardinality table, and a whole forest can be absorbed into
+// another in O(n) copies — which is what stitches per-band builders
+// together in the parallel sweep. The zero value is ready for use.
+type Forest32 struct {
+	parent []int32
+	size   []int32
+	sets   int
+}
+
+// Make allocates a fresh singleton set and returns its id.
+func (f *Forest32) Make() int32 {
+	id := int32(len(f.parent))
+	f.parent = append(f.parent, id)
+	f.size = append(f.size, 1)
+	f.sets++
+	return id
+}
+
+// Grow allocates n fresh singletons at once and returns the first id.
+func (f *Forest32) Grow(n int) int32 {
+	first := int32(len(f.parent))
+	for i := 0; i < n; i++ {
+		f.parent = append(f.parent, first+int32(i))
+		f.size = append(f.size, 1)
+	}
+	f.sets += n
+	return first
+}
+
+// Len returns the number of ids allocated so far.
+func (f *Forest32) Len() int { return len(f.parent) }
+
+// Sets returns the number of distinct sets.
+func (f *Forest32) Sets() int { return f.sets }
+
+// Find returns the canonical representative of x's set.
+func (f *Forest32) Find(x int32) int32 {
+	root := x
+	for f.parent[root] != root {
+		root = f.parent[root]
+	}
+	for f.parent[x] != root {
+		x, f.parent[x] = f.parent[x], root
+	}
+	return root
+}
+
+// Union merges the sets containing x and y and returns the surviving
+// representative (the root of the larger class).
+func (f *Forest32) Union(x, y int32) int32 {
+	rx, ry := f.Find(x), f.Find(y)
+	if rx == ry {
+		return rx
+	}
+	if f.size[rx] < f.size[ry] {
+		rx, ry = ry, rx
+	}
+	f.parent[ry] = rx
+	f.size[rx] += f.size[ry]
+	f.sets--
+	return rx
+}
+
+// Same reports whether x and y are in the same set.
+func (f *Forest32) Same(x, y int32) bool { return f.Find(x) == f.Find(y) }
+
+// Absorb appends every element of o into f, preserving o's set
+// structure, and returns the offset added to o's ids: element i of o
+// becomes element offset+i of f. o is not modified.
+func (f *Forest32) Absorb(o *Forest32) int32 {
+	off := int32(len(f.parent))
+	for _, p := range o.parent {
+		f.parent = append(f.parent, p+off)
+	}
+	f.size = append(f.size, o.size...)
+	f.sets += o.sets
+	return off
+}
+
+// Reset restores the forest to the empty state, retaining capacity.
+func (f *Forest32) Reset() {
+	f.parent = f.parent[:0]
+	f.size = f.size[:0]
+	f.sets = 0
+}

@@ -102,3 +102,57 @@ func TestReset(t *testing.T) {
 		t.Fatal("sets joined after Reset")
 	}
 }
+
+func TestForest32Basics(t *testing.T) {
+	var f Forest32
+	a, b, c := f.Make(), f.Make(), f.Make()
+	if f.Len() != 3 || f.Sets() != 3 {
+		t.Fatalf("Len=%d Sets=%d", f.Len(), f.Sets())
+	}
+	r := f.Union(a, b)
+	if !f.Same(a, b) || f.Same(a, c) || f.Sets() != 2 {
+		t.Fatal("union wrong")
+	}
+	if f.Find(a) != r || f.Find(b) != r {
+		t.Fatal("find wrong")
+	}
+	// Union by size: the bigger class's root survives.
+	if got := f.Union(c, a); got != r {
+		t.Fatalf("size union kept %d, want %d", got, r)
+	}
+}
+
+func TestForest32Grow(t *testing.T) {
+	var f Forest32
+	first := f.Grow(5)
+	if first != 0 || f.Len() != 5 || f.Sets() != 5 {
+		t.Fatalf("Grow: first=%d Len=%d Sets=%d", first, f.Len(), f.Sets())
+	}
+	f.Make()
+	if f.Len() != 6 {
+		t.Fatal("Make after Grow")
+	}
+}
+
+func TestForest32Absorb(t *testing.T) {
+	var a, b Forest32
+	a.Make()
+	a.Make()
+	a.Union(0, 1)
+	x, y, z := b.Make(), b.Make(), b.Make()
+	b.Union(x, y)
+	off := a.Absorb(&b)
+	if off != 2 {
+		t.Fatalf("offset = %d, want 2", off)
+	}
+	if a.Len() != 5 || a.Sets() != 3 {
+		t.Fatalf("Len=%d Sets=%d after absorb", a.Len(), a.Sets())
+	}
+	if !a.Same(x+off, y+off) || a.Same(x+off, z+off) || a.Same(0, x+off) {
+		t.Fatal("absorbed structure wrong")
+	}
+	// b untouched.
+	if b.Len() != 3 || !b.Same(x, y) {
+		t.Fatal("source forest modified")
+	}
+}
