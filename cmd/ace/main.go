@@ -21,6 +21,7 @@ import (
 	"ace/internal/extract"
 	"ace/internal/frontend"
 	"ace/internal/gen"
+	"ace/internal/prof"
 	"ace/internal/raster"
 	"ace/internal/wirelist"
 )
@@ -38,9 +39,17 @@ func main() {
 		model    = flag.Bool("model", false, "reproduce the §4 expected-case model counters (E6)")
 		scale    = flag.Float64("scale", 1.0, "chip scale factor for the table harnesses")
 		bench    = flag.String("bench-json", "", "benchmark the synthetic chips and write a JSON baseline to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.IntVar(&flagWorkers, "workers", 0, "split the sweep into this many concurrent bands (0 or 1: serial)")
 	flag.Parse()
+
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
 
 	switch {
 	case *bench != "":

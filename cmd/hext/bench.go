@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ace/internal/gen"
+	"ace/internal/hext"
+)
+
+// benchEnv records the machine the numbers came from; baselines are
+// only comparable against the same environment. GOMAXPROCS sits next
+// to num_cpu because the worker sweep's speedups are meaningless
+// without it.
+type benchEnv struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+type benchResult struct {
+	Workload    string `json:"workload"`
+	Reps        int    `json:"reps"`
+	Workers     int    `json:"workers"`
+	CacheSize   int    `json:"cache_size"`
+	Devices     int    `json:"devices"`
+	Nets        int    `json:"nets"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+
+	// The memoisation evidence: flat calls grow with the replication
+	// factor, leaf sweeps stay bounded by the number of distinct window
+	// contents.
+	UniqueWindows int   `json:"unique_windows"`
+	FlatCalls     int   `json:"flat_calls"`
+	LeafSweeps    int   `json:"leaf_sweeps"`
+	CacheHits     int   `json:"cache_hits"`
+	CacheMisses   int   `json:"cache_misses"`
+	CacheBytes    int64 `json:"cache_bytes"`
+}
+
+type benchReport struct {
+	Env     benchEnv      `json:"env"`
+	Results []benchResult `json:"results"`
+}
+
+// runBenchJSON runs the replication reuse sweep — the same gate cell
+// instantiated 1x, 8x and 64x with varying margins — across worker
+// counts and a cache-off ablation, and writes a machine-readable
+// baseline. The interesting ratio is ns_per_op at 64x over 1x: with
+// the content cache it grows far slower than the instance count,
+// because leaf_sweeps stays at the number of distinct contents.
+func runBenchJSON(path string) {
+	report := benchReport{Env: benchEnv{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}}
+	if runtime.NumCPU() < 2 {
+		fmt.Fprintf(os.Stderr,
+			"hext: single-core host (NumCPU=%d): worker sweeps measure scheduling overhead, not speedup\n",
+			runtime.NumCPU())
+	}
+
+	type config struct {
+		workers int
+		cache   int
+	}
+	configs := []config{
+		{1, 0},  // serial, default cache
+		{4, 0},  // parallel, default cache
+		{8, 0},  // oversubscribed, default cache
+		{1, -1}, // cache-off ablation
+	}
+	for _, reps := range []int{1, 8, 64} {
+		w := gen.Replicated(reps)
+		for _, cfg := range configs {
+			opt := hext.Options{Workers: cfg.workers, CacheSize: cfg.cache}
+			// One untimed run for the design-dependent counters.
+			probe, err := hext.Extract(w.File, opt)
+			if err != nil {
+				fatal(err)
+			}
+			if len(probe.Netlist.Devices) != w.WantDevices {
+				fmt.Fprintf(os.Stderr, "hext: warning: reps=%d: devices %d, want %d\n",
+					reps, len(probe.Netlist.Devices), w.WantDevices)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := hext.Extract(w.File, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			c := probe.Counters
+			report.Results = append(report.Results, benchResult{
+				Workload:      w.Name,
+				Reps:          reps,
+				Workers:       cfg.workers,
+				CacheSize:     cfg.cache,
+				Devices:       len(probe.Netlist.Devices),
+				Nets:          len(probe.Netlist.Nets),
+				NsPerOp:       r.NsPerOp(),
+				AllocsPerOp:   r.AllocsPerOp(),
+				BytesPerOp:    r.AllocedBytesPerOp(),
+				UniqueWindows: c.UniqueWindows,
+				FlatCalls:     c.FlatCalls,
+				LeafSweeps:    c.LeafSweeps,
+				CacheHits:     c.CacheHits,
+				CacheMisses:   c.CacheMisses,
+				CacheBytes:    c.CacheBytes,
+			})
+			fmt.Fprintf(os.Stderr,
+				"%-10s reps=%-3d workers=%d cache=%-2d  %12v/op  sweeps=%-3d hits=%-4d flat=%d\n",
+				w.Name, reps, cfg.workers, cfg.cache,
+				time.Duration(r.NsPerOp()), c.LeafSweeps, c.CacheHits, c.FlatCalls)
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}

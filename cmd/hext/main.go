@@ -19,8 +19,20 @@ import (
 	"ace/internal/extract"
 	"ace/internal/gen"
 	"ace/internal/hext"
+	"ace/internal/prof"
 	"ace/internal/wirelist"
 )
+
+// flagWorkers and flagCacheSize are threaded into every extraction the
+// command runs.
+var (
+	flagWorkers   int
+	flagCacheSize int
+)
+
+func hextOpts() hext.Options {
+	return hext.Options{Workers: flagWorkers, CacheSize: flagCacheSize}
+}
 
 func main() {
 	var (
@@ -32,10 +44,23 @@ func main() {
 		table52 = flag.Bool("table52", false, "reproduce HEXT Table 5-2 (compose-time analysis)")
 		scale   = flag.Float64("scale", 1.0, "chip scale factor for the table harnesses")
 		maxN    = flag.Int("maxcells", 65536, "largest array size for -table41")
+		bench   = flag.String("bench-json", "", "benchmark the replication sweep and write a JSON baseline to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.IntVar(&flagWorkers, "workers", 0, "schedule leaf sweeps and composes over this many goroutines (0 or 1: serial)")
+	flag.IntVar(&flagCacheSize, "cache-size", 0, "content-cache capacity in cached window sweeps (0: default 4096, negative: disabled)")
 	flag.Parse()
 
+	stop, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stop()
+
 	switch {
+	case *bench != "":
+		runBenchJSON(*bench)
 	case *table41:
 		runTable41(*maxN)
 	case *table51:
@@ -62,11 +87,7 @@ func runExtract(in, out string, hier, stats bool) {
 		defer f.Close()
 		r = f
 	}
-	f, err := cif.Parse(r)
-	if err != nil {
-		fatal(err)
-	}
-	res, err := hext.Extract(f, hext.Options{})
+	res, err := hext.Reader(r, hextOpts())
 	if err != nil {
 		fatal(err)
 	}
@@ -78,8 +99,11 @@ func runExtract(in, out string, hier, stats bool) {
 		fmt.Printf("%s\n", res.Netlist.Stats())
 		fmt.Printf("uniqueWindows=%d memoHits=%d flatCalls=%d composeCalls=%d\n",
 			c.UniqueWindows, c.MemoHits, c.FlatCalls, c.ComposeCalls)
-		fmt.Printf("timing: frontend=%v flat=%v compose=%v flatten=%v\n",
-			res.Timing.FrontEnd, res.Timing.Flat, res.Timing.Compose, res.Timing.Flatten)
+		fmt.Printf("leafSweeps=%d cacheHits=%d cacheMisses=%d cacheBytes=%d\n",
+			c.LeafSweeps, c.CacheHits, c.CacheMisses, c.CacheBytes)
+		fmt.Printf("phases: parse=%v frontend=%v flat=%v compose=%v flatten=%v total=%v\n",
+			res.Timing.Parse, res.Timing.FrontEnd, res.Timing.Flat, res.Timing.Compose,
+			res.Timing.Flatten, res.Timing.Total())
 		return
 	}
 	w := os.Stdout

@@ -171,6 +171,37 @@ func Mesh(n int) Workload {
 	}
 }
 
+// Replicated builds a single row of n identical gate cells whose
+// inter-cell gaps all differ (4λ, 5λ, 6λ, …), so the cells stay
+// electrically isolated but no two instances see the same
+// surroundings. The window memo table — which keys on exact window
+// frames — cannot share the margin windows between instances; the
+// anchored contents still repeat, which is exactly the sharing the
+// content-addressed sweep cache exists to catch. It is the reuse-sweep
+// workload of the hierarchical benchmark.
+func Replicated(n int) Workload {
+	if n < 1 {
+		n = 1
+	}
+	d := NewDesign()
+	cell := GateCell(d, "repCell", 1)
+	x := int64(0)
+	for i := 0; i < n; i++ {
+		d.CallTop(cell, geom.Translate(x*Lambda, 0))
+		gap := int64(4 + i)
+		x += GateCellWidth + gap
+	}
+	d.LabelTopOn("GND0", 1*Lambda, 2*Lambda, tech.Metal)
+	d.LabelTopOn("VDD0", 1*Lambda, (GateCellHeight(1)-2)*Lambda, tech.Metal)
+	return Workload{
+		Name:        "replicated",
+		File:        d.File(),
+		WantDevices: 2 * n,
+		// Isolated cells: VDD, GND, IN and OUT per cell.
+		WantNets: 4 * n,
+	}
+}
+
 // Statistical builds a flat design following the Bentley–Haken–Hon
 // model used in ACE §4's expected-case analysis: n squares of edge
 // ~7.6λ (rounded to 8λ) uniformly distributed over a [0.8·√n·λ]²

@@ -7,6 +7,48 @@ import (
 	"ace/internal/uf"
 )
 
+// composeScratch is the per-worker scratch state for compose: seam
+// edge lists, the dense union-finds over the two children's nets and
+// partials, and the export tables. Everything is reset (not
+// reallocated) between calls, so steady-state compose does no heap
+// work beyond growing the result's own slices — the "allocation-free
+// on the hot path" half of the DAG scheduler.
+type composeScratch struct {
+	sa, sb []edge
+
+	netUF  uf.Forest32
+	partUF uf.Forest32
+
+	netExport  []int32 // dense element id -> parent export id, -1 unset
+	partExport []int32
+}
+
+func (s *composeScratch) resetNets(n int) {
+	s.netUF.Reset()
+	s.netUF.Reserve(n)
+	s.netUF.Grow(n)
+	s.netExport = resetExport(s.netExport, n)
+}
+
+func (s *composeScratch) resetParts(n int) {
+	s.partUF.Reset()
+	s.partUF.Reserve(n)
+	s.partUF.Grow(n)
+	s.partExport = resetExport(s.partExport, n)
+}
+
+func resetExport(e []int32, n int) []int32 {
+	if cap(e) < n {
+		e = make([]int32, n)
+	} else {
+		e = e[:n]
+	}
+	for i := range e {
+		e[i] = -1
+	}
+	return e
+}
+
 // compose merges two windows that came from a guillotine cut: for
 // axis 'x', a is the left child and b the right child placed at x=at;
 // for axis 'y', b sits at y=at. Both children span the full extent of
@@ -16,9 +58,14 @@ import (
 // The routine implements HEXT §3's three steps: find the touching
 // boundary segments, establish signal equivalences element by element,
 // and compute the new window's interface by copying the surviving
-// segments (cost proportional to the parent's perimeter).
-func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winResult {
-	r := &winResult{id: e.nextID(), w: pw, h: ph}
+// segments (cost proportional to the parent's perimeter). It is a pure
+// function of the two children plus the cut, so the DAG scheduler can
+// run independent composes on any worker in any order.
+func (x *execCtx) compose(n *dagNode) *winResult {
+	a, b := n.kids[0].res, n.kids[1].res
+	axis, at, pw, ph := n.axis, n.at, n.w, n.h
+
+	r := &winResult{id: n.id, w: pw, h: ph, insts: a.insts + b.insts}
 	c := &compData{kids: [2]*winResult{a, b}}
 	if axis == 'x' {
 		c.at[1] = geom.Pt(at, 0)
@@ -27,9 +74,36 @@ func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winRe
 	}
 	r.comp = c
 
-	// Local union-find over (child, idx) pairs for nets and partials.
-	nets := newPairUF()
-	parts := newPairUF()
+	// Dense element ids over the two children: child 0's net i is
+	// element i, child 1's net j is element a.netCount+j; likewise for
+	// partials. The union-finds live in the worker scratch.
+	s := &x.cs
+	s.resetNets(a.netCount + b.netCount)
+	s.resetParts(a.partCount + b.partCount)
+	netElem := func(rf ref) int32 {
+		if rf.child == 0 {
+			return rf.idx
+		}
+		return int32(a.netCount) + rf.idx
+	}
+	partElem := func(rf ref) int32 {
+		if rf.child == 0 {
+			return rf.idx
+		}
+		return int32(a.partCount) + rf.idx
+	}
+	netRef := func(elem int32) ref {
+		if elem < int32(a.netCount) {
+			return ref{0, elem}
+		}
+		return ref{1, elem - int32(a.netCount)}
+	}
+	partRef := func(elem int32) ref {
+		if elem < int32(a.partCount) {
+			return ref{0, elem}
+		}
+		return ref{1, elem - int32(a.partCount)}
+	}
 
 	var seamA, seamB face
 	if axis == 'x' {
@@ -42,7 +116,7 @@ func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winRe
 	// sides' seam lists are sorted by lo and joined with a sweep, so
 	// the cost is proportional to the seam contents plus the matches
 	// ("step through the elements of the interface-segment lists").
-	var sa, sb []edge
+	sa, sb := s.sa[:0], s.sb[:0]
 	for _, eg := range a.edges {
 		if eg.face == seamA {
 			sa = append(sa, eg)
@@ -55,6 +129,7 @@ func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winRe
 	}
 	sortEdges(sa)
 	sortEdges(sb)
+	s.sa, s.sb = sa, sb
 	start := 0
 	for _, ea := range sa {
 		for start < len(sb) && sb[start].hi <= ea.lo {
@@ -67,12 +142,14 @@ func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winRe
 			if hi <= lo {
 				continue
 			}
-			e.counters.SeamMatches++
+			x.counters.SeamMatches++
 			ra := ref{0, ea.ref}
 			rb := ref{1, eb.ref}
 			switch {
 			case ea.layer == eChan && eb.layer == eChan:
-				if parts.union(ra, rb) {
+				pa, pb := partElem(ra), partElem(rb)
+				if s.partUF.Find(pa) != s.partUF.Find(pb) {
+					s.partUF.Union(pa, pb)
 					c.partEquivs = append(c.partEquivs, [2]ref{ra, rb})
 				}
 			case ea.layer == eChan && eb.layer == eDiff:
@@ -80,7 +157,9 @@ func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winRe
 			case ea.layer == eDiff && eb.layer == eChan:
 				c.partTerms = append(c.partTerms, partTerm{part: rb, net: ra, edge: hi - lo})
 			case ea.layer == eb.layer: // conducting layer contact
-				if nets.union(ra, rb) {
+				na, nb := netElem(ra), netElem(rb)
+				if s.netUF.Find(na) != s.netUF.Find(nb) {
+					s.netUF.Union(na, nb)
 					c.netEquivs = append(c.netEquivs, [2]ref{ra, rb})
 				}
 			}
@@ -90,29 +169,28 @@ func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winRe
 	// Step 3: the parent interface is the children's non-seam edges,
 	// re-based into the parent frame and re-referenced through the
 	// export tables.
-	netExport := map[ref]int32{}
-	partExport := map[ref]int32{}
-	exportNet := func(child int8, idx int32) int32 {
-		root := nets.find(ref{child, idx})
-		if id, ok := netExport[root]; ok {
+	exportNet := func(rf ref) int32 {
+		root := s.netUF.Find(netElem(rf))
+		if id := s.netExport[root]; id >= 0 {
 			return id
 		}
 		id := int32(len(c.parentNets))
-		c.parentNets = append(c.parentNets, root)
-		netExport[root] = id
+		c.parentNets = append(c.parentNets, netRef(root))
+		s.netExport[root] = id
 		return id
 	}
-	exportPart := func(child int8, idx int32) int32 {
-		root := parts.find(ref{child, idx})
-		if id, ok := partExport[root]; ok {
+	exportPart := func(rf ref) int32 {
+		root := s.partUF.Find(partElem(rf))
+		if id := s.partExport[root]; id >= 0 {
 			return id
 		}
 		id := int32(len(c.parentParts))
-		c.parentParts = append(c.parentParts, root)
-		partExport[root] = id
+		c.parentParts = append(c.parentParts, partRef(root))
+		s.partExport[root] = id
 		return id
 	}
 
+	r.edges = make([]edge, 0, len(a.edges)+len(b.edges)-len(sa)-len(sb))
 	copyEdges := func(child int8, src *winResult, skip face, dx, dy int64) {
 		for _, eg := range src.edges {
 			if eg.face == skip {
@@ -128,9 +206,9 @@ func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winRe
 				ne.hi += dy
 			}
 			if eg.layer == eChan {
-				ne.ref = exportPart(child, eg.ref)
+				ne.ref = exportPart(ref{child, eg.ref})
 			} else {
-				ne.ref = exportNet(child, eg.ref)
+				ne.ref = exportNet(ref{child, eg.ref})
 			}
 			r.edges = append(r.edges, ne)
 		}
@@ -151,43 +229,6 @@ func (e *env) compose(a, b *winResult, axis byte, at int64, pw, ph int64) *winRe
 
 func sortEdges(es []edge) {
 	sort.Slice(es, func(i, j int) bool { return es[i].lo < es[j].lo })
-}
-
-// pairUF is a small union-find over (child, idx) refs.
-type pairUF struct {
-	f   uf.Forest
-	ids map[ref]int
-	rev []ref
-}
-
-func newPairUF() *pairUF {
-	return &pairUF{ids: map[ref]int{}}
-}
-
-func (p *pairUF) id(r ref) int {
-	if i, ok := p.ids[r]; ok {
-		return i
-	}
-	i := p.f.Make()
-	p.ids[r] = i
-	p.rev = append(p.rev, r)
-	return i
-}
-
-// union joins two refs and reports whether they were previously
-// distinct.
-func (p *pairUF) union(a, b ref) bool {
-	ia, ib := p.id(a), p.id(b)
-	if p.f.Same(ia, ib) {
-		return false
-	}
-	p.f.Union(ia, ib)
-	return true
-}
-
-// find returns the canonical ref of a's class.
-func (p *pairUF) find(r ref) ref {
-	return p.rev[p.f.Find(p.id(r))]
 }
 
 func min64(a, b int64) int64 {

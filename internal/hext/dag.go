@@ -1,0 +1,150 @@
+package hext
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// dagNode is one unit of back-end work in the planned merge DAG: a
+// leaf window to sweep or a compose of two finished children. The
+// front end (env.plan) builds the DAG; env.execute runs it, either in
+// creation order on one goroutine or topologically across a worker
+// pool. Session-memo hits become result-only nodes (res pre-set, not
+// scheduled), which is what turns the window tree into a DAG.
+type dagNode struct {
+	id   int
+	kind nodeKind
+
+	win window // nodeLeaf: contents to sweep (released after the run)
+
+	// nodeComp: the guillotine cut that produced the children.
+	axis byte
+	at   int64
+	w, h int64
+	kids [2]*dagNode
+
+	res      *winResult
+	warnings []string
+
+	// Scheduling state (parallel execution only).
+	parents []*dagNode
+	pending int32
+}
+
+type nodeKind int8
+
+const (
+	nodeDone nodeKind = iota // res carried over from the session memo
+	nodeLeaf
+	nodeComp
+)
+
+// execCtx is one worker's private execution state: the shared content
+// cache plus worker-local counters, phase timers and compose scratch.
+// Workers never touch env directly; their deltas are merged after the
+// pool drains, so the counter totals are identical for serial and
+// parallel runs.
+type execCtx struct {
+	cache    *leafCache
+	counters Counters
+	flat     time.Duration
+	comp     time.Duration
+	cs       composeScratch
+}
+
+func (x *execCtx) run(n *dagNode) {
+	switch n.kind {
+	case nodeLeaf:
+		t0 := time.Now()
+		n.res, n.warnings = x.extractLeaf(n)
+		x.flat += time.Since(t0)
+		n.win.items = nil // the sweep input is dead weight once extracted
+	case nodeComp:
+		t0 := time.Now()
+		n.res = x.compose(n)
+		x.comp += time.Since(t0)
+	}
+}
+
+// execute runs every planned node. Serial execution walks the node
+// list in creation order, which is the old recursive engine's exact
+// DFS post-order; parallel execution schedules nodes topologically —
+// a node becomes ready when its last unfinished child completes — so
+// independent subtrees sweep and compose concurrently. Results are
+// identical either way: every node is a pure function of its children
+// and the (single-flight) content cache.
+//
+// In parallel mode the Flat/Compose timings are summed across workers,
+// so — like the flat extractor's band phases — they report CPU time,
+// not wall-clock time.
+func (e *env) execute(workers int) {
+	nodes := e.nodeList
+	if len(nodes) == 0 {
+		return
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	if workers <= 1 {
+		x := execCtx{cache: e.cache}
+		for _, n := range nodes {
+			x.run(n)
+		}
+		e.mergeExec(&x)
+		return
+	}
+
+	// Wire the DAG: each comp node waits on its not-yet-done children;
+	// a child reused twice under one parent (identical halves) is
+	// counted — and later decremented — twice.
+	ready := make(chan *dagNode, len(nodes))
+	for _, n := range nodes {
+		if n.kind == nodeComp {
+			for _, kid := range n.kids {
+				if kid.res == nil {
+					n.pending++
+					kid.parents = append(kid.parents, n)
+				}
+			}
+		}
+		if n.pending == 0 {
+			ready <- n
+		}
+	}
+	remaining := int32(len(nodes))
+
+	var wg sync.WaitGroup
+	ctxs := make([]execCtx, workers)
+	for i := range ctxs {
+		ctxs[i].cache = e.cache
+		wg.Add(1)
+		go func(x *execCtx) {
+			defer wg.Done()
+			for n := range ready {
+				x.run(n)
+				for _, p := range n.parents {
+					if atomic.AddInt32(&p.pending, -1) == 0 {
+						ready <- p
+					}
+				}
+				if atomic.AddInt32(&remaining, -1) == 0 {
+					close(ready)
+				}
+			}
+		}(&ctxs[i])
+	}
+	wg.Wait()
+	for i := range ctxs {
+		e.mergeExec(&ctxs[i])
+	}
+}
+
+func (e *env) mergeExec(x *execCtx) {
+	e.counters.LeafSweeps += x.counters.LeafSweeps
+	e.counters.CacheHits += x.counters.CacheHits
+	e.counters.CacheMisses += x.counters.CacheMisses
+	e.counters.SeamMatches += x.counters.SeamMatches
+	e.timing.Flat += x.flat
+	e.timing.Compose += x.comp
+}

@@ -2,6 +2,9 @@ package hext
 
 import (
 	"fmt"
+	"io"
+	"sort"
+	"sync"
 	"time"
 
 	"ace/internal/build"
@@ -26,10 +29,24 @@ type Options struct {
 	// thousand rectangles").
 	MaxLeafItems int
 
-	// DisableMemo turns the window memo table off, so every window is
-	// analysed even when identical to a previous one. Used by the
-	// ablation benchmark to quantify what the paper's "redundant
-	// windows are recognised and extracted only once" is worth.
+	// Workers sets the back-end concurrency: leaf sweeps and composes
+	// are scheduled topologically over this many goroutines, and
+	// flattening forks at composed windows. 0 or 1 runs serially. The
+	// output is byte-identical at every worker count.
+	Workers int
+
+	// CacheSize bounds the content-addressed sweep cache, in cached
+	// window sweeps: 0 selects the default (4096), negative disables
+	// the cache. The cache is keyed on a translation-invariant hash of
+	// window contents, so windows identical only up to translation
+	// share one sweep; it persists across a Session's Extract calls.
+	CacheSize int
+
+	// DisableMemo turns the window memo table and the content cache
+	// off, so every window is analysed even when identical to a
+	// previous one. Used by the ablation benchmark to quantify what
+	// the paper's "redundant windows are recognised and extracted only
+	// once" is worth.
 	DisableMemo bool
 
 	// Fracture selects the guillotine-cut strategy.
@@ -59,11 +76,22 @@ type Counters struct {
 	UniqueWindows int // distinct windows processed
 	CellsExpanded int // one-level instance expansions
 	SeamMatches   int // interface-segment pairs matched
+
+	// Content-cache counters: a flat call whose anchored content was
+	// already swept is a CacheHit and does no sweep, so LeafSweeps =
+	// CacheMisses when the cache is enabled and FlatCalls otherwise.
+	LeafSweeps  int   // scanline sweeps actually run
+	CacheHits   int   // flat calls answered by the content cache
+	CacheMisses int   // flat calls that had to sweep
+	CacheBytes  int64 // approximate bytes retained by the cache (gauge)
 }
 
-// Timing splits the run into the paper's phases.
+// Timing splits the run into the paper's phases, in the style of the
+// flat extractor's Phases. With Workers > 1 the Flat and Compose
+// entries are summed across workers (CPU time, not wall-clock).
 type Timing struct {
-	FrontEnd time.Duration // subdivision, expansion, hashing
+	Parse    time.Duration // CIF parsing (set by Reader; zero otherwise)
+	FrontEnd time.Duration // subdivision, expansion, hashing, planning
 	Flat     time.Duration // leaf extraction (modified ACE)
 	Compose  time.Duration // compose operations
 	Flatten  time.Duration // instantiating the window DAG
@@ -76,7 +104,7 @@ func (t Timing) BackEnd() time.Duration { return t.Flat + t.Compose }
 
 // Total returns the whole run.
 func (t Timing) Total() time.Duration {
-	return t.FrontEnd + t.Flat + t.Compose + t.Flatten
+	return t.Parse + t.FrontEnd + t.Flat + t.Compose + t.Flatten
 }
 
 // Result of a hierarchical extraction.
@@ -94,23 +122,46 @@ func Extract(f *cif.File, opt Options) (*Result, error) {
 	return NewSession(opt).Extract(f)
 }
 
-// Session is an incremental extractor: the window memo table persists
-// across Extract calls, so re-extracting a design after an edit only
-// analyses the windows whose contents actually changed — the
-// "incremental extractor" direction ACE §6 points at ("The edge-based
-// algorithms are well suited for hierarchical and incremental
-// extractors"). Memo keys are content-derived (symbol ids are replaced
-// by structural hashes), so a session can even be reused across
-// different parses of related designs.
+// Reader parses CIF text from r and extracts it hierarchically,
+// recording the parse phase in the result's Timing.
+func Reader(r io.Reader, opt Options) (*Result, error) {
+	t0 := time.Now()
+	f, err := cif.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	parse := time.Since(t0)
+	res, err := Extract(f, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Parse = parse
+	return res, nil
+}
+
+// Session is an incremental extractor: the window memo table and the
+// content-addressed sweep cache persist across Extract calls, so
+// re-extracting a design after an edit only analyses the windows whose
+// contents actually changed — the "incremental extractor" direction
+// ACE §6 points at ("The edge-based algorithms are well suited for
+// hierarchical and incremental extractors"). Memo keys are
+// content-derived (symbol ids are replaced by structural hashes), so a
+// session can even be reused across different parses of related
+// designs.
 type Session struct {
-	opt  Options
-	memo map[string]*winResult
-	ids  int
+	opt   Options
+	memo  map[string]*winResult
+	cache *leafCache
+	ids   int
 }
 
 // NewSession creates an incremental extraction session.
 func NewSession(opt Options) *Session {
-	return &Session{opt: opt, memo: map[string]*winResult{}}
+	s := &Session{opt: opt, memo: map[string]*winResult{}}
+	if !opt.DisableMemo && opt.CacheSize >= 0 {
+		s.cache = newLeafCache(opt.CacheSize)
+	}
+	return s
 }
 
 // MemoSize reports the number of unique windows retained.
@@ -132,17 +183,23 @@ func (s *Session) Extract(f *cif.File) (*Result, error) {
 	if maxLeaf <= 0 {
 		maxLeaf = 2000
 	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	e := &env{
 		session:   s,
 		syms:      f.Symbols,
 		bboxCache: map[int]geom.Rect{},
 		symHashes: map[int]uint64{},
 		memo:      s.memo,
+		nodes:     map[string]*dagNode{},
 		grid:      grid,
 		maxDepth:  maxDepth,
 		maxLeaf:   maxLeaf,
 		noMemo:    opt.DisableMemo,
 		fracture:  opt.Fracture,
+		cache:     s.cache,
 	}
 	e.warnings = append(e.warnings, f.Warnings...)
 
@@ -152,19 +209,33 @@ func (s *Session) Extract(f *cif.File) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("hext: design contains no geometry")
 	}
-	root, err := e.process(win, 0)
+	root, err := e.plan(win, 0)
 	if err != nil {
 		return nil, err
 	}
-	frontAndBack := time.Since(t0)
-	e.timing.FrontEnd = frontAndBack - e.timing.Flat - e.timing.Compose
-	if e.timing.FrontEnd < 0 {
-		e.timing.FrontEnd = 0
+	e.timing.FrontEnd = time.Since(t0)
+
+	e.execute(workers)
+
+	// Publish this run's results into the session memo, and collect
+	// warnings in node-creation order — the serial engine's exact
+	// order, whatever order the workers ran in.
+	if !e.noMemo {
+		for k, n := range e.nodes {
+			if n.res != nil {
+				e.memo[k] = n.res
+			}
+		}
+	}
+	for _, n := range e.nodeList {
+		e.warnings = append(e.warnings, n.warnings...)
 	}
 
 	t1 := time.Now()
 	b := &build.Builder{}
-	e.flatten(root, origin, b)
+	var cands []overlayCand
+	e.flatten(root.res, origin, 0, b, workers, &cands)
+	e.resolveOverlay(b, cands)
 	nl, _ := b.Finish()
 	e.timing.Flatten = time.Since(t1)
 	for _, lb := range e.overlay {
@@ -173,13 +244,16 @@ func (s *Session) Extract(f *cif.File) (*Result, error) {
 				fmt.Sprintf("label %q at %v matches no conducting geometry", lb.name, lb.at))
 		}
 	}
+	if e.cache != nil {
+		_, e.counters.CacheBytes = e.cache.stats()
+	}
 
 	return &Result{
 		Netlist:  nl,
 		Counters: e.counters,
 		Timing:   e.timing,
 		Warnings: append(e.warnings, b.Warnings()...),
-		top:      root,
+		top:      root.res,
 	}, nil
 }
 
@@ -189,11 +263,14 @@ type env struct {
 	bboxCache map[int]geom.Rect
 	symHashes map[int]uint64
 	memo      map[string]*winResult
+	nodes     map[string]*dagNode
+	nodeList  []*dagNode
 	grid      int64
 	maxDepth  int
 	maxLeaf   int
 	noMemo    bool
 	fracture  Fracture
+	cache     *leafCache
 	overlay   []*overlayLabel
 
 	counters Counters
@@ -206,32 +283,52 @@ func (e *env) nextID() int {
 	return e.session.ids
 }
 
-// process extracts one window, via the memo table when possible
-// ("Each time a window is considered for sub-division, the front-end
-// checks a table to see if the window was previously analyzed").
-func (e *env) process(win window, depth int) (*winResult, error) {
+// plan is the front end: it subdivides windows exactly like the old
+// recursive engine, but instead of extracting as it goes it records
+// the work as a DAG of leaf and compose nodes for execute to run.
+// Node ids and list order follow the recursion's post-order, so serial
+// execution reproduces the old engine's ids, warnings and wirelist
+// byte-for-byte. Memo answers — from this run (e.nodes) or a previous
+// Extract in the session (e.memo) — become shared or pre-resolved
+// nodes ("Each time a window is considered for sub-division, the
+// front-end checks a table to see if the window was previously
+// analyzed").
+func (e *env) plan(win window, depth int) (*dagNode, error) {
 	if depth > e.maxDepth {
 		return nil, fmt.Errorf("hext: window recursion exceeded depth %d", e.maxDepth)
 	}
 	var k string
 	if !e.noMemo {
 		k = e.key(win)
+		if n, ok := e.nodes[k]; ok {
+			e.counters.MemoHits++
+			return n, nil
+		}
 		if r, ok := e.memo[k]; ok {
 			e.counters.MemoHits++
-			return r, nil
+			n := &dagNode{kind: nodeDone, res: r}
+			e.nodes[k] = n
+			return n, nil
 		}
 	}
 	e.counters.UniqueWindows++
 
-	var r *winResult
+	schedule := func(n *dagNode) *dagNode {
+		n.id = e.nextID()
+		e.nodeList = append(e.nodeList, n)
+		return n
+	}
+	leaf := func() *dagNode {
+		e.counters.FlatCalls++
+		return schedule(&dagNode{kind: nodeLeaf, win: win})
+	}
+
+	var n *dagNode
 	var err error
 	geoOnly := !win.hasCalls()
 	uncuttable := win.w < 2 && win.h < 2
 	if geoOnly && (len(win.items) <= e.maxLeaf || uncuttable) {
-		t0 := time.Now()
-		r = e.extractLeaf(win)
-		e.timing.Flat += time.Since(t0)
-		e.counters.FlatCalls++
+		n = leaf()
 	} else if axis, at, ok := e.chooseCut(win); ok {
 		a, b := e.splitWindow(win, axis, at)
 		// Guard against pathologically dense geometry: when a cut
@@ -239,92 +336,97 @@ func (e *env) process(win window, depth int) (*winResult, error) {
 		// smaller, further cutting can never reach the leaf cap —
 		// extract the window whole instead of recursing exponentially.
 		if geoOnly && len(a.items) >= len(win.items) && len(b.items) >= len(win.items) {
-			t0 := time.Now()
-			r = e.extractLeaf(win)
-			e.timing.Flat += time.Since(t0)
-			e.counters.FlatCalls++
+			n = leaf()
 		} else {
-			var ra, rb *winResult
-			if ra, err = e.process(a, depth+1); err != nil {
+			var na, nb *dagNode
+			if na, err = e.plan(a, depth+1); err != nil {
 				return nil, err
 			}
-			if rb, err = e.process(b, depth+1); err != nil {
+			if nb, err = e.plan(b, depth+1); err != nil {
 				return nil, err
 			}
-			t0 := time.Now()
-			r = e.compose(ra, rb, axis, at, win.w, win.h)
-			e.timing.Compose += time.Since(t0)
 			e.counters.ComposeCalls++
+			n = schedule(&dagNode{
+				kind: nodeComp, axis: axis, at: at, w: win.w, h: win.h,
+				kids: [2]*dagNode{na, nb},
+			})
 		}
 	} else if geoOnly {
 		// Oversized but uncuttable geometry: extract it whole.
-		t0 := time.Now()
-		r = e.extractLeaf(win)
-		e.timing.Flat += time.Since(t0)
-		e.counters.FlatCalls++
+		n = leaf()
 	} else {
 		// No cut avoids the instances: expand one level and retry
 		// (the disjoint transformation's recursion step).
-		if r, err = e.process(e.expandOne(win), depth+1); err != nil {
+		if n, err = e.plan(e.expandOne(win), depth+1); err != nil {
 			return nil, err
 		}
 	}
 	if !e.noMemo {
-		e.memo[k] = r
+		e.nodes[k] = n
 	}
-	return r, nil
+	return n, nil
 }
+
+// overlayCand is one leaf instance that could resolve a top-level
+// overlay label: the label's point falls inside the instance and hits
+// conducting geometry there. Candidates are collected during
+// flattening and resolved afterwards — the instance with the smallest
+// DFS sequence number wins, which is exactly the net the serial
+// first-match walk used to pick, but computable in any order.
+type overlayCand struct {
+	overlay int   // index into env.overlay
+	seq     int64 // leaf instance's DFS sequence number
+	net     int32 // builder net element carrying the label
+}
+
+// parallelFlattenMin is the smallest subtree (in leaf instances) worth
+// forking a goroutine and a fresh builder for.
+const parallelFlattenMin = 64
 
 // flatten instantiates the window DAG into the builder: leaf windows
 // contribute their nets and device accumulators; composed windows
 // apply their seam equivalences. Returns the instance's local-net and
-// local-partial handles.
-func (e *env) flatten(r *winResult, off geom.Point, b *build.Builder) ([]int32, []int32) {
+// local-partial handles. With workers > 1, large composed windows
+// flatten their children into separate builders concurrently and
+// splice them with Absorb — element allocation order matches the
+// serial recursion exactly, so the final netlist is byte-identical.
+func (e *env) flatten(r *winResult, off geom.Point, seq int64, b *build.Builder,
+	workers int, cands *[]overlayCand) ([]int32, []int32) {
 	if r.leaf != nil {
-		nl := r.leaf.nl
-		nets := make([]int32, len(nl.Nets))
-		for i := range nl.Nets {
-			nets[i] = b.NewNet(nl.Nets[i].Location.Add(off))
-			for _, nm := range nl.Nets[i].Names {
-				b.NameNet(nets[i], nm)
-			}
-		}
-		// Overlay labels falling in this instance's region.
-		region := geom.Rect{XMin: off.X, YMin: off.Y, XMax: off.X + r.w, YMax: off.Y + r.h}
-		for _, lb := range e.overlay {
-			if !lb.matched && region.Contains(lb.at) {
-				if idx, ok := labelNet(nl, lb.at.Sub(off), lb); ok {
-					b.NameNet(nets[idx], lb.name)
-					lb.matched = true
-				}
-			}
-		}
-		partSlot := make(map[int]int, len(r.leaf.partDevs))
-		for slot, di := range r.leaf.partDevs {
-			partSlot[di] = slot
-		}
-		parts := make([]int32, len(r.leaf.partDevs))
-		for i := range nl.Devices {
-			d := &nl.Devices[i]
-			dv := b.NewDev()
-			bbox := geom.BBoxOf(d.Geometry).Translate(off)
-			b.AddDeviceFacts(dv, d.Area, d.ImplArea, bbox)
-			b.AddGate(dv, nets[d.Gate])
-			for _, t := range d.Terminals {
-				b.AddTerm(dv, nets[t.Net], t.Edge)
-			}
-			if slot, ok := partSlot[i]; ok {
-				parts[slot] = dv
-			}
-		}
-		return nets, parts
+		return e.flattenLeaf(r, off, seq, b, cands)
 	}
 
 	c := r.comp
 	var kn, kp [2][]int32
-	for k := 0; k < 2; k++ {
-		kn[k], kp[k] = e.flatten(c.kids[k], off.Add(c.at[k]), b)
+	if workers > 1 && r.insts >= parallelFlattenMin {
+		half := workers / 2
+		b1 := &build.Builder{}
+		var cands1 []overlayCand
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			kn[1], kp[1] = e.flatten(c.kids[1], off.Add(c.at[1]), seq+c.kids[0].insts,
+				b1, workers-half, &cands1)
+		}()
+		kn[0], kp[0] = e.flatten(c.kids[0], off.Add(c.at[0]), seq, b, half, cands)
+		wg.Wait()
+		netOff, devOff := b.Absorb(b1)
+		for i := range kn[1] {
+			kn[1][i] += netOff
+		}
+		for i := range kp[1] {
+			kp[1][i] += devOff
+		}
+		for i := range cands1 {
+			cands1[i].net += netOff
+		}
+		*cands = append(*cands, cands1...)
+	} else {
+		kn[0], kp[0] = e.flatten(c.kids[0], off.Add(c.at[0]), seq, b, 1, cands)
+		kn[1], kp[1] = e.flatten(c.kids[1], off.Add(c.at[1]), seq+c.kids[0].insts, b, 1, cands)
 	}
+
 	for _, eq := range c.netEquivs {
 		b.UnionNets(kn[eq[0].child][eq[0].idx], kn[eq[1].child][eq[1].idx])
 	}
@@ -343,4 +445,76 @@ func (e *env) flatten(r *winResult, off geom.Point, b *build.Builder) ([]int32, 
 		parts[i] = kp[rf.child][rf.idx]
 	}
 	return nets, parts
+}
+
+// flattenLeaf replays one leaf instance into the builder. The cached
+// netlist is in anchored coordinates; adding the anchor to the
+// placement offset restores the absolute frame.
+func (e *env) flattenLeaf(r *winResult, off geom.Point, seq int64, b *build.Builder,
+	cands *[]overlayCand) ([]int32, []int32) {
+	nl := r.leaf.nl
+	eff := off.Add(r.leaf.anchor)
+	b.ReserveNets(len(nl.Nets))
+	nets := make([]int32, len(nl.Nets))
+	for i := range nl.Nets {
+		nets[i] = b.NewNet(nl.Nets[i].Location.Add(eff))
+		for _, nm := range nl.Nets[i].Names {
+			b.NameNet(nets[i], nm)
+		}
+	}
+	// Overlay labels falling in this instance's region become
+	// candidates; resolveOverlay picks the winner per label.
+	region := geom.Rect{XMin: off.X, YMin: off.Y, XMax: off.X + r.w, YMax: off.Y + r.h}
+	for oi, lb := range e.overlay {
+		if region.Contains(lb.at) {
+			if idx, ok := labelNet(nl, lb.at.Sub(eff), lb); ok {
+				*cands = append(*cands, overlayCand{overlay: oi, seq: seq, net: nets[idx]})
+			}
+		}
+	}
+	partSlot := make(map[int]int, len(r.leaf.partDevs))
+	for slot, di := range r.leaf.partDevs {
+		partSlot[di] = slot
+	}
+	parts := make([]int32, len(r.leaf.partDevs))
+	b.ReserveDevs(len(nl.Devices))
+	for i := range nl.Devices {
+		d := &nl.Devices[i]
+		dv := b.NewDev()
+		bbox := geom.BBoxOf(d.Geometry).Translate(eff)
+		b.AddDeviceFacts(dv, d.Area, d.ImplArea, bbox)
+		b.AddGate(dv, nets[d.Gate])
+		for _, t := range d.Terminals {
+			b.AddTerm(dv, nets[t.Net], t.Edge)
+		}
+		if slot, ok := partSlot[i]; ok {
+			parts[slot] = dv
+		}
+	}
+	return nets, parts
+}
+
+// resolveOverlay applies the collected label candidates: for each
+// overlay label, the candidate with the smallest DFS sequence number
+// names its net (the serial walk's first match).
+func (e *env) resolveOverlay(b *build.Builder, cands []overlayCand) {
+	if len(cands) == 0 {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].overlay != cands[j].overlay {
+			return cands[i].overlay < cands[j].overlay
+		}
+		return cands[i].seq < cands[j].seq
+	})
+	for i := 0; i < len(cands); {
+		j := i
+		for j < len(cands) && cands[j].overlay == cands[i].overlay {
+			j++
+		}
+		lb := e.overlay[cands[i].overlay]
+		b.NameNet(cands[i].net, lb.name)
+		lb.matched = true
+		i = j
+	}
 }

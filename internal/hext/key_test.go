@@ -1,0 +1,171 @@
+package hext
+
+import (
+	"testing"
+
+	"ace/internal/cif"
+	"ace/internal/gen"
+	"ace/internal/geom"
+	"ace/internal/tech"
+)
+
+func newTestEnv(f *cif.File) *env {
+	s := NewSession(Options{})
+	return &env{
+		session:   s,
+		syms:      f.Symbols,
+		bboxCache: map[int]geom.Rect{},
+		symHashes: map[int]uint64{},
+		memo:      s.memo,
+		nodes:     map[string]*dagNode{},
+		grid:      10,
+		maxDepth:  64,
+		maxLeaf:   2000,
+		cache:     s.cache,
+	}
+}
+
+// translateFile returns a copy of f with every top-level item moved by
+// (dx, dy) — i.e. the whole design translated.
+func translateFile(t *testing.T, f *cif.File, dx, dy int64) *cif.File {
+	t.Helper()
+	out := &cif.File{Symbols: f.Symbols, Warnings: f.Warnings}
+	d := geom.Pt(dx, dy)
+	for _, it := range f.Top {
+		switch it.Kind {
+		case cif.ItemBox:
+			it.Box = it.Box.Translate(d)
+		case cif.ItemCall:
+			it.Trans = it.Trans.Then(geom.Translate(dx, dy))
+		case cif.ItemLabel:
+			it.At = it.At.Add(d)
+		default:
+			t.Fatalf("translateFile: unhandled item kind %v", it.Kind)
+		}
+		out.Top = append(out.Top, it)
+	}
+	return out
+}
+
+// Translating a whole design must leave every window key unchanged:
+// re-extracting the translated design in the same session answers
+// every window from the memo table and every sweep from the content
+// cache.
+func TestKeysTranslationInvariant(t *testing.T) {
+	for _, off := range [][2]int64{{123457, 0}, {0, -98765}, {31, 17}, {-100000, 100000}} {
+		w := gen.Memory(6, 6)
+		s := NewSession(Options{})
+		res1, err := s.Extract(w.File)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2 := translateFile(t, w.File, off[0], off[1])
+		res2, err := s.Extract(f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := res2.Counters
+		if c.UniqueWindows != 0 || c.FlatCalls != 0 || c.ComposeCalls != 0 {
+			t.Fatalf("offset %v: translated design re-planned windows: unique=%d flat=%d compose=%d",
+				off, c.UniqueWindows, c.FlatCalls, c.ComposeCalls)
+		}
+		if c.CacheMisses != 0 || c.LeafSweeps != 0 {
+			t.Fatalf("offset %v: translated design re-swept content: misses=%d sweeps=%d",
+				off, c.CacheMisses, c.LeafSweeps)
+		}
+		if len(res2.Netlist.Devices) != len(res1.Netlist.Devices) ||
+			len(res2.Netlist.Nets) != len(res1.Netlist.Nets) {
+			t.Fatalf("offset %v: translated netlist differs: %s vs %s",
+				off, res1.Netlist.Stats(), res2.Netlist.Stats())
+		}
+	}
+}
+
+// The content key must not change when the content is translated
+// inside a (possibly different) frame: that is the sharing the sweep
+// cache is built on.
+func TestContentKeyTranslationInvariant(t *testing.T) {
+	items := []witem{
+		{kind: cif.ItemBox, layer: tech.Metal, box: geom.R(2, 3, 12, 7)},
+		{kind: cif.ItemBox, layer: tech.Poly, box: geom.R(5, 0, 8, 20)},
+		{kind: cif.ItemBox, layer: tech.Diff, box: geom.R(0, 5, 20, 9)},
+		{kind: cif.ItemLabel, name: "A", at: geom.Pt(6, 6), layer: tech.Metal, lbL: true},
+	}
+	base := window{w: 30, h: 30, items: items}
+	bb, lb, ab := leafContent(base)
+	kb := contentKey(bb, lb, ab)
+
+	for _, off := range [][2]int64{{7, 13}, {100, 0}, {0, 55}} {
+		moved := window{w: 200, h: 150}
+		d := geom.Pt(off[0], off[1])
+		for _, it := range items {
+			it.box = it.box.Translate(d)
+			it.at = it.at.Add(d)
+			moved.items = append(moved.items, it)
+		}
+		bm, lm, am := leafContent(moved)
+		km := contentKey(bm, lm, am)
+		if km != kb {
+			t.Fatalf("offset %v: content key changed under translation", off)
+		}
+		if fnv64str(km) != fnv64str(kb) {
+			t.Fatalf("offset %v: content hash changed under translation", off)
+		}
+	}
+
+	// Item order must not matter either (cached sweeps are shared
+	// between windows that assembled the same content differently).
+	rev := window{w: 30, h: 30}
+	for i := len(items) - 1; i >= 0; i-- {
+		rev.items = append(rev.items, items[i])
+	}
+	br, lr, ar := leafContent(rev)
+	if contentKey(br, lr, ar) != kb {
+		t.Fatal("content key depends on item order")
+	}
+}
+
+// Gen-driven collision check: windows differing by one box must hash
+// differently. Leave-one-out over a statistical design gives n+1
+// closely related contents; any two sharing a hash while differing in
+// key would be a collision.
+func TestContentKeyHashCollisionFree(t *testing.T) {
+	w := gen.Statistical(500, 9)
+	e := newTestEnv(w.File)
+	win, _, ok := e.newTopWindow(w.File.Top)
+	if !ok {
+		t.Fatal("no geometry")
+	}
+	for win.hasCalls() {
+		win = e.expandOne(win)
+	}
+	seen := map[uint64]string{}
+	record := func(wn window) {
+		bs, ls, a := leafContent(wn)
+		k := contentKey(bs, ls, a)
+		h := fnv64str(k)
+		if prev, ok := seen[h]; ok && prev != k {
+			t.Fatalf("hash collision: two distinct contents share %#x", h)
+		}
+		seen[h] = k
+	}
+	record(win)
+	for i := range win.items {
+		loo := window{w: win.w, h: win.h}
+		loo.items = append(loo.items, win.items[:i]...)
+		loo.items = append(loo.items, win.items[i+1:]...)
+		record(loo)
+	}
+	// Perturbing a single box must change the hash (keys are exact, so
+	// this asserts the hash actually sees the coordinates).
+	perturbed := window{w: win.w, h: win.h, items: append([]witem(nil), win.items...)}
+	perturbed.items[0].box = perturbed.items[0].box.Translate(geom.Pt(1, 0))
+	pb, pl, pa := leafContent(perturbed)
+	ob, ol, oa := leafContent(win)
+	if contentKey(pb, pl, pa) == contentKey(ob, ol, oa) {
+		t.Fatal("perturbed content has identical key")
+	}
+	if fnv64str(contentKey(pb, pl, pa)) == fnv64str(contentKey(ob, ol, oa)) {
+		t.Fatal("perturbed content has identical hash")
+	}
+}

@@ -15,61 +15,177 @@ import (
 // by interface computation — "the modified version of ACE has extra
 // code to output an interface for each window that it analyzes"
 // (HEXT §3).
-func (e *env) extractLeaf(win window) *winResult {
-	var boxes []frontend.Box
-	var labels []frontend.Label
+//
+// The sweep itself is content-addressed: the window's contents are
+// rebased to their bounding-box anchor, so two windows whose contents
+// differ only by translation (different margins inside their frames)
+// share one sweep through the content cache. The frame-dependent part
+// — boundary edges and partial-transistor slots — is recomputed per
+// window from the cached netlist.
+func (x *execCtx) extractLeaf(n *dagNode) (*winResult, []string) {
+	boxes, labels, anchor := leafContent(n.win)
+
+	var (
+		nl     *netlist.Netlist
+		warns  []string
+		nboxes int
+	)
+	if c := x.cache; c != nil {
+		ck := contentKey(boxes, labels, anchor)
+		ent, owner := c.lookup(fnv64str(ck), ck)
+		if owner {
+			x.counters.CacheMisses++
+			x.counters.LeafSweeps++
+			snl, swarns := runLeafSweep(boxes, labels, anchor)
+			c.complete(ent, snl, swarns, len(boxes))
+		} else {
+			<-ent.ready
+			x.counters.CacheHits++
+		}
+		nl, warns, nboxes = ent.nl, ent.warnings, ent.boxes
+	} else {
+		x.counters.LeafSweeps++
+		nl, warns = runLeafSweep(boxes, labels, anchor)
+		nboxes = len(boxes)
+	}
+	return buildLeafResult(n.id, n.win, nl, anchor, nboxes), warns
+}
+
+// leafContent gathers a window's geometry and labels (in window-frame
+// coordinates) plus the anchor: the lower-left corner of the content's
+// bounding box. An empty window anchors at the origin.
+func leafContent(win window) (boxes []frontend.Box, labels []frontend.Label, anchor geom.Point) {
+	first := true
+	touch := func(x, y int64) {
+		if first {
+			anchor = geom.Pt(x, y)
+			first = false
+			return
+		}
+		if x < anchor.X {
+			anchor.X = x
+		}
+		if y < anchor.Y {
+			anchor.Y = y
+		}
+	}
 	for _, it := range win.items {
 		switch it.kind {
 		case cif.ItemBox:
-			if !it.box.Empty() {
-				boxes = append(boxes, frontend.Box{Layer: it.layer, Rect: it.box})
+			if it.box.Empty() {
+				continue
 			}
+			boxes = append(boxes, frontend.Box{Layer: it.layer, Rect: it.box})
+			touch(it.box.XMin, it.box.YMin)
 		case cif.ItemLabel:
 			labels = append(labels, frontend.Label{
 				Name: it.name, At: it.at, Layer: it.layer, HasLayer: it.lbL,
 			})
+			touch(it.at.X, it.at.Y)
 		}
 	}
-	sort.SliceStable(boxes, func(i, j int) bool {
-		return boxes[i].Rect.YMax > boxes[j].Rect.YMax
-	})
+	return boxes, labels, anchor
+}
 
-	res, err := scan.Sweep(&boxSource{boxes: boxes}, scan.Options{
+// contentKey builds the canonical, translation-invariant key of a leaf
+// window's content: its sorted anchored records, frame-free. Two
+// windows get equal keys exactly when their contents coincide after
+// rebasing each to its own anchor — the equivalence class the content
+// cache shares sweeps across.
+func contentKey(boxes []frontend.Box, labels []frontend.Label, anchor geom.Point) string {
+	recs := make([][]byte, 0, len(boxes)+len(labels))
+	for _, bx := range boxes {
+		b := make([]byte, 1+1+4*8)
+		b[0] = 0
+		b[1] = byte(bx.Layer)
+		putI64(b[2:], bx.Rect.XMin-anchor.X, bx.Rect.YMin-anchor.Y,
+			bx.Rect.XMax-anchor.X, bx.Rect.YMax-anchor.Y)
+		recs = append(recs, b)
+	}
+	for _, lb := range labels {
+		b := make([]byte, 1+2*8+2, 1+2*8+2+len(lb.Name))
+		b[0] = 2
+		putI64(b[1:], lb.At.X-anchor.X, lb.At.Y-anchor.Y)
+		b[17] = byte(lb.Layer)
+		if lb.HasLayer {
+			b[18] = 1
+		}
+		b = append(b, lb.Name...)
+		recs = append(recs, b)
+	}
+	sort.Slice(recs, func(i, j int) bool { return string(recs[i]) < string(recs[j]) })
+	size := 0
+	for _, r := range recs {
+		size += 2 + len(r)
+	}
+	out := make([]byte, 0, size)
+	for _, r := range recs {
+		out = append(out, byte(len(r)), byte(len(r)>>8))
+		out = append(out, r...)
+	}
+	return string(out)
+}
+
+// runLeafSweep sweeps the content in anchored coordinates. The boxes
+// are put into a total order first (scan.SortTopDown), so the sweep's
+// output depends only on the content multiset — required for cached
+// results to be interchangeable with fresh ones regardless of the
+// order the window assembled its items in.
+func runLeafSweep(boxes []frontend.Box, labels []frontend.Label, anchor geom.Point) (*netlist.Netlist, []string) {
+	shift := geom.Pt(-anchor.X, -anchor.Y)
+	ab := make([]frontend.Box, len(boxes))
+	for i, bx := range boxes {
+		ab[i] = frontend.Box{Layer: bx.Layer, Rect: bx.Rect.Translate(shift)}
+	}
+	scan.SortTopDown(ab)
+	al := make([]frontend.Label, len(labels))
+	for i, lb := range labels {
+		al[i] = lb
+		al[i].At = lb.At.Add(shift)
+	}
+	res, err := scan.Sweep(scan.NewBoxSource(ab), scan.Options{
 		KeepGeometry: true,
-		Labels:       labels,
+		Labels:       al,
 	})
 	if err != nil {
 		// The sweep only fails on internal invariant violations;
 		// surface it as an empty window plus a warning.
-		e.warnings = append(e.warnings, err.Error())
-		res = &scan.Result{Netlist: &netlist.Netlist{}}
+		return &netlist.Netlist{}, []string{err.Error()}
 	}
-	e.warnings = append(e.warnings, res.Warnings...)
+	return res.Netlist, res.Warnings
+}
 
+// buildLeafResult computes the frame-dependent half of a leaf window
+// from an (anchored) swept netlist: interface edges for net geometry
+// on the boundary and partial-transistor slots for channels touching
+// it.
+func buildLeafResult(id int, win window, nl *netlist.Netlist, anchor geom.Point, boxes int) *winResult {
 	r := &winResult{
-		id: e.nextID(),
+		id: id,
 		w:  win.w, h: win.h,
-		leaf: &leafData{nl: res.Netlist, boxes: len(boxes)},
+		insts: 1,
+		leaf:  &leafData{nl: nl, anchor: anchor, boxes: boxes},
 	}
-	r.netCount = len(res.Netlist.Nets)
+	r.netCount = len(nl.Nets)
 
 	frame := geom.Rect{XMin: 0, YMin: 0, XMax: win.w, YMax: win.h}
 
 	// Net interface segments: net geometry touching the boundary.
-	for i := range res.Netlist.Nets {
-		for _, g := range res.Netlist.Nets[i].Geometry {
+	for i := range nl.Nets {
+		for _, g := range nl.Nets[i].Geometry {
 			el, ok := elayerOf(g.Layer)
 			if !ok {
 				continue
 			}
-			r.addBoundaryEdges(el, g.Rect, frame, int32(i))
+			r.addBoundaryEdges(el, g.Rect.Translate(anchor), frame, int32(i))
 		}
 	}
 
 	// Partial transistors: devices whose channel touches the boundary.
-	for di := range res.Netlist.Devices {
+	for di := range nl.Devices {
 		slot := -1
-		for _, cr := range res.Netlist.Devices[di].Geometry {
+		for _, cr := range nl.Devices[di].Geometry {
+			cr = cr.Translate(anchor)
 			if touchesFrame(cr, frame) {
 				if slot < 0 {
 					slot = len(r.leaf.partDevs)
@@ -103,26 +219,4 @@ func (w *winResult) addBoundaryEdges(el elayer, r geom.Rect, frame geom.Rect, re
 func touchesFrame(r geom.Rect, frame geom.Rect) bool {
 	return r.XMin == frame.XMin || r.XMax == frame.XMax ||
 		r.YMin == frame.YMin || r.YMax == frame.YMax
-}
-
-// boxSource adapts a pre-sorted box slice to scan.Source.
-type boxSource struct {
-	boxes []frontend.Box
-	pos   int
-}
-
-func (s *boxSource) NextTop() (int64, bool) {
-	if s.pos >= len(s.boxes) {
-		return 0, false
-	}
-	return s.boxes[s.pos].Rect.YMax, true
-}
-
-func (s *boxSource) Next() (frontend.Box, bool) {
-	if s.pos >= len(s.boxes) {
-		return frontend.Box{}, false
-	}
-	b := s.boxes[s.pos]
-	s.pos++
-	return b, true
 }

@@ -1,0 +1,153 @@
+package hext
+
+import (
+	"container/list"
+	"sync"
+
+	"ace/internal/netlist"
+)
+
+// defaultCacheWindows is the content-cache capacity (in cached sweeps)
+// selected by Options.CacheSize == 0.
+const defaultCacheWindows = 4096
+
+// sweepEntry is one cached leaf sweep: the netlist of a window content
+// in anchored coordinates, plus the sweep's warnings. Everything
+// frame-dependent — interface edges, partial-transistor slots — is
+// recomputed per window from the cached netlist, which costs O(kept
+// geometry) instead of the sweep's O(n log n).
+type sweepEntry struct {
+	hash uint64
+	key  string // full canonical content, for exact verification
+
+	nl       *netlist.Netlist
+	warnings []string
+	boxes    int
+	bytes    int64
+
+	ready chan struct{} // closed once nl is valid (single-flight)
+	elem  *list.Element // LRU position; nil while pending or evicted
+}
+
+// leafCache is the content-addressed window cache: leaf sweeps keyed
+// by the translation-invariant hash of their canonical content, with
+// LRU eviction by entry count. Lookups are single-flight — concurrent
+// workers asking for the same content wait for the first sweep rather
+// than repeating it — which is also what keeps the LeafSweeps counter
+// equal to the number of distinct contents under parallel execution.
+type leafCache struct {
+	mu      sync.Mutex
+	maxEnt  int
+	buckets map[uint64][]*sweepEntry // hash → entries (collisions verified by key)
+	lru     list.List                // completed entries, front = most recent
+	bytes   int64
+	count   int
+}
+
+func newLeafCache(maxEntries int) *leafCache {
+	if maxEntries <= 0 {
+		maxEntries = defaultCacheWindows
+	}
+	return &leafCache{maxEnt: maxEntries, buckets: map[uint64][]*sweepEntry{}}
+}
+
+// lookup returns the entry for the hashed content and whether the
+// caller became its owner. An owner must run the sweep and call
+// complete; a non-owner waits on ready before reading the entry.
+// Entries are verified against the full canonical key, so a 64-bit
+// hash collision degrades into a second bucket entry, never into a
+// wrong netlist.
+func (c *leafCache) lookup(hash uint64, key string) (e *sweepEntry, owner bool) {
+	c.mu.Lock()
+	for _, ent := range c.buckets[hash] {
+		if ent.key == key {
+			if ent.elem != nil {
+				c.lru.MoveToFront(ent.elem)
+			}
+			c.mu.Unlock()
+			return ent, false
+		}
+	}
+	e = &sweepEntry{hash: hash, key: key, ready: make(chan struct{})}
+	c.buckets[hash] = append(c.buckets[hash], e)
+	c.mu.Unlock()
+	return e, true
+}
+
+// complete publishes an owner's sweep into its pending entry and
+// releases any waiters. The completed entry joins the LRU list; older
+// entries are evicted beyond the capacity. Evicted entries stay valid
+// for holders — eviction only drops the cache's own references.
+func (c *leafCache) complete(e *sweepEntry, nl *netlist.Netlist, warnings []string, boxes int) {
+	e.nl = nl
+	e.warnings = warnings
+	e.boxes = boxes
+	e.bytes = approxNetlistBytes(nl) + int64(len(e.key))
+	c.mu.Lock()
+	e.elem = c.lru.PushFront(e)
+	c.bytes += e.bytes
+	c.count++
+	for c.count > c.maxEnt {
+		back := c.lru.Back()
+		if back == nil || back == e.elem {
+			break // never evict the entry being published
+		}
+		c.evictLocked(back.Value.(*sweepEntry))
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+func (c *leafCache) evictLocked(v *sweepEntry) {
+	c.lru.Remove(v.elem)
+	v.elem = nil
+	bucket := c.buckets[v.hash]
+	for i, ent := range bucket {
+		if ent == v {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(c.buckets, v.hash)
+	} else {
+		c.buckets[v.hash] = bucket
+	}
+	c.bytes -= v.bytes
+	c.count--
+}
+
+// stats reports the number of completed entries retained and their
+// approximate footprint in bytes.
+func (c *leafCache) stats() (count int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count, c.bytes
+}
+
+// approxNetlistBytes estimates the retained size of a cached netlist:
+// struct headers plus the geometry, terminal and name payloads. It
+// feeds the CacheBytes gauge and the eviction accounting; it does not
+// need to be exact, only monotone in the real footprint.
+func approxNetlistBytes(nl *netlist.Netlist) int64 {
+	const (
+		netHeader = 64
+		devHeader = 136
+		layerRect = 40
+		termBytes = 24
+		rectBytes = 32
+	)
+	b := int64(64)
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		b += netHeader + int64(len(n.Geometry))*layerRect
+		for _, nm := range n.Names {
+			b += 16 + int64(len(nm))
+		}
+	}
+	for i := range nl.Devices {
+		d := &nl.Devices[i]
+		b += devHeader + int64(len(d.Terminals))*termBytes + int64(len(d.Geometry))*rectBytes
+	}
+	return b
+}

@@ -62,6 +62,12 @@ type winResult struct {
 	netCount  int
 	partCount int
 
+	// insts counts the leaf instances under this window (a leaf is 1,
+	// a composed window the sum of its children). Flattening uses it
+	// to give every leaf instance a deterministic DFS sequence number
+	// without actually walking the subtree.
+	insts int64
+
 	leaf *leafData
 	comp *compData
 }
@@ -70,6 +76,13 @@ type winResult struct {
 // extractor.
 type leafData struct {
 	nl *netlist.Netlist
+	// anchor is the lower-left corner of the content's bounding box in
+	// window-frame coordinates. The netlist is swept in anchored
+	// coordinates (content rebased so the anchor is the origin), which
+	// makes the sweep shareable between windows whose contents differ
+	// only by translation; consumers add the anchor back to return to
+	// the window frame.
+	anchor geom.Point
 	// partDevs lists the indices of devices whose channel touches the
 	// window boundary (the window's partial transistors); partial
 	// slot k corresponds to nl.Devices[partDevs[k]].

@@ -266,6 +266,21 @@ func fnv64(b []byte) uint64 {
 	return h
 }
 
+// fnv64str is fnv64 over a string without converting it to a byte
+// slice (the content cache hashes canonical keys on the hot path).
+func fnv64str(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
 // chooseCut finds a guillotine cut that avoids every instance bounding
 // box. The default (balanced) strategy prefers the cut closest to the
 // window's centre along its longer axis, giving the logarithmic

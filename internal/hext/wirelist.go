@@ -101,14 +101,18 @@ func (e *hw) emit(r *winResult) {
 
 func (e *hw) emitLeaf(r *winResult) {
 	nl := r.leaf.nl
+	// The cached netlist is anchored; adding the anchor back prints
+	// locations in the window frame, as the format has always done.
+	anchor := r.leaf.anchor
 	partSlot := map[int]int{}
 	for slot, di := range r.leaf.partDevs {
 		partSlot[di] = slot
 	}
 	for i := range nl.Devices {
 		d := &nl.Devices[i]
+		loc := d.Location.Add(anchor)
 		e.printf(" (Part %s (Name D%d) (Loc %d %d) (T G N%d) (T S N%d) (T D N%d)",
-			d.Type, i, d.Location.X, d.Location.Y, d.Gate, d.Source, d.Drain)
+			d.Type, i, loc.X, loc.Y, d.Gate, d.Source, d.Drain)
 		e.printf(" (Channel (Length %d) (Width %d))", d.Length, d.Width)
 		if slot, ok := partSlot[i]; ok {
 			// A partial transistor carries its accumulator facts so a

@@ -1,0 +1,54 @@
+// Package prof wires Go's pprof profilers into the command-line
+// tools: one call at the top of main turns -cpuprofile/-memprofile
+// flags into profile files, so performance work on the extractors is
+// measured rather than guessed.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the (possibly empty) paths and
+// returns a stop function to run before the program exits. An empty
+// path disables that profile; an error is returned if a profile file
+// cannot be created or the CPU profiler is already running.
+//
+// Typical use:
+//
+//	stop, err := prof.Start(*cpuprofile, *memprofile)
+//	if err != nil { ... }
+//	defer stop()
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialise the live heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "prof:", err)
+			}
+		}
+	}, nil
+}

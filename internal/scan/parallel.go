@@ -138,6 +138,35 @@ func ParallelSweep(boxes []frontend.Box, opt Options, workers int) (*Result, err
 // face capture, absorb) from dominating tiny designs.
 const minBoxesPerBand = 64
 
+// SortTopDown orders boxes into the canonical sweep order: descending
+// top edge, with full-record tie-breaks (layer, then XMin, YMin,
+// XMax). Unlike a stable sort keyed on YMax alone, the result is a
+// total order independent of the input permutation — two windows with
+// the same box multiset sweep identically, which is what lets the
+// hierarchical extractor's content-addressed leaf cache share sweeps
+// between windows that agree only up to translation.
+func SortTopDown(boxes []frontend.Box) {
+	sort.Slice(boxes, func(i, j int) bool {
+		a, b := &boxes[i], &boxes[j]
+		if a.Rect.YMax != b.Rect.YMax {
+			return a.Rect.YMax > b.Rect.YMax
+		}
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Rect.XMin != b.Rect.XMin {
+			return a.Rect.XMin < b.Rect.XMin
+		}
+		if a.Rect.YMin != b.Rect.YMin {
+			return a.Rect.YMin < b.Rect.YMin
+		}
+		return a.Rect.XMax < b.Rect.XMax
+	})
+}
+
+// NewBoxSource adapts a pre-drained, top-sorted box slice to Source.
+func NewBoxSource(boxes []frontend.Box) Source { return &boxSource{boxes: boxes} }
+
 // boxSource adapts a pre-drained, top-sorted box slice to Source.
 type boxSource struct {
 	boxes []frontend.Box

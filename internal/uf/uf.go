@@ -92,6 +92,23 @@ func (f *Forest32) Make() int32 {
 	return id
 }
 
+// Reserve grows the forest's capacity so the next n Makes (or one
+// Grow(n)) allocate no memory. It never shrinks and never changes the
+// forest's contents.
+func (f *Forest32) Reserve(n int) {
+	need := len(f.parent) + n
+	if cap(f.parent) < need {
+		parent := make([]int32, len(f.parent), need)
+		copy(parent, f.parent)
+		f.parent = parent
+	}
+	if cap(f.size) < need {
+		size := make([]int32, len(f.size), need)
+		copy(size, f.size)
+		f.size = size
+	}
+}
+
 // Grow allocates n fresh singletons at once and returns the first id.
 func (f *Forest32) Grow(n int) int32 {
 	first := int32(len(f.parent))
