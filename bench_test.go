@@ -20,10 +20,6 @@ import (
 	"ace/internal/raster"
 )
 
-// benchScale shrinks the Table 5-1/5-2 chips so a full benchmark run
-// stays laptop-friendly. cmd/ace -table51 runs them at full size.
-const benchScale = 0.05
-
 // E1 — Figure 3-3/3-4: the inverter, end to end.
 func BenchmarkFig3InverterExtract(b *testing.B) {
 	f := gen.Inverter()
@@ -44,10 +40,9 @@ func BenchmarkFig3InverterExtract(b *testing.B) {
 // (linear time). The metrics devs/s and boxes/s are reported per
 // benchmark for comparison across chips.
 func BenchmarkTable51_ACE(b *testing.B) {
-	for _, c := range gen.Chips {
-		c := c
-		b.Run(c.Name, func(b *testing.B) {
-			w := c.Build(benchScale)
+	for _, w := range gen.BenchChips() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
 			var devices, boxes int
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -72,8 +67,7 @@ func BenchmarkTable51_ACE(b *testing.B) {
 func BenchmarkTable52(b *testing.B) {
 	chips := []string{"cherry", "dchip", "schip2", "testram", "riscb"}
 	for _, name := range chips {
-		c, _ := gen.ChipByName(name)
-		w := c.Build(benchScale)
+		w := gen.BenchChip(name)
 		boxes, labels := benchDrain(b, w.File)
 
 		b.Run("ACE/"+name, func(b *testing.B) {
@@ -105,8 +99,7 @@ func BenchmarkTable52(b *testing.B) {
 // E4 — ACE §5 time distribution. Reported as percentage metrics; the
 // paper's split is 40/15/20/10/15 (frontend/insert/devices/alloc/misc).
 func BenchmarkPhaseBreakdown(b *testing.B) {
-	c, _ := gen.ChipByName("dchip")
-	w := c.Build(benchScale)
+	w := gen.BenchChip("dchip")
 	src := cif.String(w.File)
 	var p extract.Phases
 	b.ResetTimer()
@@ -234,8 +227,7 @@ func BenchmarkTable41_Flat(b *testing.B) {
 // big on testram (regular), loses on schip2 (irregular).
 func BenchmarkTable51_HEXT(b *testing.B) {
 	for _, name := range []string{"cherry", "dchip", "schip2", "testram", "psc", "riscb"} {
-		c, _ := gen.ChipByName(name)
-		w := c.Build(benchScale)
+		w := gen.BenchChip(name)
 		b.Run(name, func(b *testing.B) {
 			var res *hext.Result
 			for i := 0; i < b.N; i++ {
@@ -258,8 +250,7 @@ func BenchmarkTable51_HEXT(b *testing.B) {
 // windows (the paper averages 72%), plus the call counts.
 func BenchmarkTable52_HEXT_Compose(b *testing.B) {
 	for _, name := range []string{"cherry", "dchip", "schip2", "testram", "psc", "riscb"} {
-		c, _ := gen.ChipByName(name)
-		w := c.Build(benchScale)
+		w := gen.BenchChip(name)
 		b.Run(name, func(b *testing.B) {
 			var res *hext.Result
 			for i := 0; i < b.N; i++ {

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ace/internal/cif"
+	"ace/internal/extract"
+	"ace/internal/frontend"
+	"ace/internal/gen"
+)
+
+// ingestResult is one measurement of the ingest pipeline: either the
+// parse phase alone, or parse plus full instantiation ("heap" is the
+// lazy heap front end, "flat" the pre-flattened streamed one).
+type ingestResult struct {
+	Workload       string `json:"workload"`
+	Phase          string `json:"phase"` // "parse" or "ingest"
+	Mode           string `json:"mode,omitempty"`
+	FlattenWorkers int    `json:"flatten_workers,omitempty"`
+	InputBytes     int    `json:"input_bytes"`
+	Boxes          int    `json:"boxes,omitempty"`
+	NsPerOp        int64  `json:"ns_per_op"`
+	AllocsPerOp    int64  `json:"allocs_per_op"`
+	BytesPerOp     int64  `json:"bytes_per_op"`
+}
+
+// prePRBaseline pins the numbers this PR is measured against. They
+// were recorded on this same host (Intel Xeon @ 2.10GHz, 1 CPU,
+// go1.22) from a work tree at commit 0a2f617 — the tree as it stood
+// before the zero-alloc parser and the pre-flattened ingest landed —
+// using the identical workloads and loop bodies ("parse" =
+// cif.ParseBytes; "ingest" = cif.ParseBytes + frontend.New + Drain).
+// Only allocs_per_op is load-independent enough to compare across
+// hosts; ns_per_op is for same-host reference only.
+var prePRBaseline = struct {
+	Commit  string         `json:"commit"`
+	Method  string         `json:"method"`
+	Results []ingestResult `json:"results"`
+}{
+	Commit: "0a2f617",
+	Method: "same host, benchtime 2s; parse = cif.ParseBytes, ingest = cif.ParseBytes + frontend.New + Stream.Drain",
+	Results: []ingestResult{
+		{Workload: "cherry", Phase: "parse", NsPerOp: 41735, AllocsPerOp: 165, BytesPerOp: 80688},
+		{Workload: "dchip", Phase: "parse", NsPerOp: 56149, AllocsPerOp: 200, BytesPerOp: 108640},
+		{Workload: "riscb", Phase: "parse", NsPerOp: 101575, AllocsPerOp: 267, BytesPerOp: 224416},
+		{Workload: "statistical", Phase: "parse", NsPerOp: 7611748, AllocsPerOp: 13408, BytesPerOp: 17762119},
+		{Workload: "cherry", Phase: "ingest", Mode: "heap", NsPerOp: 79976, AllocsPerOp: 187, BytesPerOp: 119240},
+		{Workload: "dchip", Phase: "ingest", Mode: "heap", NsPerOp: 277643, AllocsPerOp: 228, BytesPerOp: 293272},
+		{Workload: "riscb", Phase: "ingest", Mode: "heap", NsPerOp: 2715263, AllocsPerOp: 306, BytesPerOp: 2457048},
+		{Workload: "statistical", Phase: "ingest", Mode: "heap", NsPerOp: 15493520, AllocsPerOp: 13455, BytesPerOp: 31895552},
+	},
+}
+
+type ingestReport struct {
+	Env           benchEnv       `json:"env"`
+	PrePRBaseline any            `json:"pre_pr_baseline"`
+	Results       []ingestResult `json:"results"`
+}
+
+// ingestWorkloads matches the baseline set: the three synthetic chips
+// at bench scale plus a flat statistical design that stresses the
+// parser rather than the hierarchy.
+func ingestWorkloads() []gen.Workload {
+	out := gen.BenchChips()
+	return append(out, gen.Statistical(20000, 42))
+}
+
+// runBenchIngestJSON measures the ingest pipeline — parse alone, then
+// parse plus instantiation through each front end — and writes the
+// BENCH_3 baseline. Flatten workers above NumCPU add no speed on this
+// host (the env block records the core count); they are included to
+// show the streamed path's overhead stays flat with grain.
+func runBenchIngestJSON(path string, scale float64) {
+	report := ingestReport{
+		Env: benchEnv{
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Scale:      scale,
+		},
+		PrePRBaseline: prePRBaseline,
+	}
+
+	add := func(r ingestResult, br testing.BenchmarkResult) {
+		r.NsPerOp = br.NsPerOp()
+		r.AllocsPerOp = br.AllocsPerOp()
+		r.BytesPerOp = br.AllocedBytesPerOp()
+		report.Results = append(report.Results, r)
+		fmt.Fprintf(os.Stderr, "%-12s %-6s %-5s fw=%d  %12v/op  %8d allocs/op\n",
+			r.Workload, r.Phase, r.Mode, r.FlattenWorkers,
+			time.Duration(r.NsPerOp), r.AllocsPerOp)
+	}
+
+	for _, w := range ingestWorkloads() {
+		if err := extractProbe(w); err != nil {
+			fatal(err)
+		}
+		src := []byte(cif.String(w.File))
+
+		add(ingestResult{Workload: w.Name, Phase: "parse", InputBytes: len(src)},
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := cif.ParseBytes(src); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+
+		boxes := 0
+		add(ingestResult{Workload: w.Name, Phase: "ingest", Mode: "heap", InputBytes: len(src)},
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					f, err := cif.ParseBytes(src)
+					if err != nil {
+						b.Fatal(err)
+					}
+					s, err := frontend.New(f, frontend.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					boxes = len(s.Drain())
+				}
+			}))
+		report.Results[len(report.Results)-1].Boxes = boxes
+
+		for _, fw := range []int{1, 2, 8} {
+			add(ingestResult{Workload: w.Name, Phase: "ingest", Mode: "flat",
+				FlattenWorkers: fw, InputBytes: len(src), Boxes: boxes},
+				testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						f, err := cif.ParseBytes(src)
+						if err != nil {
+							b.Fatal(err)
+						}
+						fl := frontend.Flatten(f, frontend.Options{})
+						fl.Stream(fw).Drain()
+					}
+				}))
+		}
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// extractProbe keeps the ingest harness honest: the streamed path must
+// still produce the same extraction the heap path does on this host
+// before its numbers are worth recording.
+func extractProbe(w gen.Workload) error {
+	a, err := extract.File(w.File, extract.Options{})
+	if err != nil {
+		return err
+	}
+	b, err := extract.File(w.File, extract.Options{FlattenWorkers: 2})
+	if err != nil {
+		return err
+	}
+	if len(a.Netlist.Devices) != len(b.Netlist.Devices) || len(a.Netlist.Nets) != len(b.Netlist.Nets) {
+		return fmt.Errorf("%s: flat path diverges (%d/%d devices, %d/%d nets)",
+			w.Name, len(a.Netlist.Devices), len(b.Netlist.Devices),
+			len(a.Netlist.Nets), len(b.Netlist.Nets))
+	}
+	return nil
+}

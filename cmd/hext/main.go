@@ -24,14 +24,21 @@ import (
 )
 
 // flagWorkers and flagCacheSize are threaded into every extraction the
-// command runs.
+// command runs; flagFlattenWorkers selects the flat extractor's
+// streamed ingest in the HEXT-vs-ACE comparison columns.
 var (
-	flagWorkers   int
-	flagCacheSize int
+	flagWorkers        int
+	flagCacheSize      int
+	flagFlattenWorkers int
 )
 
 func hextOpts() hext.Options {
 	return hext.Options{Workers: flagWorkers, CacheSize: flagCacheSize}
+}
+
+// flatOpts configures the flat-ACE runs the tables compare against.
+func flatOpts() extract.Options {
+	return extract.Options{FlattenWorkers: flagFlattenWorkers}
 }
 
 func main() {
@@ -50,6 +57,7 @@ func main() {
 	)
 	flag.IntVar(&flagWorkers, "workers", 0, "schedule leaf sweeps and composes over this many goroutines (0 or 1: serial)")
 	flag.IntVar(&flagCacheSize, "cache-size", 0, "content-cache capacity in cached window sweeps (0: default 4096, negative: disabled)")
+	flag.IntVar(&flagFlattenWorkers, "flatten-workers", 0, "use the flat extractor's streamed pre-flatten ingest (with this many stamp workers) in the ACE comparison columns")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProf, *memProf)
@@ -159,7 +167,7 @@ func runTable41(maxN int) {
 		runtime.GC()
 
 		t0 := time.Now()
-		fres, err := extract.File(w.File, extract.Options{})
+		fres, err := extract.File(w.File, flatOpts())
 		if err != nil {
 			fatal(err)
 		}
@@ -196,7 +204,7 @@ func runTable51(scale float64) {
 			fatal(err)
 		}
 		t0 := time.Now()
-		if _, err := extract.File(w.File, extract.Options{}); err != nil {
+		if _, err := extract.File(w.File, flatOpts()); err != nil {
 			fatal(err)
 		}
 		flatT := time.Since(t0)

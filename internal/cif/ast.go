@@ -130,10 +130,24 @@ func wireBBox(w geom.Wire) geom.Rect {
 	if len(w.Path) == 0 {
 		return geom.Rect{}
 	}
+	// Accumulate min/max directly: path points are zero-area rects,
+	// which Rect.Union would treat as absent when they sit at the
+	// origin.
 	h := w.Width/2 + (w.Width & 1)
 	bb := geom.Rect{XMin: w.Path[0].X, YMin: w.Path[0].Y, XMax: w.Path[0].X, YMax: w.Path[0].Y}
 	for _, p := range w.Path[1:] {
-		bb = bb.Union(geom.Rect{XMin: p.X, YMin: p.Y, XMax: p.X, YMax: p.Y})
+		if p.X < bb.XMin {
+			bb.XMin = p.X
+		}
+		if p.X > bb.XMax {
+			bb.XMax = p.X
+		}
+		if p.Y < bb.YMin {
+			bb.YMin = p.Y
+		}
+		if p.Y > bb.YMax {
+			bb.YMax = p.Y
+		}
 	}
 	return geom.Rect{XMin: bb.XMin - h, YMin: bb.YMin - h, XMax: bb.XMax + h, YMax: bb.YMax + h}
 }

@@ -44,11 +44,63 @@ type parser struct {
 	file *File
 
 	cur      *Symbol // nil when at top level
+	curMark  int     // itemArena start of the open symbol's items
 	layer    tech.Layer
 	hasLayer bool
 	scaleA   int64 // DS scale numerator (1 at top level)
 	scaleB   int64 // DS scale denominator
 	ended    bool
+
+	// Allocation arenas (see "allocation discipline" below): items of
+	// the open symbol accumulate in itemArena and are sliced out at DF;
+	// polygon/wire vertices accumulate in ptArena; Symbol structs come
+	// from fixed-size blocks; words that must outlive the parse are
+	// interned so repeated names cost one allocation total.
+	itemArena []Item
+	ptArena   []geom.Point
+	symBlock  []Symbol
+	interned  map[string]string
+}
+
+// Allocation discipline. The parser is the first stage of the ingest
+// pipeline and runs over multi-megabyte files, so the hot loop must
+// not allocate per command:
+//
+//   - the lexer hands out sub-slices of src (tryWordBytes); the only
+//     words converted to strings are names that outlive the parse,
+//     and those are interned;
+//   - a symbol's items are appended to a shared arena and sliced out
+//     (three-index, so the view cannot be appended into) when DF
+//     closes the symbol — one growth chain for the whole file instead
+//     of one per symbol;
+//   - polygon and wire vertices use the same trick on ptArena;
+//   - Symbol structs are carved from 64-entry blocks to keep pointer
+//     stability without a per-symbol allocation.
+//
+// BenchmarkParseBytes tracks allocs/op for regressions.
+
+const symBlockSize = 64
+
+func (p *parser) newSymbol(id int) *Symbol {
+	if len(p.symBlock) == cap(p.symBlock) {
+		p.symBlock = make([]Symbol, 0, symBlockSize)
+	}
+	p.symBlock = append(p.symBlock, Symbol{ID: id})
+	return &p.symBlock[len(p.symBlock)-1]
+}
+
+// intern returns w as a string, allocating only the first time a given
+// word is seen.
+func (p *parser) intern(w []byte) string {
+	if s, ok := p.interned[string(w)]; ok {
+		return s
+	}
+	if p.interned == nil {
+		p.interned = make(map[string]string, 16)
+	}
+	s := string(w)
+	p.interned[s] = s
+	return s
 }
 
 func (p *parser) errf(format string, args ...any) error {
@@ -164,7 +216,8 @@ func (p *parser) defineStart() error {
 	if _, dup := p.file.Symbols[int(id)]; dup {
 		return p.errf("symbol %d defined twice", id)
 	}
-	p.cur = &Symbol{ID: int(id)}
+	p.cur = p.newSymbol(int(id))
+	p.curMark = len(p.itemArena)
 	p.file.Symbols[int(id)] = p.cur
 	p.scaleA, p.scaleB = a, b
 	return p.endCommand()
@@ -173,6 +226,12 @@ func (p *parser) defineStart() error {
 func (p *parser) defineFinish() error {
 	if p.cur == nil {
 		return p.errf("DF without DS")
+	}
+	// Slice the symbol's items out of the arena. The three-index form
+	// caps the view so appending to sym.Items can never scribble over a
+	// later symbol's items.
+	if n := len(p.itemArena); n > p.curMark {
+		p.cur.Items = p.itemArena[p.curMark:n:n]
 	}
 	p.cur = nil
 	p.scaleA, p.scaleB = 1, 1
@@ -244,11 +303,11 @@ func (p *parser) call() error {
 }
 
 func (p *parser) layerCmd() error {
-	name, err := p.word()
+	name, err := p.wordBytes()
 	if err != nil {
 		return p.errf("L needs a layer name: %v", err)
 	}
-	l, ok := tech.LayerByCIFName(name)
+	l, ok := tech.LayerByCIFNameBytes(name)
 	if !ok {
 		p.warnf("unknown layer %q; geometry on it will be ignored", name)
 		p.hasLayer = false
@@ -387,12 +446,12 @@ func (p *parser) userExtension() error {
 			return p.label()
 		}
 		// "9 name;" — symbol name.
-		name, err := p.word()
+		name, err := p.wordBytes()
 		if err != nil {
 			return p.errf("9 needs a name: %v", err)
 		}
 		if p.cur != nil {
-			p.cur.Name = name
+			p.cur.Name = p.intern(name)
 		} else {
 			p.warnf("symbol name %q outside symbol definition ignored", name)
 		}
@@ -407,7 +466,7 @@ func (p *parser) userExtension() error {
 // the electrical node at (x, y) — Sproull's "Names in CIF" convention
 // that ACE uses for net naming.
 func (p *parser) label() error {
-	name, err := p.word()
+	name, err := p.wordBytes()
 	if err != nil {
 		return p.errf("94 needs a name: %v", err)
 	}
@@ -419,13 +478,13 @@ func (p *parser) label() error {
 	if err != nil {
 		return p.errf("94 needs y: %v", err)
 	}
-	it := Item{Kind: ItemLabel, Name: name, At: geom.Pt(p.scale(x), p.scale(y))}
-	if w, ok := p.tryWord(); ok {
-		if l, lok := tech.LayerByCIFName(w); lok {
+	it := Item{Kind: ItemLabel, Name: p.intern(name), At: geom.Pt(p.scale(x), p.scale(y))}
+	if w, ok := p.tryWordBytes(); ok {
+		if l, lok := tech.LayerByCIFNameBytes(w); lok {
 			it.Layer = l
 			it.HasLayer = true
 		} else {
-			p.warnf("label %q names unknown layer %q", name, w)
+			p.warnf("label %q names unknown layer %q", it.Name, w)
 		}
 	}
 	if err := p.endCommand(); err != nil {
@@ -437,7 +496,7 @@ func (p *parser) label() error {
 
 func (p *parser) emit(it Item) {
 	if p.cur != nil {
-		p.cur.Items = append(p.cur.Items, it)
+		p.itemArena = append(p.itemArena, it)
 	} else {
 		p.file.Top = append(p.file.Top, it)
 	}
@@ -571,32 +630,40 @@ func (p *parser) tryNumber() (int64, bool) {
 	return v, true
 }
 
-func (p *parser) word() (string, error) {
-	w, ok := p.tryWord()
+func (p *parser) wordBytes() ([]byte, error) {
+	w, ok := p.tryWordBytes()
 	if !ok {
-		return "", fmt.Errorf("expected word")
+		return nil, fmt.Errorf("expected word")
 	}
 	return w, nil
 }
 
 // points reads pairs of numbers until the terminating semicolon is in
-// sight.
+// sight. The vertices are carved out of the shared point arena; the
+// returned slice is capacity-capped so the caller owns it.
 func (p *parser) points() ([]geom.Point, error) {
-	var pts []geom.Point
+	mark := len(p.ptArena)
 	for {
 		x, ok := p.tryNumber()
 		if !ok {
-			return pts, nil
+			n := len(p.ptArena)
+			if n == mark {
+				return nil, nil
+			}
+			return p.ptArena[mark:n:n], nil
 		}
 		y, err := p.number()
 		if err != nil {
+			p.ptArena = p.ptArena[:mark]
 			return nil, p.errf("point needs both coordinates: %v", err)
 		}
-		pts = append(pts, geom.Pt(p.scale(x), p.scale(y)))
+		p.ptArena = append(p.ptArena, geom.Pt(p.scale(x), p.scale(y)))
 	}
 }
 
-func (p *parser) tryWord() (string, bool) {
+// tryWordBytes scans a word and returns it as a sub-slice of the
+// source — no allocation. Callers that retain the word must intern it.
+func (p *parser) tryWordBytes() ([]byte, bool) {
 	p.skipBlanks()
 	i := p.pos
 	for i < len(p.src) {
@@ -607,9 +674,9 @@ func (p *parser) tryWord() (string, bool) {
 		i++
 	}
 	if i == p.pos {
-		return "", false
+		return nil, false
 	}
-	w := string(p.src[p.pos:i])
+	w := p.src[p.pos:i]
 	p.pos = i
 	return w, true
 }

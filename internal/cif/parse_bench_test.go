@@ -1,0 +1,56 @@
+package cif_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ace/internal/cif"
+	"ace/internal/gen"
+)
+
+// BenchmarkParseBytes measures the CIF parser on the rendered text of
+// the shared benchmark chips. The parser is on the ingest hot path, so
+// allocs/op is the headline number (BENCH_3.json records it): the
+// byte-slice lexer must not allocate per word, and item/point arenas
+// keep slice growth amortised.
+func BenchmarkParseBytes(b *testing.B) {
+	workloads := []gen.Workload{
+		gen.BenchChip("cherry"),
+		gen.BenchChip("dchip"),
+		gen.BenchChip("riscb"),
+		// The flat workload is where parse time dominates the pipeline
+		// (ISSUE motivation): tens of thousands of B commands, no reuse.
+		gen.Statistical(20000, 42),
+	}
+	for _, w := range workloads {
+		data := []byte(cif.String(w.File))
+		b.Run(fmt.Sprintf("%s/bytes=%d", w.Name, len(data)), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := cif.ParseBytes(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParseUserCommands isolates the word-heavy paths: layer
+// switches, symbol names and point labels — the commands that used to
+// allocate a string per word (parse.go's tryWord).
+func BenchmarkParseUserCommands(b *testing.B) {
+	var src []byte
+	src = append(src, "DS 1; 9 cellname; L ND; B 10 10 0 0; DF;\n"...)
+	for i := 0; i < 2000; i++ {
+		src = append(src, fmt.Sprintf("L NP; B 4 4 %d 0; L NM; B 4 4 %d 8; 94 net%d %d 0 NM;\n", i*10, i*10, i%7, i*10)...)
+	}
+	src = append(src, "C 1;\nE\n"...)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := cif.ParseBytes(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -42,19 +42,33 @@ type Options struct {
 	// materialises the instantiated design up front, so serial wins on
 	// small designs and when memory is tighter than time.
 	Workers int
+
+	// FlattenWorkers switches the front end from the lazy heap stream
+	// to the pre-flattened ingest (frontend.Flatten): symbol bodies
+	// flatten once into sorted arenas, instances are stamped by that
+	// many workers, and boxes stream into the sweep as they are
+	// produced, so instantiation overlaps the sweep. Zero keeps the
+	// heap front end. The wirelist is byte-identical either way, at
+	// every FlattenWorkers × Workers combination.
+	FlattenWorkers int
 }
 
-// Phases is the paper's §5 time breakdown.
+// Phases is the paper's §5 time breakdown, extended with the streamed
+// ingest pipeline's flatten and sort phases.
 type Phases struct {
 	Parse    time.Duration // parsing the CIF text
-	FrontEnd time.Duration // instantiating and sorting geometry
+	FrontEnd time.Duration // heap path: instantiating and sorting geometry
+	Flatten  time.Duration // flat path: arena build + instance stamping (wall-clock; overlaps the sweep)
+	Sort     time.Duration // flat path: CPU time re-sorting stamped runs (inside Flatten)
 	Insert   time.Duration // entering geometry into the active lists
 	Devices  time.Duration // computing devices and nets
 	Output   time.Duration // building the output netlist
 	Total    time.Duration
 }
 
-// Misc returns the time not attributed to a specific phase.
+// Misc returns the time not attributed to a specific phase. Flatten
+// wall-clock overlaps the sweep phases, and Sort is contained in
+// Flatten, so neither subtracts from the total.
 func (p Phases) Misc() time.Duration {
 	m := p.Total - p.Parse - p.FrontEnd - p.Insert - p.Devices - p.Output
 	if m < 0 {
@@ -114,6 +128,9 @@ func File(f *cif.File, opt Options) (*Result, error) {
 		return nil, err
 	}
 
+	if opt.FlattenWorkers > 0 {
+		return flattenFile(f, stream, opt, t0)
+	}
 	if opt.Workers > 1 {
 		return parallelFile(f, stream, opt, t0)
 	}
@@ -165,8 +182,13 @@ func File(f *cif.File, opt Options) (*Result, error) {
 // and runs the band-sharded sweep.
 func parallelFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
 	tFE := time.Now()
-	boxes := stream.Drain()
+	// Labels are forced before the drain so their order matches the
+	// serial path (and the streamed flatten path, which reuses the
+	// fresh stream's label order): Labels() on an undrained stream
+	// expands only label-bearing subtrees in a fixed order, whereas
+	// labels collected during a full drain surface in heap-pop order.
 	labels := stream.Labels()
+	boxes := stream.Drain()
 	fe := time.Since(tFE)
 
 	res, err := scan.ParallelSweep(boxes, scan.Options{
@@ -190,6 +212,94 @@ func parallelFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Tim
 		// Band times overlap in wall-clock; report their sum, which is
 		// the CPU the sweep consumed.
 		out.Phases.Insert = res.Timing.Insert
+		out.Phases.Devices = res.Timing.Devices
+		out.Phases.Output = res.Timing.Output
+	}
+	return out, nil
+}
+
+// flattenFile is the FlattenWorkers > 0 path of File: the streamed
+// ingest pipeline. The design pre-flattens into per-symbol arenas,
+// instances stamp in parallel, and the sweep — serial or band-parallel
+// — consumes boxes while stamping is still in flight. Labels come from
+// the legacy stream (cheap: only label-bearing subtrees expand) so
+// their order is bit-for-bit the heap path's.
+func flattenFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
+	labels := stream.Labels()
+	fw := opt.FlattenWorkers
+
+	tF := time.Now()
+	fl := frontend.Flatten(f, frontend.Options{Grid: opt.Grid})
+	setup := time.Since(tF)
+
+	sopt := scan.Options{
+		KeepGeometry:  opt.KeepGeometry,
+		Labels:        labels,
+		InsertionSort: opt.InsertionSort,
+	}
+
+	var res *scan.Result
+	var err error
+	var timed *timedSource
+	serial := func() (*scan.Result, error) {
+		var src scan.Source = fl.Stream(fw)
+		if opt.Profile {
+			timed = &timedSource{inner: src}
+			src = timed
+		}
+		return scan.Sweep(src, sopt)
+	}
+	if opt.Workers > 1 {
+		// Cut selection needs the exact top multiset, so the prepass
+		// stamps box tops (and any manhattanised geometry) first; the
+		// boxes themselves still stream. Bands and cuts replicate
+		// ParallelSweep's choices exactly, so the stitched wirelist is
+		// byte-identical to the materialising pipeline's.
+		fl.Prepare(fw)
+		tops := fl.SortedTops(fw)
+		bands := scan.EffectiveBands(len(tops), opt.Workers)
+		var cuts []int64
+		if bands >= 2 {
+			cuts = scan.CutsFromTops(tops, bands)
+		}
+		if len(cuts) == 0 {
+			res, err = serial()
+		} else {
+			srcs := fl.BandStreams(fw, cuts)
+			bsrcs := make([]scan.Source, len(srcs))
+			for i, s := range srcs {
+				bsrcs[i] = s
+			}
+			res, err = scan.ParallelSweepSources(bsrcs, cuts, len(tops), sopt)
+		}
+	} else {
+		res, err = serial()
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{
+		Netlist:  res.Netlist,
+		Counters: res.Counters,
+		Frontend: fl.Stats(),
+		Warnings: append(f.Warnings, res.Warnings...),
+	}
+	out.Phases.Total = time.Since(t0)
+	if opt.Profile {
+		flatten, _, sortRuns := fl.Timing()
+		out.Phases.Flatten = setup + flatten
+		out.Phases.Sort = sortRuns
+		out.Phases.Insert = res.Timing.Insert
+		if timed != nil {
+			// Serial streaming: time the sweep spent blocked on (or
+			// merging from) the flatten belongs to the ingest, not to
+			// active-list insertion.
+			out.Phases.Insert -= timed.spent
+			if out.Phases.Insert < 0 {
+				out.Phases.Insert = 0
+			}
+		}
 		out.Phases.Devices = res.Timing.Devices
 		out.Phases.Output = res.Timing.Output
 	}

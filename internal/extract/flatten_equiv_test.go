@@ -1,0 +1,97 @@
+package extract
+
+import (
+	"testing"
+
+	"ace/internal/cif"
+	"ace/internal/gen"
+	"ace/internal/wirelist"
+)
+
+// The acceptance matrix: every flatten grain crossed with every sweep
+// width must reproduce the legacy pipeline's wirelist byte for byte.
+var (
+	equivFlattenWorkers = []int{1, 2, 8}
+	equivSweepWorkers   = []int{1, 4}
+)
+
+func equivDesigns(t *testing.T) map[string]*cif.File {
+	t.Helper()
+	out := map[string]*cif.File{}
+	for _, c := range corpus {
+		out[c.file] = readCorpus(t, c.file)
+	}
+	for _, w := range gen.BenchChips() {
+		out[w.Name] = w.File
+	}
+	out["mesh"] = gen.Mesh(5).File
+	out["statistical"] = gen.Statistical(1500, 11).File
+	return out
+}
+
+func formatWirelist(t *testing.T, name string, f *cif.File, opt Options) string {
+	t.Helper()
+	res, err := File(f, opt)
+	if err != nil {
+		t.Fatalf("%s %+v: %v", name, opt, err)
+	}
+	return wirelist.Format(res.Netlist, wirelist.Options{Geometry: opt.KeepGeometry})
+}
+
+func diffPos(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestFlattenWirelistByteIdentical runs the full equivalence matrix:
+// for every corpus file and generated chip, the streamed ingest at
+// flatten workers {1, 2, 8} must produce a wirelist byte-identical to
+// the legacy heap pipeline's, at sweep workers {1, 4} each.
+func TestFlattenWirelistByteIdentical(t *testing.T) {
+	for name, f := range equivDesigns(t) {
+		for _, sw := range equivSweepWorkers {
+			want := formatWirelist(t, name, f, Options{Workers: sw})
+			for _, fw := range equivFlattenWorkers {
+				got := formatWirelist(t, name, f, Options{Workers: sw, FlattenWorkers: fw})
+				if got != want {
+					i := diffPos(want, got)
+					lo := i - 60
+					if lo < 0 {
+						lo = 0
+					}
+					t.Fatalf("%s sweep=%d flatten=%d: wirelist differs at byte %d\nlegacy:  …%q\nflatten: …%q",
+						name, sw, fw, i, want[lo:min(i+60, len(want))], got[lo:min(i+60, len(got))])
+				}
+			}
+		}
+	}
+}
+
+// TestFlattenWirelistGeometry repeats a slice of the matrix with
+// geometry recording on: recorded net and device rectangles depend on
+// strip formation order, so this pins the streamed path's delivery
+// order at the finest level the output can express.
+func TestFlattenWirelistGeometry(t *testing.T) {
+	for _, name := range []string{"polygons.cif", "labels.cif", "rotated.cif"} {
+		f := readCorpus(t, name)
+		for _, sw := range equivSweepWorkers {
+			want := formatWirelist(t, name, f, Options{Workers: sw, KeepGeometry: true})
+			for _, fw := range equivFlattenWorkers {
+				got := formatWirelist(t, name, f, Options{Workers: sw, FlattenWorkers: fw, KeepGeometry: true})
+				if got != want {
+					i := diffPos(want, got)
+					t.Fatalf("%s sweep=%d flatten=%d: geometry wirelist differs at byte %d",
+						name, sw, fw, i)
+				}
+			}
+		}
+	}
+}

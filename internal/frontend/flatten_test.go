@@ -1,0 +1,255 @@
+package frontend
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"ace/internal/cif"
+	"ace/internal/gen"
+)
+
+// flattenWorkerCounts spans the grains the extractor exposes: serial
+// stamping, a small pool, and more workers than this host has cores.
+var flattenWorkerCounts = []int{1, 2, 8}
+
+// corpusFiles loads every CIF file from the extract package's corpus;
+// the flatten path must agree with the heap on each of them.
+func corpusFiles(t *testing.T) map[string]*cif.File {
+	t.Helper()
+	dir := filepath.Join("..", "extract", "testdata")
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]*cif.File{}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) != ".cif" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := cif.ParseBytes(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		out[e.Name()] = f
+	}
+	if len(out) == 0 {
+		t.Fatal("no corpus files found")
+	}
+	return out
+}
+
+// genDesigns are generated workloads with deep hierarchy, mirrored and
+// rotated instances, and (Statistical) pseudo-random geometry.
+func genDesigns() map[string]*cif.File {
+	out := map[string]*cif.File{}
+	for _, w := range gen.BenchChips() {
+		out[w.Name] = w.File
+	}
+	out["mesh"] = gen.Mesh(5).File
+	out["statistical"] = gen.Statistical(1500, 11).File
+	return out
+}
+
+// mirroredSrc exercises every transform family the stamper handles —
+// identity, both mirrors, three rotations, and compositions — over a
+// cell that mixes boxes with deferred (manhattanised) geometry, at two
+// nesting levels so arena folding composes transforms.
+const mirroredSrc = `
+DS 1 1 1;
+L ND; B 40 20 30 20;
+L NP; P 0 0 60 0 60 25 30 55 0 25;
+L NM; W 8 0 0 50 50 90 50;
+DF;
+DS 2 1 1;
+C 1;
+C 1 M X T 300 0;
+C 1 M Y T 0 280;
+C 1 R 0 1 T 500 100;
+C 1 R 0 -1 T 150 450;
+C 1 R -1 0 T 700 600;
+L ND; B 30 30 -40 -40;
+DF;
+DS 3 1 1;
+C 2;
+C 2 M X R 0 1 T 1900 1900;
+C 2 M Y R 0 -1 T -800 900;
+DF;
+C 3;
+C 3 T 4000 100 M Y;
+E
+`
+
+func parseSrc(t *testing.T, src string) *cif.File {
+	t.Helper()
+	f, err := cif.ParseString(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+// canonBoxes returns a copy in the canonical total order (descending
+// top, then layer, XMin, YMin, XMax). Two streams deliver the same
+// per-stop multisets iff their canonical forms are equal.
+func canonBoxes(in []Box) []Box {
+	out := make([]Box, len(in))
+	copy(out, in)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Rect.YMax != b.Rect.YMax {
+			return a.Rect.YMax > b.Rect.YMax
+		}
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Rect.XMin != b.Rect.XMin {
+			return a.Rect.XMin < b.Rect.XMin
+		}
+		if a.Rect.YMin != b.Rect.YMin {
+			return a.Rect.YMin < b.Rect.YMin
+		}
+		return a.Rect.XMax < b.Rect.XMax
+	})
+	return out
+}
+
+func checkDescendingTops(t *testing.T, name string, boxes []Box) {
+	t.Helper()
+	for i := 1; i < len(boxes); i++ {
+		if boxes[i].Rect.YMax > boxes[i-1].Rect.YMax {
+			t.Fatalf("%s: box %d top %d above previous top %d",
+				name, i, boxes[i].Rect.YMax, boxes[i-1].Rect.YMax)
+		}
+	}
+}
+
+func compareCanon(t *testing.T, name string, want, got []Box) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: heap delivered %d boxes, flatten %d", name, len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: canonical box %d differs: heap %+v, flatten %+v",
+				name, i, want[i], got[i])
+		}
+	}
+}
+
+// TestDrainMatchesNext is the Drain/Next property: Drain must yield
+// exactly the sequence repeated Next calls would.
+func TestDrainMatchesNext(t *testing.T) {
+	designs := corpusFiles(t)
+	for name, f := range genDesigns() {
+		designs[name] = f
+	}
+	designs["mirrored"] = parseSrc(t, mirroredSrc)
+	for name, f := range designs {
+		s1, err := New(f, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s2, err := New(f, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		drained := s1.Drain()
+		for i, want := range drained {
+			if top, ok := s2.NextTop(); !ok || top != want.Rect.YMax {
+				t.Fatalf("%s: NextTop at %d = (%d, %t), Drain saw top %d",
+					name, i, top, ok, want.Rect.YMax)
+			}
+			got, ok := s2.Next()
+			if !ok || got != want {
+				t.Fatalf("%s: Next at %d = (%+v, %t), Drain saw %+v",
+					name, i, got, ok, want)
+			}
+		}
+		if b, ok := s2.Next(); ok {
+			t.Fatalf("%s: Next yielded %+v past Drain's end", name, b)
+		}
+	}
+}
+
+// TestFlattenMatchesHeap checks the tentpole equivalence: at every
+// worker grain, the pre-flattened stream delivers descending tops and
+// the identical box multiset at every stop as the legacy heap stream —
+// over the corpus, the generated chips, and the handcrafted
+// mirrored/rotated design.
+func TestFlattenMatchesHeap(t *testing.T) {
+	designs := corpusFiles(t)
+	for name, f := range genDesigns() {
+		designs[name] = f
+	}
+	designs["mirrored"] = parseSrc(t, mirroredSrc)
+	for name, f := range designs {
+		s, err := New(f, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := canonBoxes(s.Drain())
+		for _, w := range flattenWorkerCounts {
+			fl := Flatten(f, Options{})
+			got := fl.Stream(w).Drain()
+			checkDescendingTops(t, name, got)
+			compareCanon(t, name, want, canonBoxes(got))
+		}
+	}
+}
+
+// TestFlattenKeepGlass pins the Glass filter parity: both front ends
+// must drop or keep overglass geometry together.
+func TestFlattenKeepGlass(t *testing.T) {
+	src := `
+DS 1 1 1;
+L NG; B 20 20 0 0;
+L NM; B 40 10 0 40;
+DF;
+C 1;
+C 1 T 100 0;
+E
+`
+	f := parseSrc(t, src)
+	for _, keep := range []bool{false, true} {
+		opt := Options{KeepGlass: keep}
+		s, err := New(f, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := canonBoxes(s.Drain())
+		got := canonBoxes(Flatten(f, opt).Stream(2).Drain())
+		compareCanon(t, "glass", want, got)
+	}
+}
+
+// TestSortedTopsMatchDrain: the prepass top multiset drives band-cut
+// selection, so it must equal the heap stream's top multiset exactly.
+func TestSortedTopsMatchDrain(t *testing.T) {
+	designs := genDesigns()
+	designs["mirrored"] = parseSrc(t, mirroredSrc)
+	for name, f := range designs {
+		s, err := New(f, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		boxes := s.Drain()
+		fl := Flatten(f, Options{})
+		fl.Prepare(3)
+		tops := fl.SortedTops(3)
+		if len(tops) != len(boxes) {
+			t.Fatalf("%s: %d tops for %d boxes", name, len(tops), len(boxes))
+		}
+		for i, b := range boxes {
+			if tops[i] != b.Rect.YMax {
+				t.Fatalf("%s: top %d = %d, heap stream has %d",
+					name, i, tops[i], b.Rect.YMax)
+			}
+		}
+	}
+}

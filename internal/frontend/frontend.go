@@ -68,9 +68,12 @@ type Stream struct {
 
 	// labelMemo caches per-symbol "subtree contains labels"; callSink,
 	// when set, diverts label-bearing calls from the heap during
-	// Labels()'s forced expansion.
-	labelMemo map[int]bool
-	callSink  *[]entry
+	// Labels()'s forced expansion. impureMemo caches per-symbol
+	// "subtree contains polygons or wires", which decides whether a
+	// call's heap key needs grid rounding (see pushItems).
+	labelMemo  map[int]bool
+	impureMemo map[int]bool
+	callSink   *[]entry
 }
 
 type entryKind int8
@@ -185,6 +188,43 @@ func (s *Stream) hasLabels(id int) bool {
 	return found
 }
 
+// hasImpure reports whether a symbol's subtree contains any polygon or
+// wire — geometry whose manhattanisation may overshoot the symbol
+// bounding box by up to one grid band.
+func (s *Stream) hasImpure(id int) bool {
+	if v, ok := s.impureMemo[id]; ok {
+		return v
+	}
+	if s.impureMemo == nil {
+		s.impureMemo = map[int]bool{}
+	}
+	s.impureMemo[id] = false // break cycles defensively
+	found := false
+	for _, it := range s.syms[id].Items {
+		switch it.Kind {
+		case cif.ItemPolygon, cif.ItemWire:
+			found = true
+		case cif.ItemCall:
+			if s.hasImpure(it.SymbolID) {
+				found = true
+			}
+		}
+		if found {
+			break
+		}
+	}
+	s.impureMemo[id] = found
+	return found
+}
+
+// ceilToGrid rounds v up to the next multiple of grid.
+func ceilToGrid(v, grid int64) int64 {
+	if r := ((v % grid) + grid) % grid; r != 0 {
+		return v + grid - r
+	}
+	return v
+}
+
 // Stats returns work counters.
 func (s *Stream) Stats() Stats { return s.stats }
 
@@ -255,8 +295,18 @@ func (s *Stream) pushItems(items []cif.Item, tr geom.Transform) {
 				continue // empty symbol
 			}
 			t := it.Trans.Then(tr)
+			top := t.ApplyRect(sub).YMax
+			if s.hasImpure(it.SymbolID) {
+				// Manhattanisation rounds band tops up to the grid, so
+				// a polygon or wire in the subtree can produce boxes
+				// above the symbol's bounding box. Rounding the key up
+				// keeps the heap's invariant — children never outrank
+				// their call — so delivery stays in descending-top
+				// order (the sweep requires it).
+				top = ceilToGrid(top, s.grid)
+			}
 			e := entry{
-				top:   t.ApplyRect(sub).YMax,
+				top:   top,
 				kind:  entryCall,
 				sym:   it.SymbolID,
 				trans: t,

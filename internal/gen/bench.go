@@ -1,0 +1,32 @@
+package gen
+
+// Shared benchmark-workload definitions. Every benchmark harness in
+// the repository — the root-level `go test -bench` files, the ingest
+// benchmarks in internal/cif and internal/frontend, and the
+// `-bench-json` CLI harnesses — builds its chips through these helpers
+// so a workload tweak changes every baseline consistently.
+
+// BenchScale shrinks the Table 5-1/5-2 chips so a full benchmark run
+// stays laptop-friendly. cmd/ace -table51 runs them at full size.
+const BenchScale = 0.05
+
+// BenchChip builds the named Table 5-1 chip at BenchScale. It panics
+// on an unknown name so a typo in a benchmark fails loudly instead of
+// silently measuring the wrong design.
+func BenchChip(name string) Workload {
+	c, ok := ChipByName(name)
+	if !ok {
+		panic("gen: unknown benchmark chip " + name)
+	}
+	return c.Build(BenchScale)
+}
+
+// BenchChips builds every Table 5-1 chip at BenchScale, in table
+// order.
+func BenchChips() []Workload {
+	out := make([]Workload, len(Chips))
+	for i, c := range Chips {
+		out[i] = c.Build(BenchScale)
+	}
+	return out
+}

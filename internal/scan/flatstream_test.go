@@ -1,0 +1,115 @@
+package scan
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"ace/internal/frontend"
+	"ace/internal/gen"
+	"ace/internal/geom"
+)
+
+// pseudoTopBoxes builds n boxes with deterministic pseudo-random tops
+// (an LCG; no math/rand setup), already in descending-top order.
+func pseudoTopBoxes(n int, dup bool) []frontend.Box {
+	out := make([]frontend.Box, n)
+	state := uint64(0x243f6a8885a308d3)
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		top := int64(state >> 45)
+		if dup {
+			top &^= 7 // cluster tops so quantiles hit ties
+		}
+		out[i] = frontend.Box{Rect: geom.Rect{XMin: 0, YMin: top - 10, XMax: 10, YMax: top}}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rect.YMax > out[j].Rect.YMax })
+	return out
+}
+
+// TestCutsFromTopsMatchesChooseCuts pins the lockstep chooseCuts's
+// comment promises: CutsFromTops over the sorted top list must return
+// exactly the cuts chooseCuts picks from the sorted box list, for any
+// worker count — including degenerate inputs where every top ties.
+func TestCutsFromTopsMatchesChooseCuts(t *testing.T) {
+	cases := [][]frontend.Box{
+		pseudoTopBoxes(1, false),
+		pseudoTopBoxes(7, false),
+		pseudoTopBoxes(100, false),
+		pseudoTopBoxes(257, true),
+		make([]frontend.Box, 50), // all tops equal (zero)
+	}
+	for ci, boxes := range cases {
+		tops := make([]int64, len(boxes))
+		for i, b := range boxes {
+			tops[i] = b.Rect.YMax
+		}
+		for workers := 2; workers <= 9; workers++ {
+			want := chooseCuts(boxes, workers)
+			got := CutsFromTops(tops, workers)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("case %d workers %d: chooseCuts %v, CutsFromTops %v",
+					ci, workers, want, got)
+			}
+		}
+	}
+}
+
+func canonBand(in []frontend.Box) []frontend.Box {
+	out := make([]frontend.Box, len(in))
+	copy(out, in)
+	SortTopDown(out)
+	return out
+}
+
+// TestBandStreamsMatchPartition pins the streamed band path against the
+// materialising one: for the same design, the flatten's SortedTops must
+// reproduce chooseCuts' boundaries exactly, and each band stream must
+// deliver the same clipped box multiset partitionBoxes produces.
+func TestBandStreamsMatchPartition(t *testing.T) {
+	designs := []gen.Workload{
+		gen.BenchChip("cherry"),
+		gen.Mesh(5),
+		gen.Statistical(1200, 3),
+	}
+	for _, w := range designs {
+		stream, err := frontend.New(w.File, frontend.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		boxes := stream.Drain()
+		for _, bands := range []int{2, 3, 4} {
+			cuts := chooseCuts(boxes, bands)
+			want := partitionBoxes(boxes, cuts)
+			for _, fw := range []int{1, 3} {
+				fl := frontend.Flatten(w.File, frontend.Options{})
+				fl.Prepare(fw)
+				tops := fl.SortedTops(fw)
+				if len(tops) != len(boxes) {
+					t.Fatalf("%s: %d tops for %d boxes", w.Name, len(tops), len(boxes))
+				}
+				if got := CutsFromTops(tops, bands); !reflect.DeepEqual(cuts, got) {
+					t.Fatalf("%s bands=%d fw=%d: cuts %v vs %v", w.Name, bands, fw, cuts, got)
+				}
+				srcs := fl.BandStreams(fw, cuts)
+				if len(srcs) != len(want) {
+					t.Fatalf("%s: %d band streams for %d partitions", w.Name, len(srcs), len(want))
+				}
+				for k, src := range srcs {
+					gotBand := canonBand(src.Drain())
+					wantBand := canonBand(want[k])
+					if len(gotBand) != len(wantBand) {
+						t.Fatalf("%s bands=%d fw=%d band %d: %d boxes, want %d",
+							w.Name, bands, fw, k, len(gotBand), len(wantBand))
+					}
+					for i := range wantBand {
+						if gotBand[i] != wantBand[i] {
+							t.Fatalf("%s bands=%d fw=%d band %d box %d: %+v vs %+v",
+								w.Name, bands, fw, k, i, gotBand[i], wantBand[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -57,9 +57,35 @@ func ParallelSweep(boxes []frontend.Box, opt Options, workers int) (*Result, err
 	if len(cuts) == 0 {
 		return Sweep(&boxSource{boxes: boxes}, opt)
 	}
-	nBands := len(cuts) + 1
 
 	bandBoxes := partitionBoxes(boxes, cuts)
+	srcs := make([]Source, len(bandBoxes))
+	for k := range bandBoxes {
+		srcs[k] = &boxSource{boxes: bandBoxes[k]}
+	}
+	return sweepBands(srcs, cuts, len(boxes), opt)
+}
+
+// ParallelSweepSources is ParallelSweep for callers that produce the
+// per-band geometry themselves — the streamed ingest path routes boxes
+// into bands as the flatten stamps them, so band sweepers consume
+// while instantiation is still in flight. srcs must hold one source
+// per band (len(cuts)+1), each delivering the band's boxes clipped to
+// it exactly as partitionBoxes would (a box belongs to every band it
+// intersects; a top exactly on a cut goes to the band below), in
+// descending-top order. boxesIn is the design's box count before
+// band duplication, reported in Counters.BoxesIn.
+func ParallelSweepSources(srcs []Source, cuts []int64, boxesIn int, opt Options) (*Result, error) {
+	if len(srcs) != len(cuts)+1 {
+		return nil, fmt.Errorf("scan: %d band sources for %d cuts", len(srcs), len(cuts))
+	}
+	return sweepBands(srcs, cuts, boxesIn, opt)
+}
+
+// sweepBands runs one sweeper per band concurrently and stitches the
+// results at the seams.
+func sweepBands(srcs []Source, cuts []int64, boxesIn int, opt Options) (*Result, error) {
+	nBands := len(srcs)
 	bandLabels, seamLabels := routeLabels(opt.Labels, cuts)
 
 	// Sweep every band concurrently.
@@ -69,7 +95,7 @@ func ParallelSweep(boxes []frontend.Box, opt Options, workers int) (*Result, err
 	for k := 0; k < nBands; k++ {
 		bopt := opt
 		bopt.Labels = bandLabels[k]
-		s := newSweeper(&boxSource{boxes: bandBoxes[k]}, bopt)
+		s := newSweeper(srcs[k], bopt)
 		if k > 0 {
 			s.band.hasTop, s.band.top = true, cuts[k-1]
 		}
@@ -109,7 +135,7 @@ func ParallelSweep(boxes []frontend.Box, opt Options, workers int) (*Result, err
 		res.Timing.Devices += s.timing.Devices
 	}
 	// BoxesIn counts design boxes, not the band-clipped copies.
-	res.Counters.BoxesIn = len(boxes)
+	res.Counters.BoxesIn = boxesIn
 
 	for j := 0; j < len(cuts); j++ {
 		up, lo := &sweepers[j].botFace, &sweepers[j+1].topFace
@@ -191,7 +217,11 @@ func (s *boxSource) Next() (frontend.Box, bool) {
 
 // chooseCuts picks up to workers-1 strictly decreasing y values from
 // the box tops (so every cut is a scanline stop) at box-count
-// quantiles, balancing work across bands.
+// quantiles, balancing work across bands. It must stay in lockstep
+// with CutsFromTops (TestCutsFromTopsMatchesChooseCuts pins this):
+// both see the same descending-top sequence, so they pick identical
+// cuts — which is what lets the streamed ingest path reproduce this
+// pipeline's band boundaries without materialising the boxes.
 func chooseCuts(boxes []frontend.Box, workers int) []int64 {
 	cuts := make([]int64, 0, workers-1)
 	for k := 1; k < workers; k++ {
@@ -204,6 +234,35 @@ func chooseCuts(boxes []frontend.Box, workers int) []int64 {
 		}
 	}
 	return cuts
+}
+
+// CutsFromTops is chooseCuts over a descending-sorted list of box top
+// edges. Because the quantile cut depends only on the sorted top
+// multiset, the result equals chooseCuts on any box list with the same
+// tops.
+func CutsFromTops(tops []int64, workers int) []int64 {
+	cuts := make([]int64, 0, workers-1)
+	for k := 1; k < workers; k++ {
+		c := tops[k*len(tops)/workers]
+		if c >= tops[0] {
+			continue // the whole prefix shares one top
+		}
+		if n := len(cuts); n == 0 || c < cuts[n-1] {
+			cuts = append(cuts, c)
+		}
+	}
+	return cuts
+}
+
+// EffectiveBands returns the band count ParallelSweep would actually
+// use for n boxes and the requested worker count: fewer than
+// minBoxesPerBand boxes per band is not worth a goroutine, and below
+// two bands the serial sweep runs instead.
+func EffectiveBands(n, workers int) int {
+	if workers > n/minBoxesPerBand {
+		workers = n / minBoxesPerBand
+	}
+	return workers
 }
 
 // partitionBoxes assigns each box to every band it intersects, clipped

@@ -207,7 +207,7 @@ func (s *sweeper) run() error {
 			if s.opt.InsertionSort {
 				s.insertOne(b.Layer, nb)
 			} else {
-				s.newGeom[b.Layer] = append(s.newGeom[b.Layer], nb)
+				s.spliceNew(b.Layer, nb)
 			}
 			s.bottoms.push(b.Rect.YMin)
 		}
@@ -279,14 +279,28 @@ func (s *sweeper) insertOne(l tech.Layer, nb abox) {
 	s.active[l] = list
 }
 
-// mergeNew sorts a layer's newGeometry list by x and merges it into
-// the layer's active list (both sorted by x0). The paper uses an
-// insertion sort here; merging the pre-sorted batch is the bin-sort
-// refinement §4 mentions ("the term containing N^3/2 can be made
-// linear by using bin-sort").
+// spliceNew inserts one incoming box into its layer's newGeometry
+// list at the position sort.Search finds, keeping the list sorted by
+// x0 as it is built. Stop batches are small (a handful of boxes share
+// any one top), so the splice beats re-sorting the batch afterwards:
+// sort.Slice allocates a closure and pays interface-call overhead per
+// comparison, while the splice is a binary search plus one memmove.
+func (s *sweeper) spliceNew(l tech.Layer, nb abox) {
+	list := s.newGeom[l]
+	i := sort.Search(len(list), func(k int) bool { return list[k].x0 > nb.x0 })
+	list = append(list, abox{})
+	copy(list[i+1:], list[i:])
+	list[i] = nb
+	s.newGeom[l] = list
+}
+
+// mergeNew merges a layer's newGeometry list — kept x0-sorted by
+// spliceNew as it is built — into the layer's active list (also sorted
+// by x0). The paper uses an insertion sort here; merging the
+// pre-sorted batch is the bin-sort refinement §4 mentions ("the term
+// containing N^3/2 can be made linear by using bin-sort").
 func (s *sweeper) mergeNew(l tech.Layer) {
 	nw := s.newGeom[l]
-	sort.Slice(nw, func(i, j int) bool { return nw[i].x0 < nw[j].x0 })
 	old := s.active[l]
 	out := s.merged[:0]
 	i, j := 0, 0

@@ -1,0 +1,72 @@
+package scan
+
+import (
+	"sort"
+	"testing"
+)
+
+// Stop batches in real sweeps are small: only the boxes whose top
+// edges coincide at one scanline stop land in a newGeometry list
+// before it is merged and reset. The benchmark sizes cover the
+// observed range (corpus chips average 2–6 boxes per stop per layer).
+var spliceBatchSizes = []struct {
+	name string
+	n    int
+}{
+	{"batch=2", 2},
+	{"batch=4", 4},
+	{"batch=8", 8},
+	{"batch=32", 32},
+}
+
+// pseudoBatch produces a deterministic unsorted batch of boxes; a
+// small LCG keeps the benchmark free of math/rand setup cost.
+func pseudoBatch(n int) []abox {
+	out := make([]abox, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		x0 := int64(state>>40) % 10000
+		out[i] = abox{x0: x0, x1: x0 + 50, bottom: -int64(i)}
+	}
+	return out
+}
+
+// BenchmarkSpliceNew measures the fetch-time insertion splice the
+// sweep uses now: each box binary-searched into place as it arrives.
+func BenchmarkSpliceNew(b *testing.B) {
+	for _, sz := range spliceBatchSizes {
+		batch := pseudoBatch(sz.n)
+		b.Run(sz.name, func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]abox, 0, sz.n)
+			for i := 0; i < b.N; i++ {
+				buf = buf[:0]
+				for _, nb := range batch {
+					j := sort.Search(len(buf), func(k int) bool { return buf[k].x0 > nb.x0 })
+					buf = append(buf, abox{})
+					copy(buf[j+1:], buf[j:])
+					buf[j] = nb
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSortSliceNew measures the replaced approach: append the
+// whole batch, then sort.Slice it inside mergeNew. The closure
+// allocation and per-comparison interface calls show up even at
+// batch=2, the common case.
+func BenchmarkSortSliceNew(b *testing.B) {
+	for _, sz := range spliceBatchSizes {
+		batch := pseudoBatch(sz.n)
+		b.Run(sz.name, func(b *testing.B) {
+			b.ReportAllocs()
+			buf := make([]abox, 0, sz.n)
+			for i := 0; i < b.N; i++ {
+				buf = append(buf[:0], batch...)
+				sort.Slice(buf, func(x, y int) bool { return buf[x].x0 < buf[y].x0 })
+			}
+		})
+	}
+}

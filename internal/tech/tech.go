@@ -85,6 +85,33 @@ func LayerByCIFName(name string) (Layer, bool) {
 	return 0, false
 }
 
+// LayerByCIFNameBytes is LayerByCIFName for a byte slice. The switch
+// compiles to allocation-free comparisons, which keeps the CIF
+// parser's L-command path off the heap (layer switches occur roughly
+// once per geometry run in real files).
+func LayerByCIFNameBytes(name []byte) (Layer, bool) {
+	// switch string(b) with constant cases is the compiler's
+	// recognised no-allocation conversion; routing through
+	// LayerByCIFName would materialise the string argument.
+	switch string(name) {
+	case "ND", "D", "NX":
+		return Diff, true
+	case "NP", "P":
+		return Poly, true
+	case "NM", "M":
+		return Metal, true
+	case "NC", "C":
+		return Cut, true
+	case "NB", "B":
+		return Buried, true
+	case "NI", "I":
+		return Implant, true
+	case "NG", "G":
+		return Glass, true
+	}
+	return 0, false
+}
+
 // DeviceType classifies an extracted device.
 type DeviceType int8
 

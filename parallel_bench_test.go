@@ -16,11 +16,7 @@ import (
 // BenchmarkParallelExtract sweeps worker counts over the largest
 // synthetic chip; workers=1 is the serial reference.
 func BenchmarkParallelExtract(b *testing.B) {
-	c, ok := gen.ChipByName("riscb")
-	if !ok {
-		b.Fatal("riscb missing")
-	}
-	w := c.Build(benchScale)
+	w := gen.BenchChip("riscb")
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
@@ -42,9 +38,8 @@ func BenchmarkParallelExtract(b *testing.B) {
 // fixed worker count the equivalence tests use, so regressions in the
 // band partitioner or seam stitcher show up per design.
 func BenchmarkParallelExtractChips(b *testing.B) {
-	for _, c := range gen.Chips {
-		w := c.Build(benchScale)
-		b.Run(c.Name, func(b *testing.B) {
+	for _, w := range gen.BenchChips() {
+		b.Run(w.Name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := extract.File(w.File, extract.Options{Workers: 4}); err != nil {
