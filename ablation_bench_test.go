@@ -78,7 +78,7 @@ func BenchmarkAblationMemo(b *testing.B) {
 // paper discusses ("it is worthwhile (and still an open issue) to
 // determine the point of match").
 func BenchmarkAblationLeafSize(b *testing.B) {
-	w := gen.BenchChip("dchip")
+	w := gen.MustBenchChip("dchip")
 	for _, leaf := range []int{50, 500, 5000} {
 		leaf := leaf
 		b.Run(fmt.Sprintf("maxLeaf=%d", leaf), func(b *testing.B) {
@@ -102,7 +102,7 @@ func BenchmarkAblationLeafSize(b *testing.B) {
 // (fewest split boxes — HEXT §6's proposed smarter fracturing). The
 // seamMatches metric shows what min-cut buys the compose routine.
 func BenchmarkAblationFracture(b *testing.B) {
-	w := gen.BenchChip("schip2")
+	w := gen.MustBenchChip("schip2")
 	for _, f := range []struct {
 		name string
 		mode hext.Fracture

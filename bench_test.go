@@ -67,7 +67,7 @@ func BenchmarkTable51_ACE(b *testing.B) {
 func BenchmarkTable52(b *testing.B) {
 	chips := []string{"cherry", "dchip", "schip2", "testram", "riscb"}
 	for _, name := range chips {
-		w := gen.BenchChip(name)
+		w := gen.MustBenchChip(name)
 		boxes, labels := benchDrain(b, w.File)
 
 		b.Run("ACE/"+name, func(b *testing.B) {
@@ -99,7 +99,7 @@ func BenchmarkTable52(b *testing.B) {
 // E4 — ACE §5 time distribution. Reported as percentage metrics; the
 // paper's split is 40/15/20/10/15 (frontend/insert/devices/alloc/misc).
 func BenchmarkPhaseBreakdown(b *testing.B) {
-	w := gen.BenchChip("dchip")
+	w := gen.MustBenchChip("dchip")
 	src := cif.String(w.File)
 	var p extract.Phases
 	b.ResetTimer()
@@ -227,7 +227,7 @@ func BenchmarkTable41_Flat(b *testing.B) {
 // big on testram (regular), loses on schip2 (irregular).
 func BenchmarkTable51_HEXT(b *testing.B) {
 	for _, name := range []string{"cherry", "dchip", "schip2", "testram", "psc", "riscb"} {
-		w := gen.BenchChip(name)
+		w := gen.MustBenchChip(name)
 		b.Run(name, func(b *testing.B) {
 			var res *hext.Result
 			for i := 0; i < b.N; i++ {
@@ -250,7 +250,7 @@ func BenchmarkTable51_HEXT(b *testing.B) {
 // windows (the paper averages 72%), plus the call counts.
 func BenchmarkTable52_HEXT_Compose(b *testing.B) {
 	for _, name := range []string{"cherry", "dchip", "schip2", "testram", "psc", "riscb"} {
-		w := gen.BenchChip(name)
+		w := gen.MustBenchChip(name)
 		b.Run(name, func(b *testing.B) {
 			var res *hext.Result
 			for i := 0; i < b.N; i++ {

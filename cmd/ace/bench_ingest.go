@@ -143,7 +143,10 @@ func runBenchIngestJSON(path string, scale float64) {
 						if err != nil {
 							b.Fatal(err)
 						}
-						fl := frontend.Flatten(f, frontend.Options{})
+						fl, err := frontend.Flatten(nil, f, frontend.Options{})
+						if err != nil {
+							b.Fatal(err)
+						}
 						fl.Stream(fw).Drain()
 					}
 				}))

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +46,7 @@ func main() {
 	)
 	flag.IntVar(&flagWorkers, "workers", 0, "split the sweep into this many concurrent bands (0 or 1: serial)")
 	flag.IntVar(&flagFlattenWorkers, "flatten-workers", 0, "pre-flatten the design and stamp instances with this many workers, streaming boxes into the sweep (0: lazy heap front end)")
+	flag.DurationVar(&flagTimeout, "timeout", 0, "abort the extraction after this wall-clock duration (e.g. 30s; 0: no limit)")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProf, *memProf)
@@ -88,7 +90,9 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 		defer f.Close()
 		r = f
 	}
-	res, err := extract.Reader(r, extract.Options{
+	ctx, cancel := extractCtx()
+	defer cancel()
+	res, err := extract.ReaderContext(ctx, r, extract.Options{
 		KeepGeometry:   geometry,
 		Profile:        profile || stats,
 		Workers:        flagWorkers,
@@ -244,11 +248,22 @@ func runMesh(n int) {
 
 // flagWorkers and flagFlattenWorkers are the -workers and
 // -flatten-workers flags, threaded into every extraction the command
-// runs.
+// runs; flagTimeout is the -timeout wall-clock budget for a plain
+// extraction run.
 var (
 	flagWorkers        int
 	flagFlattenWorkers int
+	flagTimeout        time.Duration
 )
+
+// extractCtx returns the context for a -timeout-bounded extraction and
+// its cancel function (a no-op context when no timeout is set).
+func extractCtx() (context.Context, context.CancelFunc) {
+	if flagTimeout > 0 {
+		return context.WithTimeout(context.Background(), flagTimeout)
+	}
+	return nil, func() {}
+}
 
 func timedExtract(f *cif.File) (*extract.Result, time.Duration) {
 	t0 := time.Now()

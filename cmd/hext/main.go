@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -25,11 +26,13 @@ import (
 
 // flagWorkers and flagCacheSize are threaded into every extraction the
 // command runs; flagFlattenWorkers selects the flat extractor's
-// streamed ingest in the HEXT-vs-ACE comparison columns.
+// streamed ingest in the HEXT-vs-ACE comparison columns; flagTimeout
+// is the -timeout wall-clock budget for a plain extraction run.
 var (
 	flagWorkers        int
 	flagCacheSize      int
 	flagFlattenWorkers int
+	flagTimeout        time.Duration
 )
 
 func hextOpts() hext.Options {
@@ -58,6 +61,7 @@ func main() {
 	flag.IntVar(&flagWorkers, "workers", 0, "schedule leaf sweeps and composes over this many goroutines (0 or 1: serial)")
 	flag.IntVar(&flagCacheSize, "cache-size", 0, "content-cache capacity in cached window sweeps (0: default 4096, negative: disabled)")
 	flag.IntVar(&flagFlattenWorkers, "flatten-workers", 0, "use the flat extractor's streamed pre-flatten ingest (with this many stamp workers) in the ACE comparison columns")
+	flag.DurationVar(&flagTimeout, "timeout", 0, "abort the extraction after this wall-clock duration (e.g. 30s; 0: no limit)")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProf, *memProf)
@@ -95,7 +99,13 @@ func runExtract(in, out string, hier, stats bool) {
 		defer f.Close()
 		r = f
 	}
-	res, err := hext.Reader(r, hextOpts())
+	var ctx context.Context
+	if flagTimeout > 0 {
+		tctx, cancel := context.WithTimeout(context.Background(), flagTimeout)
+		defer cancel()
+		ctx = tctx
+	}
+	res, err := hext.ReaderContext(ctx, r, hextOpts())
 	if err != nil {
 		fatal(err)
 	}

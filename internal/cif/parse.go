@@ -3,19 +3,36 @@ package cif
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"ace/internal/geom"
+	"ace/internal/guard"
 	"ace/internal/tech"
 )
 
+// ParseOptions harden a parse against hostile input. The zero value
+// imposes no budgets (beyond the overflow checks, which are always
+// on).
+type ParseOptions struct {
+	// Limits.MaxBoxes caps the number of geometry items (boxes,
+	// polygons, wires, calls, labels) the parser will accept; excess
+	// input fails with a line-located *guard.LimitError.
+	Limits guard.Limits
+}
+
 // Parse reads a complete CIF file from r.
 func Parse(r io.Reader) (*File, error) {
+	return ParseReaderOpts(r, ParseOptions{})
+}
+
+// ParseReaderOpts reads a complete CIF file from r under budgets.
+func ParseReaderOpts(r io.Reader, opt ParseOptions) (*File, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	return ParseBytes(data)
+	return ParseBytesOpts(data, opt)
 }
 
 // ParseString parses CIF from a string.
@@ -23,9 +40,21 @@ func ParseString(s string) (*File, error) { return ParseBytes([]byte(s)) }
 
 // ParseBytes parses CIF from a byte slice.
 func ParseBytes(data []byte) (*File, error) {
+	return ParseBytesOpts(data, ParseOptions{})
+}
+
+// ParseBytesOpts parses CIF from a byte slice under budgets. A parser
+// panic (an internal bug tripped by malformed input) surfaces as a
+// *guard.PanicError instead of crashing the caller.
+func ParseBytesOpts(data []byte, opt ParseOptions) (f *File, err error) {
+	defer guard.Recover(guard.StageParse, &err)
+	if err := guard.Inject(guard.StageParse); err != nil {
+		return nil, err
+	}
 	p := &parser{
-		src:  data,
-		file: &File{Symbols: map[int]*Symbol{}},
+		src:    data,
+		limits: opt.Limits,
+		file:   &File{Symbols: map[int]*Symbol{}},
 	}
 	if err := p.run(); err != nil {
 		return nil, err
@@ -50,6 +79,10 @@ type parser struct {
 	scaleA   int64 // DS scale numerator (1 at top level)
 	scaleB   int64 // DS scale denominator
 	ended    bool
+
+	limits guard.Limits
+	items  int64 // geometry items emitted, against Limits.MaxBoxes
+	ovf    bool  // a scale or literal overflowed; fail at command end
 
 	// Allocation arenas (see "allocation discipline" below): items of
 	// the open symbol accumulate in itemArena and are sliced out at DF;
@@ -144,6 +177,10 @@ func (p *parser) run() error {
 			}
 		default:
 			return p.errf("unexpected character %q", c)
+		}
+		if p.ovf {
+			return fmt.Errorf("cif: line %d: coordinate arithmetic under DS scale %d/%d: %w",
+				p.line+1, p.scaleA, p.scaleB, geom.ErrOverflow)
 		}
 	}
 }
@@ -252,8 +289,7 @@ func (p *parser) call() error {
 		switch upper(p.src[p.pos]) {
 		case ';':
 			p.pos++
-			p.emit(Item{Kind: ItemCall, SymbolID: int(id), Trans: tr})
-			return nil
+			return p.emit(Item{Kind: ItemCall, SymbolID: int(id), Trans: tr})
 		case 'T':
 			p.pos++
 			x, err := p.number()
@@ -264,7 +300,9 @@ func (p *parser) call() error {
 			if err != nil {
 				return p.errf("T needs y: %v", err)
 			}
-			tr = tr.Then(geom.Translate(p.scale(x), p.scale(y)))
+			if tr, err = tr.ThenChecked(geom.Translate(p.scale(x), p.scale(y))); err != nil {
+				return fmt.Errorf("cif: line %d: call translation: %w", p.line+1, err)
+			}
 		case 'M':
 			p.pos++
 			p.skipBlanks()
@@ -354,7 +392,22 @@ func (p *parser) box() error {
 	if !p.requireLayer("box") {
 		return nil
 	}
-	r := geom.RectCWH(p.scale(length), p.scale(width), geom.Pt(p.scale(cx), p.scale(cy)))
+	sl, sw, scx, scy := p.scale(length), p.scale(width), p.scale(cx), p.scale(cy)
+	// The corner arithmetic is centre ± extent; reject it up front when
+	// it would wrap rather than emit a folded rectangle.
+	if _, ok1 := geom.AddOK(scx, sl); !ok1 {
+		p.ovf = true
+	} else if _, ok2 := geom.AddOK(scx, -sl); !ok2 {
+		p.ovf = true
+	} else if _, ok3 := geom.AddOK(scy, sw); !ok3 {
+		p.ovf = true
+	} else if _, ok4 := geom.AddOK(scy, -sw); !ok4 {
+		p.ovf = true
+	}
+	if p.ovf {
+		return fmt.Errorf("cif: line %d: box corners: %w", p.line+1, geom.ErrOverflow)
+	}
+	r := geom.RectCWH(sl, sw, geom.Pt(scx, scy))
 	if hasDir && !(dy == 0 && dx > 0) {
 		// Rotated box: rotate the corners about the centre.
 		rot, snapped := geom.ApproxRotation(dx, dy)
@@ -365,8 +418,7 @@ func (p *parser) box() error {
 		tr := geom.Translate(-c.X, -c.Y).Then(rot).Then(geom.Translate(c.X, c.Y))
 		r = tr.ApplyRect(r)
 	}
-	p.emit(Item{Kind: ItemBox, Layer: p.layer, Box: r})
-	return nil
+	return p.emit(Item{Kind: ItemBox, Layer: p.layer, Box: r})
 }
 
 func (p *parser) polygon() error {
@@ -383,8 +435,7 @@ func (p *parser) polygon() error {
 	if !p.requireLayer("polygon") {
 		return nil
 	}
-	p.emit(Item{Kind: ItemPolygon, Layer: p.layer, Poly: geom.Polygon(pts)})
-	return nil
+	return p.emit(Item{Kind: ItemPolygon, Layer: p.layer, Poly: geom.Polygon(pts)})
 }
 
 func (p *parser) wire() error {
@@ -405,9 +456,8 @@ func (p *parser) wire() error {
 	if !p.requireLayer("wire") {
 		return nil
 	}
-	p.emit(Item{Kind: ItemWire, Layer: p.layer,
+	return p.emit(Item{Kind: ItemWire, Layer: p.layer,
 		Wire: geom.Wire{Width: p.scale(width), Path: pts}})
-	return nil
 }
 
 func (p *parser) roundFlash() error {
@@ -431,8 +481,7 @@ func (p *parser) roundFlash() error {
 	}
 	// Approximate the flash by its inscribed octagon (DESIGN.md §6).
 	oct := geom.Octagon(p.scale(diam), geom.Pt(p.scale(cx), p.scale(cy)))
-	p.emit(Item{Kind: ItemPolygon, Layer: p.layer, Poly: oct})
-	return nil
+	return p.emit(Item{Kind: ItemPolygon, Layer: p.layer, Poly: oct})
 }
 
 func (p *parser) userExtension() error {
@@ -490,16 +539,20 @@ func (p *parser) label() error {
 	if err := p.endCommand(); err != nil {
 		return err
 	}
-	p.emit(it)
-	return nil
+	return p.emit(it)
 }
 
-func (p *parser) emit(it Item) {
+func (p *parser) emit(it Item) error {
+	p.items++
+	if err := p.limits.CheckBoxes(guard.StageParse, p.items); err != nil {
+		return fmt.Errorf("cif: line %d: %w", p.line+1, err)
+	}
 	if p.cur != nil {
 		p.itemArena = append(p.itemArena, it)
 	} else {
 		p.file.Top = append(p.file.Top, it)
 	}
+	return nil
 }
 
 func (p *parser) requireLayer(what string) bool {
@@ -514,7 +567,14 @@ func (p *parser) scale(v int64) int64 {
 	if p.scaleA == 1 && p.scaleB == 1 {
 		return v
 	}
-	return v * p.scaleA / p.scaleB
+	prod, ok := geom.MulOK(v, p.scaleA)
+	if !ok {
+		// Absurd DS scales must become parse errors, not wrapped
+		// coordinates; run() turns the flag into a located error.
+		p.ovf = true
+		return 0
+	}
+	return prod / p.scaleB
 }
 
 // ---- low-level scanning ----
@@ -620,7 +680,14 @@ func (p *parser) tryNumber() (int64, bool) {
 	}
 	var v int64
 	for i < len(p.src) && isDigit(p.src[i]) {
-		v = v*10 + int64(p.src[i]-'0')
+		if v > (math.MaxInt64-9)/10 {
+			// A literal too large for int64: flag it rather than
+			// silently wrapping; run() raises a located error.
+			p.ovf = true
+			v = math.MaxInt64 / 2
+		} else {
+			v = v*10 + int64(p.src[i]-'0')
+		}
 		i++
 	}
 	p.pos = i

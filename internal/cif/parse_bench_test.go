@@ -15,9 +15,9 @@ import (
 // keep slice growth amortised.
 func BenchmarkParseBytes(b *testing.B) {
 	workloads := []gen.Workload{
-		gen.BenchChip("cherry"),
-		gen.BenchChip("dchip"),
-		gen.BenchChip("riscb"),
+		gen.MustBenchChip("cherry"),
+		gen.MustBenchChip("dchip"),
+		gen.MustBenchChip("riscb"),
 		// The flat workload is where parse time dominates the pipeline
 		// (ISSUE motivation): tens of thousands of B commands, no reuse.
 		gen.Statistical(20000, 42),

@@ -5,11 +5,13 @@
 package extract
 
 import (
+	"context"
 	"io"
 	"time"
 
 	"ace/internal/cif"
 	"ace/internal/frontend"
+	"ace/internal/guard"
 	"ace/internal/netlist"
 	"ace/internal/scan"
 )
@@ -51,6 +53,14 @@ type Options struct {
 	// heap front end. The wirelist is byte-identical either way, at
 	// every FlattenWorkers × Workers combination.
 	FlattenWorkers int
+
+	// Limits are the extraction's resource budgets, enforced in the
+	// parser (items), the front end (hierarchy depth, materialised
+	// boxes, retained bytes) and the sweep (boxes in, active-list
+	// footprint). Zero fields are unlimited except depth, which
+	// defaults to guard.DefaultMaxDepth; violations surface as
+	// *guard.LimitError with stage attribution.
+	Limits guard.Limits
 }
 
 // Phases is the paper's §5 time breakdown, extended with the streamed
@@ -88,13 +98,21 @@ type Result struct {
 
 // Reader extracts a CIF design from r.
 func Reader(r io.Reader, opt Options) (*Result, error) {
+	return ReaderContext(nil, r, opt)
+}
+
+// ReaderContext is Reader with cooperative cancellation: when ctx is
+// cancelled or times out, the pipeline unwinds within one unit of
+// work per stage (a scanline stop, a stamped instance) and returns a
+// stage-attributed error wrapping ctx.Err(). A nil ctx never cancels.
+func ReaderContext(ctx context.Context, r io.Reader, opt Options) (*Result, error) {
 	t0 := time.Now()
-	f, err := cif.Parse(r)
+	f, err := cif.ParseReaderOpts(r, cif.ParseOptions{Limits: opt.Limits})
 	if err != nil {
 		return nil, err
 	}
 	parse := time.Since(t0)
-	res, err := File(f, opt)
+	res, err := FileContext(ctx, f, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -105,13 +123,19 @@ func Reader(r io.Reader, opt Options) (*Result, error) {
 
 // String extracts a CIF design from source text.
 func String(src string, opt Options) (*Result, error) {
+	return StringContext(nil, src, opt)
+}
+
+// StringContext is String with cooperative cancellation (see
+// ReaderContext).
+func StringContext(ctx context.Context, src string, opt Options) (*Result, error) {
 	t0 := time.Now()
-	f, err := cif.ParseString(src)
+	f, err := cif.ParseBytesOpts([]byte(src), cif.ParseOptions{Limits: opt.Limits})
 	if err != nil {
 		return nil, err
 	}
 	parse := time.Since(t0)
-	res, err := File(f, opt)
+	res, err := FileContext(ctx, f, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -122,17 +146,29 @@ func String(src string, opt Options) (*Result, error) {
 
 // File extracts an already-parsed design.
 func File(f *cif.File, opt Options) (*Result, error) {
+	return FileContext(nil, f, opt)
+}
+
+// FileContext is File with cooperative cancellation (see
+// ReaderContext). It is panic-isolated end to end: a panic in any
+// pipeline stage — including worker goroutines — surfaces as a
+// *guard.PanicError naming the stage, never as a process crash.
+func FileContext(ctx context.Context, f *cif.File, opt Options) (res *Result, err error) {
+	defer guard.Recover(guard.StageExtract, &err)
+	if err := guard.Inject(guard.StageExtract); err != nil {
+		return nil, err
+	}
 	t0 := time.Now()
-	stream, err := frontend.New(f, frontend.Options{Grid: opt.Grid})
+	stream, err := frontend.New(f, frontend.Options{Grid: opt.Grid, Limits: opt.Limits})
 	if err != nil {
 		return nil, err
 	}
 
 	if opt.FlattenWorkers > 0 {
-		return flattenFile(f, stream, opt, t0)
+		return flattenFile(ctx, f, stream, opt, t0)
 	}
 	if opt.Workers > 1 {
-		return parallelFile(f, stream, opt, t0)
+		return parallelFile(ctx, f, stream, opt, t0)
 	}
 
 	var src scan.Source = stream
@@ -146,20 +182,22 @@ func File(f *cif.File, opt Options) (*Result, error) {
 	// one walk of the call heap and keeps the sweep single-pass.
 	labels := stream.Labels()
 
-	res, err := scan.Sweep(src, scan.Options{
+	sres, err := scan.Sweep(src, scan.Options{
 		KeepGeometry:  opt.KeepGeometry,
 		Labels:        labels,
 		InsertionSort: opt.InsertionSort,
+		Ctx:           ctx,
+		Limits:        opt.Limits,
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	out := &Result{
-		Netlist:  res.Netlist,
-		Counters: res.Counters,
+		Netlist:  sres.Netlist,
+		Counters: sres.Counters,
 		Frontend: stream.Stats(),
-		Warnings: append(f.Warnings, res.Warnings...),
+		Warnings: append(f.Warnings, sres.Warnings...),
 	}
 	out.Phases.Total = time.Since(t0)
 	if opt.Profile {
@@ -167,12 +205,12 @@ func File(f *cif.File, opt Options) (*Result, error) {
 		out.Phases.FrontEnd = fe
 		// Front-end calls happen inside the sweep's insert phase;
 		// attribute them to the front end, not to insertion.
-		out.Phases.Insert = res.Timing.Insert - fe
+		out.Phases.Insert = sres.Timing.Insert - fe
 		if out.Phases.Insert < 0 {
 			out.Phases.Insert = 0
 		}
-		out.Phases.Devices = res.Timing.Devices
-		out.Phases.Output = res.Timing.Output
+		out.Phases.Devices = sres.Timing.Devices
+		out.Phases.Output = sres.Timing.Output
 	}
 	return out, nil
 }
@@ -180,7 +218,7 @@ func File(f *cif.File, opt Options) (*Result, error) {
 // parallelFile is the Workers > 1 path of File: it materialises the
 // instantiated design (the band partitioner needs the full box list)
 // and runs the band-sharded sweep.
-func parallelFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
+func parallelFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
 	tFE := time.Now()
 	// Labels are forced before the drain so their order matches the
 	// serial path (and the streamed flatten path, which reuses the
@@ -188,13 +226,18 @@ func parallelFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Tim
 	// expands only label-bearing subtrees in a fixed order, whereas
 	// labels collected during a full drain surface in heap-pop order.
 	labels := stream.Labels()
-	boxes := stream.Drain()
+	boxes, err := drainLimited(ctx, stream, opt.Limits)
+	if err != nil {
+		return nil, err
+	}
 	fe := time.Since(tFE)
 
 	res, err := scan.ParallelSweep(boxes, scan.Options{
 		KeepGeometry:  opt.KeepGeometry,
 		Labels:        labels,
 		InsertionSort: opt.InsertionSort,
+		Ctx:           ctx,
+		Limits:        opt.Limits,
 	}, opt.Workers)
 	if err != nil {
 		return nil, err
@@ -224,22 +267,36 @@ func parallelFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Tim
 // — consumes boxes while stamping is still in flight. Labels come from
 // the legacy stream (cheap: only label-bearing subtrees expand) so
 // their order is bit-for-bit the heap path's.
-func flattenFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
+func flattenFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
 	labels := stream.Labels()
 	fw := opt.FlattenWorkers
 
+	// The stamp pool outlives a failed sweep unless something cancels
+	// it, so the flatten always gets a cancellable context — the
+	// deferred cancel reaps the pool (and its cancellation watcher) on
+	// every exit path, including errors and panics.
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	tF := time.Now()
-	fl := frontend.Flatten(f, frontend.Options{Grid: opt.Grid})
+	fl, err := frontend.Flatten(ctx, f, frontend.Options{Grid: opt.Grid, Limits: opt.Limits})
+	if err != nil {
+		return nil, err
+	}
 	setup := time.Since(tF)
 
 	sopt := scan.Options{
 		KeepGeometry:  opt.KeepGeometry,
 		Labels:        labels,
 		InsertionSort: opt.InsertionSort,
+		Ctx:           ctx,
+		Limits:        opt.Limits,
 	}
 
 	var res *scan.Result
-	var err error
 	var timed *timedSource
 	serial := func() (*scan.Result, error) {
 		var src scan.Source = fl.Stream(fw)
@@ -256,7 +313,10 @@ func flattenFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time
 		// ParallelSweep's choices exactly, so the stitched wirelist is
 		// byte-identical to the materialising pipeline's.
 		fl.Prepare(fw)
-		tops := fl.SortedTops(fw)
+		tops, terr := fl.SortedTops(fw)
+		if terr != nil {
+			return nil, terr
+		}
 		bands := scan.EffectiveBands(len(tops), opt.Workers)
 		var cuts []int64
 		if bands >= 2 {
@@ -274,6 +334,13 @@ func flattenFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time
 		}
 	} else {
 		res, err = serial()
+	}
+	// A failed stamp pool makes its streams report exhaustion (the
+	// scan.Source contract has no error channel), so the sweep can
+	// "succeed" on truncated input: the flatten's own error is the
+	// root cause and takes precedence.
+	if ferr := fl.Err(); ferr != nil {
+		return nil, ferr
 	}
 	if err != nil {
 		return nil, err
@@ -304,6 +371,36 @@ func flattenFile(f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time
 		out.Phases.Output = res.Timing.Output
 	}
 	return out, nil
+}
+
+// drainLimited materialises the stream like frontend.Stream.Drain, but
+// re-checks cancellation and the box/memory budgets every chunk so a
+// runaway instantiation fails fast instead of exhausting memory before
+// the sweep ever runs.
+func drainLimited(ctx context.Context, stream *frontend.Stream, limits guard.Limits) ([]frontend.Box, error) {
+	const chunk = 4096
+	var out []frontend.Box
+	for {
+		b, ok := stream.Next()
+		if !ok {
+			if err := limits.CheckBoxes(guard.StageFrontend, int64(len(out))); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		out = append(out, b)
+		if len(out)%chunk == 0 {
+			if err := guard.Ctx(ctx, guard.StageFrontend); err != nil {
+				return nil, err
+			}
+			if err := limits.CheckBoxes(guard.StageFrontend, int64(len(out))); err != nil {
+				return nil, err
+			}
+			if err := limits.CheckMem(guard.StageFrontend, int64(len(out))*guard.BoxBytes); err != nil {
+				return nil, err
+			}
+		}
+	}
 }
 
 // timedSource measures the time spent inside the front end.

@@ -1,0 +1,360 @@
+package extract
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ace/internal/cif"
+	"ace/internal/gen"
+	"ace/internal/guard"
+	"ace/internal/wirelist"
+)
+
+// faultConfigs are the pipeline shapes the fault matrix drives, each
+// paired with the stages an extraction of that shape actually reaches.
+// The design has 1500 boxes, enough that Workers: 4 forms real bands
+// and the flatten path picks cuts.
+var faultConfigs = []struct {
+	name   string
+	opt    Options
+	stages []string
+}{
+	{"heap-serial", Options{},
+		[]string{guard.StageFrontend, guard.StageSweep, guard.StageExtract}},
+	{"heap-bands", Options{Workers: 4},
+		[]string{guard.StageFrontend, guard.StageBand, guard.StageStitch, guard.StageExtract}},
+	{"flat-serial", Options{FlattenWorkers: 2},
+		[]string{guard.StageFrontend, guard.StageArena, guard.StageStamp, guard.StageSweep, guard.StageExtract}},
+	{"flat-bands", Options{FlattenWorkers: 2, Workers: 4},
+		[]string{guard.StageFrontend, guard.StageArena, guard.StageStamp, guard.StagePrepass,
+			guard.StageBand, guard.StageStitch, guard.StageExtract}},
+}
+
+func faultDesign() *cif.File { return gen.Statistical(1500, 11).File }
+
+func kindName(k guard.FaultKind) string {
+	switch k {
+	case guard.FaultPanic:
+		return "panic"
+	case guard.FaultDelay:
+		return "delay"
+	default:
+		return "error"
+	}
+}
+
+// checkFaultError asserts the typed-error contract: an injected error
+// surfaces as a *guard.StageError naming the stage and unwrapping to
+// guard.ErrInjected; an injected panic surfaces as a *guard.PanicError
+// naming the stage and carrying a stack — never a process crash.
+func checkFaultError(t *testing.T, err error, stage string, kind guard.FaultKind) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("stage %s kind %s: extraction succeeded, want a typed error", stage, kindName(kind))
+	}
+	switch kind {
+	case guard.FaultPanic:
+		var pe *guard.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("stage %s: got %v (%T), want *guard.PanicError", stage, err, err)
+		}
+		if pe.Stage != stage {
+			t.Fatalf("panic attributed to %q, want %q", pe.Stage, stage)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("panic error carries no stack")
+		}
+	default:
+		if !errors.Is(err, guard.ErrInjected) {
+			t.Fatalf("stage %s: got %v, want ErrInjected through the wrapper", stage, err)
+		}
+		var se *guard.StageError
+		if !errors.As(err, &se) {
+			t.Fatalf("stage %s: got %v (%T), want *guard.StageError", stage, err, err)
+		}
+		if se.Stage != stage {
+			t.Fatalf("error attributed to %q, want %q", se.Stage, stage)
+		}
+	}
+}
+
+// waitNoLeaks asserts the goroutine count returns to its pre-run base:
+// a failed extraction must unwind its worker pools, not strand them.
+func waitNoLeaks(t *testing.T, base int) {
+	t.Helper()
+	if n, ok := guard.WaitGoroutines(base+2, 5*time.Second); !ok {
+		t.Fatalf("goroutines leaked: %d still running, base was %d", n, base)
+	}
+}
+
+// TestFaultMatrix injects an error and a panic into every stage of
+// every pipeline shape and asserts the failure contract each time: a
+// typed error attributed to the injected stage, no partial result, and
+// no leaked worker goroutines.
+func TestFaultMatrix(t *testing.T) {
+	f := faultDesign()
+	for _, cfg := range faultConfigs {
+		for _, stage := range cfg.stages {
+			for _, kind := range []guard.FaultKind{guard.FaultError, guard.FaultPanic} {
+				name := fmt.Sprintf("%s/%s/%s", cfg.name, strings.ReplaceAll(stage, "/", "."), kindName(kind))
+				t.Run(name, func(t *testing.T) {
+					fp := &guard.Failpoint{Stage: stage, Kind: kind}
+					restore := guard.SetInjector(fp)
+					defer restore()
+					base := runtime.NumGoroutine()
+
+					res, err := File(f, cfg.opt)
+					if res != nil {
+						t.Fatalf("got a result alongside the failure")
+					}
+					checkFaultError(t, err, stage, kind)
+					if fp.Fired() == 0 {
+						t.Fatalf("failpoint at %s never fired (stage unreachable in config %s)", stage, cfg.name)
+					}
+					restore()
+					waitNoLeaks(t, base)
+				})
+			}
+		}
+	}
+}
+
+// TestFaultParse drives the parse stage through the text entry point
+// (the matrix above starts from a parsed file).
+func TestFaultParse(t *testing.T) {
+	const src = "L NM; B 100 100 0 0;\nE\n"
+	for _, kind := range []guard.FaultKind{guard.FaultError, guard.FaultPanic} {
+		t.Run(kindName(kind), func(t *testing.T) {
+			fp := &guard.Failpoint{Stage: guard.StageParse, Kind: kind}
+			restore := guard.SetInjector(fp)
+			defer restore()
+			_, err := String(src, Options{})
+			checkFaultError(t, err, guard.StageParse, kind)
+		})
+	}
+}
+
+// TestFaultSkipCount pins the failpoint's determinism end to end: with
+// Skip set past the stage's total hits the extraction succeeds and the
+// hit count is reproducible, so a test can aim a fault at the N'th
+// work unit of a stage and get the same unit every run.
+func TestFaultSkipCount(t *testing.T) {
+	f := faultDesign()
+	fp := &guard.Failpoint{Stage: guard.StageStamp, Kind: guard.FaultError, Skip: 1 << 40}
+	restore := guard.SetInjector(fp)
+	defer restore()
+	if _, err := File(f, Options{FlattenWorkers: 2}); err != nil {
+		t.Fatalf("skipped failpoint failed the run: %v", err)
+	}
+	hits := fp.Hits()
+	if hits == 0 {
+		t.Fatalf("stamp stage never hit")
+	}
+	if fp.Fired() != 0 {
+		t.Fatalf("failpoint fired %d times despite Skip", fp.Fired())
+	}
+	fp2 := &guard.Failpoint{Stage: guard.StageStamp, Kind: guard.FaultError, Skip: 1 << 40}
+	guard.SetInjector(fp2)
+	if _, err := File(f, Options{FlattenWorkers: 2}); err != nil {
+		t.Fatalf("second run failed: %v", err)
+	}
+	if fp2.Hits() != hits {
+		t.Fatalf("stamp hits not reproducible: %d then %d", hits, fp2.Hits())
+	}
+}
+
+// TestCancelPreCancelled: an already-cancelled context must abort every
+// pipeline shape promptly with an error that still satisfies
+// errors.Is(err, context.Canceled), and leave no goroutines behind.
+func TestCancelPreCancelled(t *testing.T) {
+	f := faultDesign()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, cfg := range faultConfigs {
+		t.Run(cfg.name, func(t *testing.T) {
+			base := runtime.NumGoroutine()
+			t0 := time.Now()
+			_, err := FileContext(ctx, f, cfg.opt)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("got %v, want context.Canceled through the wrapper", err)
+			}
+			if d := time.Since(t0); d > 10*time.Second {
+				t.Fatalf("cancellation took %v", d)
+			}
+			waitNoLeaks(t, base)
+		})
+	}
+}
+
+// TestCancelBoundedLatency cancels mid-extraction while an injected
+// delay holds the sweep busy, and asserts the pipeline notices within
+// a bounded number of checkpoint intervals rather than running the
+// design to completion.
+func TestCancelBoundedLatency(t *testing.T) {
+	f := faultDesign()
+	for _, cfg := range faultConfigs {
+		// Slow the stage the config's sweep actually runs in, so the
+		// extraction is guaranteed to be mid-flight when cancel fires.
+		delayStage := guard.StageSweep
+		if cfg.opt.Workers > 1 {
+			delayStage = guard.StageBand
+		}
+		t.Run(cfg.name, func(t *testing.T) {
+			fp := &guard.Failpoint{Stage: delayStage, Kind: guard.FaultDelay, Delay: 200 * time.Millisecond}
+			restore := guard.SetInjector(fp)
+			defer restore()
+			base := runtime.NumGoroutine()
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			timer := time.AfterFunc(20*time.Millisecond, cancel)
+			defer timer.Stop()
+
+			t0 := time.Now()
+			_, err := FileContext(ctx, f, cfg.opt)
+			elapsed := time.Since(t0)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("got %v, want context.Canceled", err)
+			}
+			// The checkpoints run cancellation checks before the (injected)
+			// delay, so the latency bound is a couple of delay periods, not
+			// one delay per remaining scanline stop.
+			if elapsed > 5*time.Second {
+				t.Fatalf("cancellation latency %v, want bounded", elapsed)
+			}
+			restore()
+			waitNoLeaks(t, base)
+		})
+	}
+}
+
+// bombCIF builds a hierarchy bomb: levels symbols where each level
+// instantiates the one below it fanout times, so the flattened design
+// holds fanout^(levels-1) boxes — far beyond physical memory for
+// 100^9 — while the source text stays a few kilobytes.
+func bombCIF(levels, fanout int) string {
+	var b strings.Builder
+	b.WriteString("DS 1 1 1;\nL NM;\nB 10 10 0 0;\nDF;\n")
+	for l := 2; l <= levels; l++ {
+		fmt.Fprintf(&b, "DS %d 1 1;\n", l)
+		for j := 0; j < fanout; j++ {
+			fmt.Fprintf(&b, "C %d T %d %d;\n", l-1, j*20, j*15)
+		}
+		b.WriteString("DF;\n")
+	}
+	fmt.Fprintf(&b, "C %d;\nE\n", levels)
+	return b.String()
+}
+
+// TestHierarchyBombFlat: the 10-level 100x fan-out bomb must fail fast
+// in the arena fold with a typed LimitError — before the fold
+// materialises anything near the 10^18-box flattened design.
+func TestHierarchyBombFlat(t *testing.T) {
+	f, err := cif.ParseString(bombCIF(10, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		lim  guard.Limits
+		what string
+	}{
+		{"expanded-boxes", guard.Limits{MaxExpandedBoxes: 1 << 20}, "expanded boxes"},
+		{"memory-bytes", guard.Limits{MaxMemBytes: 8 << 20}, "memory bytes"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			t0 := time.Now()
+			_, err := File(f, Options{FlattenWorkers: 2, Limits: tc.lim})
+			elapsed := time.Since(t0)
+			var le *guard.LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("got %v (%T), want *guard.LimitError", err, err)
+			}
+			if le.Stage != guard.StageArena {
+				t.Fatalf("limit tripped at %q, want %q", le.Stage, guard.StageArena)
+			}
+			if le.What != tc.what {
+				t.Fatalf("limit %q tripped, want %q", le.What, tc.what)
+			}
+			if elapsed > 30*time.Second {
+				t.Fatalf("bomb took %v to reject — not failing fast", elapsed)
+			}
+		})
+	}
+}
+
+// TestHierarchyBombHeap: the lazily instantiated paths must also stop
+// at the box budget — in the sweep for the serial path and in the
+// drain for the band path — instead of streaming the bomb to OOM. A
+// smaller bomb keeps the pre-budget streaming cheap.
+func TestHierarchyBombHeap(t *testing.T) {
+	f, err := cif.ParseString(bombCIF(5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := guard.Limits{MaxBoxes: 4096}
+	for _, tc := range []struct {
+		name  string
+		opt   Options
+		stage string
+	}{
+		{"serial-sweep", Options{Limits: lim}, guard.StageSweep},
+		{"band-drain", Options{Workers: 4, Limits: lim}, guard.StageFrontend},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := File(f, tc.opt)
+			var le *guard.LimitError
+			if !errors.As(err, &le) {
+				t.Fatalf("got %v (%T), want *guard.LimitError", err, err)
+			}
+			if le.Stage != tc.stage {
+				t.Fatalf("limit tripped at %q, want %q", le.Stage, tc.stage)
+			}
+			if le.What != "boxes" {
+				t.Fatalf("limit %q tripped, want boxes", le.What)
+			}
+		})
+	}
+}
+
+// TestGuardedPipelineByteIdentical: with a live context and every
+// budget armed (but none tripping), the wirelist must stay
+// byte-identical to the unguarded run across the flatten x sweep
+// worker matrix — the hardening layer is a pure no-op on the happy
+// path.
+func TestGuardedPipelineByteIdentical(t *testing.T) {
+	lim := guard.Limits{
+		MaxBoxes:         1 << 40,
+		MaxExpandedBoxes: 1 << 40,
+		MaxMemBytes:      1 << 50,
+		MaxDepth:         1000,
+	}
+	designs := map[string]*cif.File{
+		"statistical": faultDesign(),
+		"cherry":      gen.MustBenchChip("cherry").File,
+		"mesh":        gen.Mesh(5).File,
+	}
+	for name, f := range designs {
+		want := formatWirelist(t, name, f, Options{})
+		for _, fw := range []int{1, 8} {
+			for _, sw := range []int{1, 4} {
+				res, err := FileContext(context.Background(), f, Options{
+					Workers: sw, FlattenWorkers: fw, Limits: lim,
+				})
+				if err != nil {
+					t.Fatalf("%s fw=%d sw=%d: %v", name, fw, sw, err)
+				}
+				got := wirelist.Format(res.Netlist, wirelist.Options{})
+				if got != want {
+					i := diffPos(want, got)
+					t.Fatalf("%s fw=%d sw=%d: guarded wirelist differs at byte %d", name, fw, sw, i)
+				}
+			}
+		}
+	}
+}

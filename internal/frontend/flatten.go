@@ -36,6 +36,7 @@
 package frontend
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,7 @@ import (
 
 	"ace/internal/cif"
 	"ace/internal/geom"
+	"ace/internal/guard"
 	"ace/internal/tech"
 )
 
@@ -60,12 +62,59 @@ type Flat struct {
 
 	prepassed bool // instance impure boxes materialised
 
+	// Hardening state: ctx cancels the stamp pool cooperatively;
+	// limits bound materialised boxes and retained bytes; the first
+	// worker failure (panic, injected fault, budget, cancellation)
+	// lands in err, aborts the remaining stamping and releases every
+	// consumer blocked on a stream. buildErr carries arena-fold budget
+	// violations out of the recursive build.
+	ctx       context.Context
+	limits    guard.Limits
+	buildErr  error
+	arenaBox  int64 // boxes materialised across all arenas
+	failMu    sync.Mutex
+	err       error
+	streams   []*FlatStream
+	abortFlag atomic.Bool
+	retained  atomic.Int64 // approximate bytes of published runs + arenas
+
 	started  time.Time
 	boxesOut atomic.Int64
 	nonManh  atomic.Int64
 	sortNs   atomic.Int64
 	stampNs  atomic.Int64
 	doneAt   atomic.Int64 // unix nanos when the last run published
+}
+
+// fail records the first pipeline failure, aborts outstanding stamping
+// and wakes every consumer blocked on a stream so the sweep above can
+// unwind. Safe to call from any worker.
+func (fl *Flat) fail(err error) {
+	if err == nil {
+		return
+	}
+	fl.failMu.Lock()
+	if fl.err == nil {
+		fl.err = err
+	}
+	streams := fl.streams
+	fl.failMu.Unlock()
+	fl.abortFlag.Store(true)
+	for _, s := range streams {
+		s.fail()
+	}
+}
+
+// Err reports the first failure of the flatten pipeline: a stamp
+// worker panic (as a *guard.PanicError), an exceeded budget, an
+// injected fault or context cancellation. Callers must check it after
+// the consuming sweep finishes — a failed stream reports exhaustion to
+// keep the scan.Source contract, so the sweep's partial result must be
+// discarded when Err is non-nil.
+func (fl *Flat) Err() error {
+	fl.failMu.Lock()
+	defer fl.failMu.Unlock()
+	return fl.err
 }
 
 // symArena is one symbol's flattened body.
@@ -103,30 +152,50 @@ type flatInstance struct {
 // or wire (manhattanisation count is unknown until stamped).
 const impureBoxEstimate = 8
 
-// Flatten pre-flattens the file's top cell.
-func Flatten(f *cif.File, opts Options) *Flat {
+// Flatten pre-flattens the file's top cell. ctx cancels the stamp
+// workers it later launches; nil means never.
+func Flatten(ctx context.Context, f *cif.File, opts Options) (*Flat, error) {
 	top, _ := f.TopSymbol()
-	return FlattenItems(top, f.Symbols, opts)
+	return FlattenItems(ctx, top, f.Symbols, opts)
 }
 
 // FlattenItems pre-flattens an explicit item list. An empty design
 // yields a Flat whose streams simply report exhaustion; callers that
 // must reject empty designs do so via New, which the extractor runs
-// first for labels anyway.
-func FlattenItems(items []cif.Item, syms map[int]*cif.Symbol, opts Options) *Flat {
+// first for labels anyway. The error covers the synchronous build:
+// cyclic or over-deep hierarchies, and arena budgets (the arena fold
+// is where a hierarchy bomb would otherwise materialise — a 10-level
+// 100x fan-out must fail fast here, not OOM).
+func FlattenItems(ctx context.Context, items []cif.Item, syms map[int]*cif.Symbol, opts Options) (fl *Flat, err error) {
+	defer guard.Recover(guard.StageArena, &err)
+	if err := guard.Inject(guard.StageArena); err != nil {
+		return nil, err
+	}
+	if err := checkHierarchy(items, syms, opts.Limits.Depth()); err != nil {
+		return nil, err
+	}
 	grid := opts.Grid
 	if grid <= 0 {
 		grid = 10
 	}
-	fl := &Flat{
+	fl = &Flat{
 		grid:   grid,
 		keepNG: opts.KeepGlass,
 		syms:   syms,
 		bboxes: map[int]geom.Rect{},
 		arenas: map[int]*symArena{},
+		ctx:    ctx,
+		limits: opts.Limits,
 	}
 	fl.addInstances(items, geom.Identity)
-	return fl
+	if fl.buildErr != nil {
+		return nil, fl.buildErr
+	}
+	fl.retained.Store(fl.arenaBox * guard.BoxBytes)
+	if err := fl.limits.CheckMem(guard.StageArena, fl.retained.Load()); err != nil {
+		return nil, err
+	}
+	return fl, nil
 }
 
 // addInstances turns an item list into stamping work: non-call
@@ -134,6 +203,9 @@ func FlattenItems(items []cif.Item, syms map[int]*cif.Symbol, opts Options) *Fla
 // instance. Labels are skipped — the extractor takes labels from the
 // legacy Stream so their delivery order is bit-for-bit unchanged.
 func (fl *Flat) addInstances(items []cif.Item, tr geom.Transform) {
+	if fl.buildErr != nil {
+		return
+	}
 	var direct []cif.Item
 	for _, it := range items {
 		switch it.Kind {
@@ -210,6 +282,9 @@ func (fl *Flat) arena(id int) *symArena {
 		return a
 	}
 	for _, it := range sym.Items {
+		if fl.buildErr != nil {
+			return a
+		}
 		switch it.Kind {
 		case cif.ItemBox:
 			a.addBox(it.Layer, it.Box, fl.keepNG)
@@ -223,6 +298,22 @@ func (fl *Flat) arena(id int) *symArena {
 			})
 		case cif.ItemCall:
 			child := fl.arena(it.SymbolID)
+			if fl.buildErr != nil {
+				return a
+			}
+			// Budget-check BEFORE the fold copies the child in: a
+			// hierarchy bomb multiplies the arena a hundredfold per
+			// level, and the check must fire before the allocation,
+			// not after.
+			grown := fl.arenaBox + int64(len(a.boxes)) + int64(len(child.boxes))
+			if err := fl.limits.CheckExpanded(guard.StageArena, grown); err != nil {
+				fl.buildErr = err
+				return a
+			}
+			if err := fl.limits.CheckMem(guard.StageArena, grown*guard.BoxBytes); err != nil {
+				fl.buildErr = err
+				return a
+			}
 			for _, b := range child.boxes {
 				// Child boxes are pre-filtered; orthogonal transforms
 				// keep non-empty rects non-empty, so no re-check.
@@ -233,6 +324,11 @@ func (fl *Flat) arena(id int) *symArena {
 				a.impure = append(a.impure, im)
 			}
 		}
+	}
+	fl.arenaBox += int64(len(a.boxes))
+	if err := fl.limits.CheckExpanded(guard.StageArena, fl.arenaBox); err != nil {
+		fl.buildErr = err
+		return a
 	}
 	sort.Slice(a.boxes, func(i, j int) bool {
 		return a.boxes[i].Rect.YMax > a.boxes[j].Rect.YMax
@@ -296,12 +392,12 @@ func (fl *Flat) expand(target int) {
 // box counts and tops are exact before any band cuts are chosen. Pure
 // arena boxes are not materialised here — only their transformed tops
 // are read — so the prepass stays cheap relative to the stamp.
-func (fl *Flat) prepass(workers int) {
+func (fl *Flat) prepass(workers int) error {
 	if fl.prepassed {
-		return
+		return nil
 	}
 	fl.prepassed = true
-	fl.forEachInstance(workers, func(i int) {
+	return fl.forEachInstance(workers, func(i int) {
 		fl.materialiseImpure(&fl.insts[i])
 	})
 }
@@ -364,11 +460,14 @@ func (fl *Flat) appendImpure(out []Box, im impureItem, inst geom.Transform) []Bo
 // SortedTops runs the prepass and returns every stamped box top,
 // sorted descending — the exact multiset the materialising pipeline
 // sorts, so cut selection (scan.CutsFromTops) lands on the identical
-// band boundaries. len(result) is the exact box count.
-func (fl *Flat) SortedTops(workers int) []int64 {
-	fl.prepass(workers)
+// band boundaries. len(result) is the exact box count. The error
+// surfaces prepass-worker panics, injected faults and cancellation.
+func (fl *Flat) SortedTops(workers int) ([]int64, error) {
+	if err := fl.prepass(workers); err != nil {
+		return nil, err
+	}
 	parts := make([][]int64, len(fl.insts))
-	fl.forEachInstance(workers, func(i int) {
+	err := fl.forEachInstance(workers, func(i int) {
 		in := &fl.insts[i]
 		var tops []int64
 		if in.sym >= 0 {
@@ -395,6 +494,9 @@ func (fl *Flat) SortedTops(workers int) []int64 {
 		}
 		parts[i] = tops
 	})
+	if err != nil {
+		return nil, err
+	}
 	n := 0
 	for _, p := range parts {
 		n += len(p)
@@ -404,37 +506,63 @@ func (fl *Flat) SortedTops(workers int) []int64 {
 		all = append(all, p...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] > all[j] })
-	return all
+	if err := fl.limits.CheckBoxes(guard.StagePrepass, int64(len(all))); err != nil {
+		return nil, err
+	}
+	return all, nil
 }
 
 // forEachInstance applies f to every instance index from a pool of
-// workers.
-func (fl *Flat) forEachInstance(workers int, f func(int)) {
+// workers. Each worker runs under panic isolation; the first failure
+// (panic, injected fault, cancellation) stops the remaining work and
+// is returned with stage attribution.
+func (fl *Flat) forEachInstance(workers int, f func(int)) error {
+	var next atomic.Int64
+	var firstErr atomic.Pointer[error]
+	record := func(err error) {
+		if err != nil {
+			e := err
+			firstErr.CompareAndSwap(nil, &e)
+		}
+	}
+	work := func() error {
+		for {
+			if firstErr.Load() != nil {
+				return nil
+			}
+			if err := guard.Ctx(fl.ctx, guard.StagePrepass); err != nil {
+				return err
+			}
+			if err := guard.Inject(guard.StagePrepass); err != nil {
+				return err
+			}
+			i := int(next.Add(1)) - 1
+			if i >= len(fl.insts) {
+				return nil
+			}
+			f(i)
+		}
+	}
 	if workers < 1 {
 		workers = 1
 	}
 	if workers == 1 || len(fl.insts) < 2 {
-		for i := range fl.insts {
-			f(i)
+		record(guard.Run(guard.StagePrepass, work))
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				record(guard.Run(guard.StagePrepass, work))
+			}()
 		}
-		return
+		wg.Wait()
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(fl.insts) {
-					return
-				}
-				f(i)
-			}
-		}()
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
 	}
-	wg.Wait()
+	return nil
 }
 
 // stampRun materialises one instance's boxes, sorted by descending
@@ -523,9 +651,22 @@ func (fl *Flat) Prepare(workers int) {
 }
 
 // start launches the stamp worker pool. Heaviest instances go first so
-// the pool tail stays short.
+// the pool tail stays short. Every worker runs under panic isolation;
+// the first failure aborts the remaining stamping and fails the
+// streams so blocked consumers unwind instead of deadlocking.
 func (fl *Flat) start(workers int, streams []*FlatStream, cuts []int64) {
 	fl.started = time.Now()
+	fl.failMu.Lock()
+	fl.streams = append(fl.streams, streams...)
+	fl.failMu.Unlock()
+	if err := fl.Err(); err != nil {
+		// A previous stream of this Flat already failed; keep the new
+		// streams consistent instead of blocking their consumers.
+		for _, s := range streams {
+			s.fail()
+		}
+		return
+	}
 	order := make([]int, len(fl.insts))
 	for i := range order {
 		order[i] = i
@@ -536,19 +677,43 @@ func (fl *Flat) start(workers int, streams []*FlatStream, cuts []int64) {
 	if workers < 1 {
 		workers = 1
 	}
+	if fl.ctx != nil {
+		// Watch for external cancellation so consumers blocked in
+		// cond.Wait unwind promptly even when no worker is between
+		// checks. The watcher exits when the caller's deferred cancel
+		// fires, so it never outlives the extraction.
+		ctx := fl.ctx
+		go func() {
+			<-ctx.Done()
+			fl.fail(&guard.StageError{Stage: guard.StageStamp, Err: ctx.Err()})
+		}()
+	}
 	var next atomic.Int64
-	work := func() {
+	work := func() error {
 		var bands [][]Box
 		if cuts != nil {
 			bands = make([][]Box, len(cuts)+1)
 		}
 		for {
+			if fl.abortFlag.Load() {
+				return nil
+			}
+			if err := guard.Ctx(fl.ctx, guard.StageStamp); err != nil {
+				return err
+			}
+			if err := guard.Inject(guard.StageStamp); err != nil {
+				return err
+			}
 			oi := int(next.Add(1)) - 1
 			if oi >= len(order) {
-				return
+				return nil
 			}
 			i := order[oi]
 			run := fl.stampRun(&fl.insts[i])
+			if err := fl.limits.CheckMem(guard.StageStamp,
+				fl.retained.Add(int64(len(run))*guard.BoxBytes)); err != nil {
+				return err
+			}
 			if cuts == nil {
 				if streams[0].publish(i, run) {
 					fl.doneAt.Store(time.Now().UnixNano())
@@ -569,7 +734,11 @@ func (fl *Flat) start(workers int, streams []*FlatStream, cuts []int64) {
 		}
 	}
 	for w := 0; w < workers; w++ {
-		go work()
+		go func() {
+			if err := guard.Run(guard.StageStamp, work); err != nil {
+				fl.fail(err)
+			}
+		}()
 	}
 }
 
@@ -637,6 +806,7 @@ type FlatStream struct {
 	cond    *sync.Cond
 	runs    []flatRun
 	pending int
+	failed  bool // pipeline aborted; report exhaustion, owner's Err has why
 }
 
 type flatRun struct {
@@ -671,9 +841,23 @@ func (s *FlatStream) publish(i int, boxes []Box) bool {
 	return last
 }
 
+// fail marks the stream aborted and wakes blocked consumers, which
+// then observe exhaustion — the scan.Source contract has no error
+// channel, so the Flat that owns the stream carries the error and
+// callers check Flat.Err after the sweep returns.
+func (s *FlatStream) fail() {
+	s.mu.Lock()
+	s.failed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
 // pick returns the run to pop next, -1 to wait for a publication, or
 // -2 when every run is exhausted.
 func (s *FlatStream) pick() int {
+	if s.failed {
+		return -2
+	}
 	best := -1
 	var bestTop, maxPending int64
 	havePending := false

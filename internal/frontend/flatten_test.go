@@ -195,7 +195,10 @@ func TestFlattenMatchesHeap(t *testing.T) {
 		}
 		want := canonBoxes(s.Drain())
 		for _, w := range flattenWorkerCounts {
-			fl := Flatten(f, Options{})
+			fl, err := Flatten(nil, f, Options{})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
 			got := fl.Stream(w).Drain()
 			checkDescendingTops(t, name, got)
 			compareCanon(t, name, want, canonBoxes(got))
@@ -223,7 +226,11 @@ E
 			t.Fatal(err)
 		}
 		want := canonBoxes(s.Drain())
-		got := canonBoxes(Flatten(f, opt).Stream(2).Drain())
+		fl, err := Flatten(nil, f, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := canonBoxes(fl.Stream(2).Drain())
 		compareCanon(t, "glass", want, got)
 	}
 }
@@ -239,9 +246,15 @@ func TestSortedTopsMatchDrain(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		boxes := s.Drain()
-		fl := Flatten(f, Options{})
+		fl, err := Flatten(nil, f, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		fl.Prepare(3)
-		tops := fl.SortedTops(3)
+		tops, err := fl.SortedTops(3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
 		if len(tops) != len(boxes) {
 			t.Fatalf("%s: %d tops for %d boxes", name, len(tops), len(boxes))
 		}

@@ -16,6 +16,7 @@ import (
 
 	"ace/internal/cif"
 	"ace/internal/geom"
+	"ace/internal/guard"
 	"ace/internal/tech"
 )
 
@@ -43,6 +44,13 @@ type Options struct {
 	// KeepGlass instructs the stream to also deliver overglass
 	// geometry; extraction ignores it, so by default it is dropped.
 	KeepGlass bool
+
+	// Limits are the front end's resource budgets: MaxDepth bounds the
+	// call hierarchy (cycles are always rejected), MaxExpandedBoxes
+	// caps the pre-flattener's materialised arena boxes and
+	// MaxMemBytes its retained bytes. Zero fields are unlimited except
+	// depth, which defaults to guard.DefaultMaxDepth.
+	Limits guard.Limits
 }
 
 // Stats reports front-end work counters.
@@ -99,13 +107,21 @@ func New(f *cif.File, opts Options) (*Stream, error) {
 }
 
 // NewItems builds a stream over an explicit item list (used by HEXT to
-// instantiate window contents).
-func NewItems(items []cif.Item, syms map[int]*cif.Symbol, opts Options) (*Stream, error) {
+// instantiate window contents). A panic while seeding the heap surfaces
+// as a *guard.PanicError attributed to the front end.
+func NewItems(items []cif.Item, syms map[int]*cif.Symbol, opts Options) (s *Stream, err error) {
+	defer guard.Recover(guard.StageFrontend, &err)
+	if err := guard.Inject(guard.StageFrontend); err != nil {
+		return nil, err
+	}
+	if err := checkHierarchy(items, syms, opts.Limits.Depth()); err != nil {
+		return nil, err
+	}
 	grid := opts.Grid
 	if grid <= 0 {
 		grid = 10
 	}
-	s := &Stream{
+	s = &Stream{
 		syms:   syms,
 		bboxes: map[int]geom.Rect{},
 		grid:   grid,

@@ -1,0 +1,78 @@
+package frontend
+
+import (
+	"fmt"
+
+	"ace/internal/cif"
+	"ace/internal/guard"
+)
+
+// checkHierarchy walks the call graph reachable from items and rejects
+// cycles and hierarchies deeper than maxDepth, before any expansion
+// work begins. The CIF parser already rejects recursive definitions,
+// but both front ends also accept synthesised symbol tables (HEXT
+// windows, tests, library users), and the lazy heap would loop forever
+// on a self-referential symbol while the pre-flattener's arena fold
+// would silently drop its contents. This mirrors the depth guard
+// hext's hierarchical-wirelist parser applies in hierparse.go.
+//
+// Errors name the offending DS so they read like parse errors.
+func checkHierarchy(items []cif.Item, syms map[int]*cif.Symbol, maxDepth int) error {
+	// depths memoises the longest symbol chain starting at a symbol
+	// (>= 1); onStack marks the DFS path for cycle detection.
+	depths := make(map[int]int)
+	onStack := make(map[int]bool)
+	var visit func(id, depth int) (int, error)
+	visit = func(id, depth int) (int, error) {
+		if depth > maxDepth {
+			return 0, &guard.LimitError{
+				Stage: guard.StageFrontend, What: "call-hierarchy depth",
+				Value: int64(depth), Limit: int64(maxDepth),
+			}
+		}
+		if onStack[id] {
+			return 0, fmt.Errorf("frontend: recursive symbol definition involving DS %d", id)
+		}
+		if d, ok := depths[id]; ok {
+			return d, nil
+		}
+		sym := syms[id]
+		if sym == nil {
+			depths[id] = 1
+			return 1, nil
+		}
+		onStack[id] = true
+		deepest := 0
+		for _, it := range sym.Items {
+			if it.Kind != cif.ItemCall {
+				continue
+			}
+			d, err := visit(it.SymbolID, depth+1)
+			if err != nil {
+				return 0, err
+			}
+			if d > deepest {
+				deepest = d
+			}
+		}
+		delete(onStack, id)
+		depths[id] = deepest + 1
+		return deepest + 1, nil
+	}
+	for _, it := range items {
+		if it.Kind != cif.ItemCall {
+			continue
+		}
+		d, err := visit(it.SymbolID, 1)
+		if err != nil {
+			return err
+		}
+		if d > maxDepth {
+			return &guard.LimitError{
+				Stage: guard.StageFrontend, What: "call-hierarchy depth",
+				Value: int64(d), Limit: int64(maxDepth),
+			}
+		}
+	}
+	return nil
+}

@@ -6,19 +6,32 @@ package gen
 // `-bench-json` CLI harnesses — builds its chips through these helpers
 // so a workload tweak changes every baseline consistently.
 
+import "fmt"
+
 // BenchScale shrinks the Table 5-1/5-2 chips so a full benchmark run
 // stays laptop-friendly. cmd/ace -table51 runs them at full size.
 const BenchScale = 0.05
 
-// BenchChip builds the named Table 5-1 chip at BenchScale. It panics
-// on an unknown name so a typo in a benchmark fails loudly instead of
-// silently measuring the wrong design.
-func BenchChip(name string) Workload {
+// BenchChip builds the named Table 5-1 chip at BenchScale. It returns
+// an error on an unknown name so library callers can surface a typo
+// instead of crashing; test and benchmark code uses MustBenchChip.
+func BenchChip(name string) (Workload, error) {
 	c, ok := ChipByName(name)
 	if !ok {
-		panic("gen: unknown benchmark chip " + name)
+		return Workload{}, fmt.Errorf("gen: unknown benchmark chip %q", name)
 	}
-	return c.Build(BenchScale)
+	return c.Build(BenchScale), nil
+}
+
+// MustBenchChip is BenchChip for tests and benchmarks, where an
+// unknown name should fail loudly instead of silently measuring the
+// wrong design.
+func MustBenchChip(name string) Workload {
+	w, err := BenchChip(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 // BenchChips builds every Table 5-1 chip at BenchScale, in table

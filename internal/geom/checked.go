@@ -1,0 +1,70 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrOverflow reports int64 coordinate arithmetic that would wrap.
+// Absurd DS scales and translations must surface it as a parse error,
+// never as silently wrapped coordinates.
+var ErrOverflow = errors.New("geom: coordinate overflow")
+
+// AddOK returns a+b and whether the sum fits in int64.
+func AddOK(a, b int64) (int64, bool) {
+	s := a + b
+	// Overflow iff the operands share a sign the sum does not.
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return s, false
+	}
+	return s, true
+}
+
+// MulOK returns a*b and whether the product fits in int64.
+func MulOK(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return p, false
+	}
+	if a == -1 && b == math.MinInt64 || b == -1 && a == math.MinInt64 {
+		return p, false
+	}
+	return p, true
+}
+
+// ThenChecked is Then with overflow detection: it returns an error
+// wrapping ErrOverflow when composing the translations would wrap,
+// instead of producing a transform that silently folds coordinates.
+// The linear parts of CIF transforms are orthogonal (entries in
+// {-1, 0, 1}), so only the translation terms can overflow, but every
+// term is checked for robustness against synthesised transforms.
+func (t Transform) ThenChecked(u Transform) (Transform, error) {
+	mulAdd := func(a, x, b, y, c int64) (int64, bool) {
+		p1, ok1 := MulOK(a, x)
+		p2, ok2 := MulOK(b, y)
+		s, ok3 := AddOK(p1, p2)
+		if !(ok1 && ok2 && ok3) {
+			return 0, false
+		}
+		s, ok4 := AddOK(s, c)
+		return s, ok4
+	}
+	var r Transform
+	var ok [6]bool
+	r.A, ok[0] = mulAdd(u.A, t.A, u.B, t.D, 0)
+	r.B, ok[1] = mulAdd(u.A, t.B, u.B, t.E, 0)
+	r.C, ok[2] = mulAdd(u.A, t.C, u.B, t.F, u.C)
+	r.D, ok[3] = mulAdd(u.D, t.A, u.E, t.D, 0)
+	r.E, ok[4] = mulAdd(u.D, t.B, u.E, t.E, 0)
+	r.F, ok[5] = mulAdd(u.D, t.C, u.E, t.F, u.F)
+	for _, o := range ok {
+		if !o {
+			return r, fmt.Errorf("composing %v with %v: %w", t, u, ErrOverflow)
+		}
+	}
+	return r, nil
+}

@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ace/internal/guard"
 )
 
 // dagNode is one unit of back-end work in the planned merge DAG: a
@@ -67,6 +69,25 @@ func (x *execCtx) run(n *dagNode) {
 	}
 }
 
+// runGuarded executes one node under panic isolation, with the
+// cooperative-cancellation and fault-injection checks for its stage.
+func (x *execCtx) runGuarded(e *env, n *dagNode) error {
+	stage := guard.StageHextLeaf
+	if n.kind == nodeComp {
+		stage = guard.StageHextCompose
+	}
+	return guard.Run(stage, func() error {
+		if err := guard.Ctx(e.ctx, stage); err != nil {
+			return err
+		}
+		if err := guard.Inject(stage); err != nil {
+			return err
+		}
+		x.run(n)
+		return nil
+	})
+}
+
 // execute runs every planned node. Serial execution walks the node
 // list in creation order, which is the old recursive engine's exact
 // DFS post-order; parallel execution schedules nodes topologically —
@@ -78,10 +99,10 @@ func (x *execCtx) run(n *dagNode) {
 // In parallel mode the Flat/Compose timings are summed across workers,
 // so — like the flat extractor's band phases — they report CPU time,
 // not wall-clock time.
-func (e *env) execute(workers int) {
+func (e *env) execute(workers int) error {
 	nodes := e.nodeList
 	if len(nodes) == 0 {
-		return
+		return nil
 	}
 	if workers > len(nodes) {
 		workers = len(nodes)
@@ -89,10 +110,13 @@ func (e *env) execute(workers int) {
 	if workers <= 1 {
 		x := execCtx{cache: e.cache}
 		for _, n := range nodes {
-			x.run(n)
+			if err := x.runGuarded(e, n); err != nil {
+				e.mergeExec(&x)
+				return err
+			}
 		}
 		e.mergeExec(&x)
-		return
+		return nil
 	}
 
 	// Wire the DAG: each comp node waits on its not-yet-done children;
@@ -114,6 +138,15 @@ func (e *env) execute(workers int) {
 	}
 	remaining := int32(len(nodes))
 
+	// On failure the pool must still unwind cleanly: the failed flag is
+	// published BEFORE the parent/remaining decrements (the channel send
+	// gives the happens-before edge), so every node still flows through
+	// the ready channel — skipped, not run — the counters reach zero,
+	// close(ready) fires and no worker blocks forever. A skipped child
+	// leaves res nil; its parents are skipped too, so compose never
+	// touches a missing child result.
+	var failed atomic.Bool
+	var firstErr atomic.Pointer[error]
 	var wg sync.WaitGroup
 	ctxs := make([]execCtx, workers)
 	for i := range ctxs {
@@ -122,7 +155,13 @@ func (e *env) execute(workers int) {
 		go func(x *execCtx) {
 			defer wg.Done()
 			for n := range ready {
-				x.run(n)
+				if !failed.Load() && (n.kind != nodeComp || n.kids[0].res != nil && n.kids[1].res != nil) {
+					if err := x.runGuarded(e, n); err != nil {
+						ep := err
+						firstErr.CompareAndSwap(nil, &ep)
+						failed.Store(true)
+					}
+				}
 				for _, p := range n.parents {
 					if atomic.AddInt32(&p.pending, -1) == 0 {
 						ready <- p
@@ -138,6 +177,10 @@ func (e *env) execute(workers int) {
 	for i := range ctxs {
 		e.mergeExec(&ctxs[i])
 	}
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
+	}
+	return nil
 }
 
 func (e *env) mergeExec(x *execCtx) {

@@ -1,15 +1,18 @@
 package hext
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ace/internal/build"
 	"ace/internal/cif"
 	"ace/internal/geom"
+	"ace/internal/guard"
 	"ace/internal/netlist"
 )
 
@@ -122,16 +125,30 @@ func Extract(f *cif.File, opt Options) (*Result, error) {
 	return NewSession(opt).Extract(f)
 }
 
+// ExtractContext is Extract with cooperative cancellation: planning,
+// the leaf/compose pool and the flattening all check ctx and unwind
+// with a stage-attributed error wrapping ctx.Err(). A nil ctx never
+// cancels.
+func ExtractContext(ctx context.Context, f *cif.File, opt Options) (*Result, error) {
+	return NewSession(opt).ExtractContext(ctx, f)
+}
+
 // Reader parses CIF text from r and extracts it hierarchically,
 // recording the parse phase in the result's Timing.
 func Reader(r io.Reader, opt Options) (*Result, error) {
+	return ReaderContext(nil, r, opt)
+}
+
+// ReaderContext is Reader with cooperative cancellation (see
+// ExtractContext).
+func ReaderContext(ctx context.Context, r io.Reader, opt Options) (*Result, error) {
 	t0 := time.Now()
-	f, err := cif.Parse(r)
+	f, err := cif.ParseReaderOpts(r, cif.ParseOptions{})
 	if err != nil {
 		return nil, err
 	}
 	parse := time.Since(t0)
-	res, err := Extract(f, opt)
+	res, err := ExtractContext(ctx, f, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -170,6 +187,14 @@ func (s *Session) MemoSize() int { return len(s.memo) }
 // Extract runs HEXT over a design, reusing any windows already
 // analysed in this session.
 func (s *Session) Extract(f *cif.File) (*Result, error) {
+	return s.ExtractContext(nil, f)
+}
+
+// ExtractContext is Extract with cooperative cancellation. It is also
+// panic-isolated: a panic in planning, a pool worker or the flattener
+// surfaces as a *guard.PanicError naming the stage.
+func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result, err error) {
+	defer guard.Recover(guard.StageHextPlan, &err)
 	opt := s.opt
 	grid := opt.Grid
 	if grid <= 0 {
@@ -188,6 +213,7 @@ func (s *Session) Extract(f *cif.File) (*Result, error) {
 		workers = 1
 	}
 	e := &env{
+		ctx:       ctx,
 		session:   s,
 		syms:      f.Symbols,
 		bboxCache: map[int]geom.Rect{},
@@ -215,7 +241,9 @@ func (s *Session) Extract(f *cif.File) (*Result, error) {
 	}
 	e.timing.FrontEnd = time.Since(t0)
 
-	e.execute(workers)
+	if err := e.execute(workers); err != nil {
+		return nil, err
+	}
 
 	// Publish this run's results into the session memo, and collect
 	// warnings in node-creation order — the serial engine's exact
@@ -233,10 +261,25 @@ func (s *Session) Extract(f *cif.File) (*Result, error) {
 
 	t1 := time.Now()
 	b := &build.Builder{}
-	var cands []overlayCand
-	e.flatten(root.res, origin, 0, b, workers, &cands)
-	e.resolveOverlay(b, cands)
-	nl, _ := b.Finish()
+	var nl *netlist.Netlist
+	ferr := guard.Run(guard.StageHextFlatten, func() error {
+		if err := guard.Inject(guard.StageHextFlatten); err != nil {
+			return err
+		}
+		var cands []overlayCand
+		e.flatten(root.res, origin, 0, b, workers, &cands)
+		if ep := e.flatErr.Load(); ep != nil {
+			// A forked flatten goroutine failed; its subtree is
+			// incomplete, so the whole flatten is.
+			return *ep
+		}
+		e.resolveOverlay(b, cands)
+		nl, _ = b.Finish()
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
 	e.timing.Flatten = time.Since(t1)
 	for _, lb := range e.overlay {
 		if !lb.matched {
@@ -258,6 +301,8 @@ func (s *Session) Extract(f *cif.File) (*Result, error) {
 }
 
 type env struct {
+	ctx       context.Context
+	flatErr   atomic.Pointer[error] // first forked-flatten failure
 	session   *Session
 	syms      map[int]*cif.Symbol
 	bboxCache map[int]geom.Rect
@@ -296,6 +341,12 @@ func (e *env) nextID() int {
 func (e *env) plan(win window, depth int) (*dagNode, error) {
 	if depth > e.maxDepth {
 		return nil, fmt.Errorf("hext: window recursion exceeded depth %d", e.maxDepth)
+	}
+	if err := guard.Ctx(e.ctx, guard.StageHextPlan); err != nil {
+		return nil, err
+	}
+	if err := guard.Inject(guard.StageHextPlan); err != nil {
+		return nil, err
 	}
 	var k string
 	if !e.noMemo {
@@ -392,6 +443,13 @@ const parallelFlattenMin = 64
 // serial recursion exactly, so the final netlist is byte-identical.
 func (e *env) flatten(r *winResult, off geom.Point, seq int64, b *build.Builder,
 	workers int, cands *[]overlayCand) ([]int32, []int32) {
+	// Cancellation unwinds the recursion as an abort-panic: the
+	// StageHextFlatten guard.Run in ExtractContext converts it back to
+	// the original error. Threading an error return through every frame
+	// (and both fork arms) is not worth it for a cooperative check.
+	if err := guard.Ctx(e.ctx, guard.StageHextFlatten); err != nil {
+		guard.Abort(err)
+	}
 	if r.leaf != nil {
 		return e.flattenLeaf(r, off, seq, b, cands)
 	}
@@ -406,11 +464,24 @@ func (e *env) flatten(r *winResult, off geom.Point, seq int64, b *build.Builder,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			kn[1], kp[1] = e.flatten(c.kids[1], off.Add(c.at[1]), seq+c.kids[0].insts,
-				b1, workers-half, &cands1)
+			// The forked arm needs its own recover wrapper: a panic
+			// here would otherwise crash the process, not unwind the
+			// extraction. The first failure is recorded and re-raised
+			// on the main goroutine after the join.
+			if err := guard.Run(guard.StageHextFlatten, func() error {
+				kn[1], kp[1] = e.flatten(c.kids[1], off.Add(c.at[1]), seq+c.kids[0].insts,
+					b1, workers-half, &cands1)
+				return nil
+			}); err != nil {
+				ep := err
+				e.flatErr.CompareAndSwap(nil, &ep)
+			}
 		}()
 		kn[0], kp[0] = e.flatten(c.kids[0], off.Add(c.at[0]), seq, b, half, cands)
 		wg.Wait()
+		if ep := e.flatErr.Load(); ep != nil {
+			guard.Abort(*ep)
+		}
 		netOff, devOff := b.Absorb(b1)
 		for i := range kn[1] {
 			kn[1][i] += netOff

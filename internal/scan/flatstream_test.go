@@ -68,7 +68,7 @@ func canonBand(in []frontend.Box) []frontend.Box {
 // deliver the same clipped box multiset partitionBoxes produces.
 func TestBandStreamsMatchPartition(t *testing.T) {
 	designs := []gen.Workload{
-		gen.BenchChip("cherry"),
+		gen.MustBenchChip("cherry"),
 		gen.Mesh(5),
 		gen.Statistical(1200, 3),
 	}
@@ -82,9 +82,15 @@ func TestBandStreamsMatchPartition(t *testing.T) {
 			cuts := chooseCuts(boxes, bands)
 			want := partitionBoxes(boxes, cuts)
 			for _, fw := range []int{1, 3} {
-				fl := frontend.Flatten(w.File, frontend.Options{})
+				fl, err := frontend.Flatten(nil, w.File, frontend.Options{})
+				if err != nil {
+					t.Fatalf("%s: %v", w.Name, err)
+				}
 				fl.Prepare(fw)
-				tops := fl.SortedTops(fw)
+				tops, err := fl.SortedTops(fw)
+				if err != nil {
+					t.Fatalf("%s: %v", w.Name, err)
+				}
 				if len(tops) != len(boxes) {
 					t.Fatalf("%s: %d tops for %d boxes", w.Name, len(tops), len(boxes))
 				}

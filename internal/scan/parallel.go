@@ -1,6 +1,8 @@
 package scan
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +10,7 @@ import (
 
 	"ace/internal/build"
 	"ace/internal/frontend"
+	"ace/internal/guard"
 	"ace/internal/tech"
 )
 
@@ -83,10 +86,21 @@ func ParallelSweepSources(srcs []Source, cuts []int64, boxesIn int, opt Options)
 }
 
 // sweepBands runs one sweeper per band concurrently and stitches the
-// results at the seams.
-func sweepBands(srcs []Source, cuts []int64, boxesIn int, opt Options) (*Result, error) {
+// results at the seams. Every band goroutine runs under panic
+// isolation; the first band failure cancels its siblings so the pool
+// unwinds in bounded time instead of finishing bands whose result will
+// be discarded.
+func sweepBands(srcs []Source, cuts []int64, boxesIn int, opt Options) (res *Result, err error) {
+	defer guard.Recover(guard.StageStitch, &err)
 	nBands := len(srcs)
 	bandLabels, seamLabels := routeLabels(opt.Labels, cuts)
+
+	parent := opt.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	bctx, cancel := context.WithCancel(parent)
+	defer cancel()
 
 	// Sweep every band concurrently.
 	sweepers := make([]*sweeper, nBands)
@@ -95,6 +109,8 @@ func sweepBands(srcs []Source, cuts []int64, boxesIn int, opt Options) (*Result,
 	for k := 0; k < nBands; k++ {
 		bopt := opt
 		bopt.Labels = bandLabels[k]
+		bopt.Ctx = bctx
+		bopt.stage = guard.StageBand
 		s := newSweeper(srcs[k], bopt)
 		if k > 0 {
 			s.band.hasTop, s.band.top = true, cuts[k-1]
@@ -106,20 +122,43 @@ func sweepBands(srcs []Source, cuts []int64, boxesIn int, opt Options) (*Result,
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[k] = s.run()
+			errs[k] = guard.Run(guard.StageBand, func() error {
+				if err := guard.Inject(guard.StageBand); err != nil {
+					return err
+				}
+				return s.run()
+			})
+			if errs[k] != nil {
+				cancel()
+			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// Prefer the root cause over secondary cancellations: a band that
+	// failed for its own reason outranks bands that merely observed the
+	// broadcast cancel.
+	var ctxErr error
+	for _, e := range errs {
+		if e == nil {
+			continue
 		}
+		if errors.Is(e, context.Canceled) && !errors.Is(parent.Err(), context.Canceled) {
+			ctxErr = e
+			continue
+		}
+		return nil, e
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	if err := guard.Inject(guard.StageStitch); err != nil {
+		return nil, err
 	}
 
 	// Stitch: absorb the band builders in top-to-bottom order, then
 	// union and contact across each seam.
 	master := &build.Builder{KeepGeometry: opt.KeepGeometry}
-	res := &Result{}
+	res = &Result{}
 	type offsets struct{ net, dev int32 }
 	offs := make([]offsets, nBands)
 	for k, s := range sweepers {

@@ -24,6 +24,7 @@
 package scan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"ace/internal/build"
 	"ace/internal/frontend"
 	"ace/internal/geom"
+	"ace/internal/guard"
 	"ace/internal/netlist"
 	"ace/internal/tech"
 )
@@ -58,6 +60,25 @@ type Options struct {
 	// uses it: with insertion sort the N^{3/2} term is measurable on
 	// large chips, exactly as the analysis predicts.
 	InsertionSort bool
+
+	// Ctx, when non-nil, is checked at every scanline stop so a
+	// cancelled or timed-out extraction unwinds within one stop's work.
+	Ctx context.Context
+
+	// Limits bounds the sweep: MaxBoxes caps boxes received from the
+	// front end, MaxMemBytes caps the estimated active-list footprint.
+	Limits guard.Limits
+
+	// stage attributes this sweep's errors and fault-injection points;
+	// the parallel sweep sets it per band. Empty means guard.StageSweep.
+	stage string
+}
+
+func (o *Options) stageName() string {
+	if o.stage != "" {
+		return o.stage
+	}
+	return guard.StageSweep
 }
 
 // Counters reports the work the sweep performed; the complexity
@@ -90,8 +111,14 @@ type Result struct {
 }
 
 // Sweep runs the scanline over the source and returns the extracted
-// netlist.
-func Sweep(src Source, opt Options) (*Result, error) {
+// netlist. It is panic-isolated: a panic anywhere in the sweep (or in
+// the Source it pulls from) surfaces as a *guard.PanicError instead of
+// crashing the caller.
+func Sweep(src Source, opt Options) (res *Result, err error) {
+	defer guard.Recover(opt.stageName(), &err)
+	if err := guard.Inject(opt.stageName()); err != nil {
+		return nil, err
+	}
 	s := newSweeper(src, opt)
 	if err := s.run(); err != nil {
 		return nil, err
@@ -251,6 +278,24 @@ func (s *sweeper) run() error {
 		s.counters.SumActive += int64(act)
 		if act > s.counters.MaxActive {
 			s.counters.MaxActive = act
+		}
+
+		// Hardening checkpoint, once per stop: cooperative cancellation
+		// bounds unwind latency to one strip's work; the box budget caps
+		// front-end input; the memory budget uses the active-list
+		// footprint — the sweep's dominant live allocation.
+		stage := s.opt.stageName()
+		if err := guard.Ctx(s.opt.Ctx, stage); err != nil {
+			return err
+		}
+		if err := guard.Inject(stage); err != nil {
+			return err
+		}
+		if err := s.opt.Limits.CheckBoxes(stage, int64(s.counters.BoxesIn)); err != nil {
+			return err
+		}
+		if err := s.opt.Limits.CheckMem(stage, int64(act)*guard.BoxBytes); err != nil {
+			return err
 		}
 
 		// Exit geometry whose bottom coincides with the new scanline.

@@ -16,7 +16,7 @@ import (
 // BenchmarkParallelExtract sweeps worker counts over the largest
 // synthetic chip; workers=1 is the serial reference.
 func BenchmarkParallelExtract(b *testing.B) {
-	w := gen.BenchChip("riscb")
+	w := gen.MustBenchChip("riscb")
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
