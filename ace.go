@@ -29,6 +29,7 @@ import (
 	"io"
 
 	"ace/internal/cif"
+	"ace/internal/diag"
 	"ace/internal/extract"
 	"ace/internal/hext"
 	"ace/internal/netlist"
@@ -69,13 +70,11 @@ type HierOptions = hext.Options
 // HierResult is a hierarchical extraction result; see hext.Result.
 type HierResult = hext.Result
 
-// ExtractHierarchical runs HEXT over CIF text from r.
+// ExtractHierarchical runs HEXT over CIF text from r. It honours
+// opt.Lenient: parse damage becomes located diagnostics in
+// HierResult.Diagnostics instead of an error.
 func ExtractHierarchical(r io.Reader, opt HierOptions) (*HierResult, error) {
-	f, err := cif.Parse(r)
-	if err != nil {
-		return nil, err
-	}
-	return hext.Extract(f, opt)
+	return hext.Reader(r, opt)
 }
 
 // ExtractHierarchicalFile runs HEXT over a parsed design.
@@ -110,3 +109,32 @@ func IncrementalSession(opt HierOptions) *hext.Session { return hext.NewSession(
 // Equivalent reports whether two netlists describe the same circuit up
 // to renumbering — the wirelist comparator of the paper's introduction.
 func Equivalent(a, b *Netlist) (bool, string) { return netlist.Equivalent(a, b) }
+
+// Diagnostic is one located finding from the fail-soft front end or
+// the checker; see Options.Lenient and Result.Diagnostics.
+type Diagnostic = diag.Diagnostic
+
+// Diagnostics is an ordered, capped set of diagnostics.
+type Diagnostics = diag.Set
+
+// Severity ranks diagnostics; see the Info/Warning/Error constants.
+type Severity = diag.Severity
+
+// Diagnostic severities, mildest first.
+const (
+	Info    = diag.Info
+	Warning = diag.Warning
+	Error   = diag.Error
+)
+
+// WriteDiagnostics renders a diagnostics set as file:line:col text
+// lines with a closing summary.
+func WriteDiagnostics(w io.Writer, file string, s *Diagnostics) error {
+	return diag.WriteText(w, file, s)
+}
+
+// WriteDiagnosticsJSON renders a diagnostics set as an indented,
+// deterministic JSON report (the CLIs' -diag-json document).
+func WriteDiagnosticsJSON(w io.Writer, file string, s *Diagnostics) error {
+	return diag.WriteJSON(w, file, s)
+}

@@ -17,11 +17,14 @@ import (
 	"runtime"
 	"time"
 
+	"ace/internal/check"
 	"ace/internal/cif"
 	"ace/internal/cifplot"
+	"ace/internal/cli"
 	"ace/internal/extract"
 	"ace/internal/frontend"
 	"ace/internal/gen"
+	"ace/internal/guard"
 	"ace/internal/prof"
 	"ace/internal/raster"
 	"ace/internal/wirelist"
@@ -47,6 +50,10 @@ func main() {
 	flag.IntVar(&flagWorkers, "workers", 0, "split the sweep into this many concurrent bands (0 or 1: serial)")
 	flag.IntVar(&flagFlattenWorkers, "flatten-workers", 0, "pre-flatten the design and stamp instances with this many workers, streaming boxes into the sweep (0: lazy heap front end)")
 	flag.DurationVar(&flagTimeout, "timeout", 0, "abort the extraction after this wall-clock duration (e.g. 30s; 0: no limit)")
+	flag.BoolVar(&flagLenient, "lenient", false, "recover from malformed CIF: record located diagnostics, resynchronise, extract the salvageable geometry")
+	flag.BoolVar(&flagCheck, "check", false, "run the static electrical-rule checker on the extracted netlist")
+	flag.BoolVar(&flagDiagJSON, "diag-json", false, "emit diagnostics as a JSON report on stdout (the wirelist then requires -o)")
+	flag.Int64Var(&flagMaxBoxes, "max-boxes", 0, "fail the extraction after this many geometry items (0: unlimited)")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProf, *memProf)
@@ -76,8 +83,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ace:", err)
-	os.Exit(1)
+	cli.Fatal("ace", err)
 }
 
 func runExtract(in, out string, geometry, stats, profile bool) {
@@ -97,12 +103,27 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 		Profile:        profile || stats,
 		Workers:        flagWorkers,
 		FlattenWorkers: flagFlattenWorkers,
+		Lenient:        flagLenient,
+		Limits:         guard.Limits{MaxBoxes: flagMaxBoxes},
 	})
 	if err != nil {
 		fatal(err)
 	}
-	for _, w := range res.Warnings {
-		fmt.Fprintln(os.Stderr, "ace: warning:", w)
+	if flagCheck {
+		res.Diagnostics.AddAll(check.Run(res.Netlist, check.Options{}))
+		res.Diagnostics.Sort()
+	}
+	diagMode := flagLenient || flagCheck || flagDiagJSON
+	if diagMode {
+		// The unified renderer covers warnings too; the legacy per-line
+		// warning echo would duplicate them.
+		if err := cli.RenderDiagnostics(in, &res.Diagnostics, flagDiagJSON, os.Stdout, os.Stderr); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, w := range res.Warnings {
+			fmt.Fprintln(os.Stderr, "ace: warning:", w)
+		}
 	}
 	if in != "" {
 		res.Netlist.Name = in
@@ -124,7 +145,7 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 				p.Parse, p.FrontEnd, p.Insert, p.Devices, p.Output, p.Misc(), p.Total)
 		}
 		if profile {
-			return
+			os.Exit(cli.Exit(&res.Diagnostics))
 		}
 	}
 
@@ -137,10 +158,15 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 		defer f.Close()
 		w = f
 	}
-	if !stats {
+	if !stats && !(flagDiagJSON && out == "") {
+		// With -diag-json the JSON report owns stdout; the wirelist is
+		// written only when -o directs it elsewhere.
 		if err := wirelist.Write(w, res.Netlist, wirelist.Options{Geometry: geometry}); err != nil {
 			fatal(err)
 		}
+	}
+	if code := cli.Exit(&res.Diagnostics); code != cli.ExitOK {
+		os.Exit(code)
 	}
 }
 
@@ -254,6 +280,10 @@ var (
 	flagWorkers        int
 	flagFlattenWorkers int
 	flagTimeout        time.Duration
+	flagLenient        bool
+	flagCheck          bool
+	flagDiagJSON       bool
+	flagMaxBoxes       int64
 )
 
 // extractCtx returns the context for a -timeout-bounded extraction and

@@ -16,9 +16,12 @@ import (
 	"runtime"
 	"time"
 
+	"ace/internal/check"
 	"ace/internal/cif"
+	"ace/internal/cli"
 	"ace/internal/extract"
 	"ace/internal/gen"
+	"ace/internal/guard"
 	"ace/internal/hext"
 	"ace/internal/prof"
 	"ace/internal/wirelist"
@@ -33,10 +36,19 @@ var (
 	flagCacheSize      int
 	flagFlattenWorkers int
 	flagTimeout        time.Duration
+	flagLenient        bool
+	flagCheck          bool
+	flagDiagJSON       bool
+	flagMaxBoxes       int64
 )
 
 func hextOpts() hext.Options {
-	return hext.Options{Workers: flagWorkers, CacheSize: flagCacheSize}
+	return hext.Options{
+		Workers:   flagWorkers,
+		CacheSize: flagCacheSize,
+		Lenient:   flagLenient,
+		Limits:    guard.Limits{MaxBoxes: flagMaxBoxes},
+	}
 }
 
 // flatOpts configures the flat-ACE runs the tables compare against.
@@ -62,6 +74,10 @@ func main() {
 	flag.IntVar(&flagCacheSize, "cache-size", 0, "content-cache capacity in cached window sweeps (0: default 4096, negative: disabled)")
 	flag.IntVar(&flagFlattenWorkers, "flatten-workers", 0, "use the flat extractor's streamed pre-flatten ingest (with this many stamp workers) in the ACE comparison columns")
 	flag.DurationVar(&flagTimeout, "timeout", 0, "abort the extraction after this wall-clock duration (e.g. 30s; 0: no limit)")
+	flag.BoolVar(&flagLenient, "lenient", false, "recover from malformed CIF: record located diagnostics, resynchronise, extract the salvageable geometry")
+	flag.BoolVar(&flagCheck, "check", false, "run the static electrical-rule checker on the extracted netlist")
+	flag.BoolVar(&flagDiagJSON, "diag-json", false, "emit diagnostics as a JSON report on stdout (the wirelist then requires -o)")
+	flag.Int64Var(&flagMaxBoxes, "max-boxes", 0, "fail the extraction after this many geometry items (0: unlimited)")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProf, *memProf)
@@ -85,8 +101,7 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hext:", err)
-	os.Exit(1)
+	cli.Fatal("hext", err)
 }
 
 func runExtract(in, out string, hier, stats bool) {
@@ -109,8 +124,21 @@ func runExtract(in, out string, hier, stats bool) {
 	if err != nil {
 		fatal(err)
 	}
-	for _, w := range res.Warnings {
-		fmt.Fprintln(os.Stderr, "hext: warning:", w)
+	if flagCheck {
+		res.Diagnostics.AddAll(check.Run(res.Netlist, check.Options{}))
+		res.Diagnostics.Sort()
+	}
+	diagMode := flagLenient || flagCheck || flagDiagJSON
+	if diagMode {
+		// The unified renderer covers warnings too; the legacy per-line
+		// warning echo would duplicate them.
+		if err := cli.RenderDiagnostics(in, &res.Diagnostics, flagDiagJSON, os.Stdout, os.Stderr); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, w := range res.Warnings {
+			fmt.Fprintln(os.Stderr, "hext: warning:", w)
+		}
 	}
 	if stats {
 		c := res.Counters
@@ -122,7 +150,7 @@ func runExtract(in, out string, hier, stats bool) {
 		fmt.Printf("phases: parse=%v frontend=%v flat=%v compose=%v flatten=%v total=%v\n",
 			res.Timing.Parse, res.Timing.FrontEnd, res.Timing.Flat, res.Timing.Compose,
 			res.Timing.Flatten, res.Timing.Total())
-		return
+		os.Exit(cli.Exit(&res.Diagnostics))
 	}
 	w := os.Stdout
 	if out != "" {
@@ -133,14 +161,19 @@ func runExtract(in, out string, hier, stats bool) {
 		defer fo.Close()
 		w = fo
 	}
-	if hier {
-		if err := res.WriteHierarchical(w); err != nil {
+	if !(flagDiagJSON && out == "") {
+		// With -diag-json the JSON report owns stdout; the wirelist is
+		// written only when -o directs it elsewhere.
+		if hier {
+			if err := res.WriteHierarchical(w); err != nil {
+				fatal(err)
+			}
+		} else if err := wirelist.Write(w, res.Netlist, wirelist.Options{}); err != nil {
 			fatal(err)
 		}
-		return
 	}
-	if err := wirelist.Write(w, res.Netlist, wirelist.Options{}); err != nil {
-		fatal(err)
+	if code := cli.Exit(&res.Diagnostics); code != cli.ExitOK {
+		os.Exit(code)
 	}
 }
 

@@ -1,6 +1,8 @@
 package ace
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -91,5 +93,112 @@ func TestCommandSmoke(t *testing.T) {
 	}
 	if out := run("hext", "-table52", "-scale", "0.002"); !strings.Contains(out, "compose") {
 		t.Fatalf("hext table52: %s", out)
+	}
+}
+
+// TestExitCodeTaxonomy pins the shared exit-code contract of ace and
+// hext: 0 clean, 1 Error-severity diagnostics (or plain failure), 2
+// usage, 3 timeout, 4 resource budget.
+func TestExitCodeTaxonomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"ace", "hext", "cifgen"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	// runCode returns the exit code plus captured stdout and stderr.
+	runCode := func(name string, args ...string) (int, string, string) {
+		t.Helper()
+		cmd := exec.Command(bins[name], args...)
+		var stdout, stderr bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%s %v: %v", name, args, err)
+		}
+		return code, stdout.String(), stderr.String()
+	}
+
+	clean := filepath.Join(dir, "chain.cif")
+	if code, _, errOut := runCode("cifgen", "-w", "chain", "-n", "3", "-o", clean); code != 0 {
+		t.Fatalf("cifgen: %d\n%s", code, errOut)
+	}
+	bad := filepath.Join(dir, "bad.cif")
+	if err := os.WriteFile(bad,
+		[]byte("DS 1 1 1;\nL ND;\nB 10 10 5 5\nB bogus;\nB 20 20 100 100;\nDF;\nC 1;\nE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, prog := range []string{"ace", "hext"} {
+		// 0: clean extraction, also with the checker attached.
+		if code, out, errOut := runCode(prog, clean); code != 0 || out == "" {
+			t.Fatalf("%s clean: code %d\n%s", prog, code, errOut)
+		}
+		if code, _, errOut := runCode(prog, "-check", clean); code != 0 {
+			t.Fatalf("%s -check clean: code %d\n%s", prog, code, errOut)
+		}
+
+		// 1: strict parse failure, with today's located message.
+		if code, _, errOut := runCode(prog, bad); code != 1 ||
+			!strings.Contains(errOut, "cif: line 4:") {
+			t.Fatalf("%s strict bad: code %d stderr %q", prog, code, errOut)
+		}
+
+		// 1: lenient still signals the damage, but renders diagnostics
+		// and a salvaged wirelist.
+		code, out, errOut := runCode(prog, "-lenient", bad)
+		if code != 1 {
+			t.Fatalf("%s -lenient bad: code %d", prog, code)
+		}
+		if !strings.Contains(errOut, "missing-semicolon") || !strings.Contains(errOut, "bad.cif:4:1:") {
+			t.Fatalf("%s -lenient bad: stderr %q", prog, errOut)
+		}
+		if !strings.Contains(out, "DefPart") {
+			t.Fatalf("%s -lenient bad: no salvaged wirelist:\n%s", prog, out)
+		}
+
+		// 1 + machine-readable report on stdout.
+		code, out, _ = runCode(prog, "-lenient", "-diag-json", bad)
+		if code != 1 {
+			t.Fatalf("%s -diag-json: code %d", prog, code)
+		}
+		var report struct {
+			Errors      int               `json:"errors"`
+			Diagnostics []json.RawMessage `json:"diagnostics"`
+		}
+		if err := json.Unmarshal([]byte(out), &report); err != nil {
+			t.Fatalf("%s -diag-json output is not JSON: %v\n%s", prog, err, out)
+		}
+		if report.Errors == 0 || len(report.Diagnostics) == 0 {
+			t.Fatalf("%s -diag-json: empty report:\n%s", prog, out)
+		}
+
+		// 2: usage error (flag package convention).
+		if code, _, _ := runCode(prog, "-no-such-flag"); code != 2 {
+			t.Fatalf("%s usage: code %d", prog, code)
+		}
+
+		// 3: wall-clock budget expired.
+		if code, _, errOut := runCode(prog, "-timeout", "1ns", clean); code != 3 {
+			t.Fatalf("%s timeout: code %d\n%s", prog, code, errOut)
+		}
+
+		// 4: resource budget exceeded.
+		if code, _, errOut := runCode(prog, "-max-boxes", "1", clean); code != 4 {
+			t.Fatalf("%s max-boxes: code %d\n%s", prog, code, errOut)
+		}
 	}
 }

@@ -2,43 +2,33 @@
 // the paper's third downstream consumer ("A static checker performs
 // ratio checks, detects malformed transistors, and checks for signals
 // that are stuck at logical 0 or 1").
+//
+// Findings are reported as diag.Diagnostics (stage "check"), so the
+// parse, hierarchy and electrical-rule passes share one severity
+// scale, one ordering contract and one renderer.
 package check
 
 import (
 	"fmt"
 	"sort"
 
+	"ace/internal/diag"
+	"ace/internal/guard"
 	"ace/internal/netlist"
 	"ace/internal/tech"
 )
 
-// Severity grades findings.
-type Severity int8
+// Finding is one reported problem — an alias into the unified
+// diagnostics vocabulary. Device and Net index into the netlist
+// (-1 when not applicable); Span is always unlocated (the checker
+// examines the circuit, not the source text).
+type Finding = diag.Diagnostic
 
+// Severity levels re-exported for callers of this package.
 const (
-	Warning Severity = iota
-	Error
+	Warning = diag.Warning
+	Error   = diag.Error
 )
-
-func (s Severity) String() string {
-	if s == Error {
-		return "error"
-	}
-	return "warning"
-}
-
-// Finding is one reported problem.
-type Finding struct {
-	Severity Severity
-	Code     string // stable identifier, e.g. "malformed-transistor"
-	Message  string
-	Device   int // index into the netlist's devices, -1 if net-level
-	Net      int // index into the netlist's nets, -1 if device-level
-}
-
-func (f Finding) String() string {
-	return fmt.Sprintf("%s: %s: %s", f.Severity, f.Code, f.Message)
-}
 
 // Options tunes the checker.
 type Options struct {
@@ -70,20 +60,24 @@ func Run(nl *netlist.Netlist, opt Options) []Finding {
 	}
 
 	var out []Finding
-	add := func(f Finding) { out = append(out, f) }
+	add := func(sev diag.Severity, code, msg string, device, net int) {
+		d := diag.New(sev, guard.StageCheck, code, msg)
+		d.Device, d.Net = device, net
+		out = append(out, d)
+	}
 
 	vdd, hasVDD := nl.NetByName("VDD")
 	gnd, hasGND := nl.NetByName("GND")
 	if !hasVDD {
-		add(Finding{Warning, "no-vdd", "no net named VDD", -1, -1})
+		add(Warning, "no-vdd", "no net named VDD", -1, -1)
 		vdd = -1
 	}
 	if !hasGND {
-		add(Finding{Warning, "no-gnd", "no net named GND", -1, -1})
+		add(Warning, "no-gnd", "no net named GND", -1, -1)
 		gnd = -1
 	}
 	if hasVDD && hasGND && vdd == gnd {
-		add(Finding{Error, "power-short", "VDD and GND are the same net", -1, vdd})
+		add(Error, "power-short", "VDD and GND are the same net", -1, vdd)
 	}
 
 	// Per-device structure checks.
@@ -98,31 +92,31 @@ func Run(nl *netlist.Netlist, opt Options) []Finding {
 		if d.Type != tech.Capacitor {
 			switch {
 			case len(d.Terminals) < 2:
-				add(Finding{Error, "malformed-transistor",
+				add(Error, "malformed-transistor",
 					fmt.Sprintf("device %d at %v has %d diffusion terminals (want 2)",
-						i, d.Location, len(d.Terminals)), i, -1})
+						i, d.Location, len(d.Terminals)), i, -1)
 			case len(d.Terminals) > 2:
-				add(Finding{Error, "malformed-transistor",
+				add(Error, "malformed-transistor",
 					fmt.Sprintf("device %d at %v has %d diffusion terminals (want 2)",
-						i, d.Location, len(d.Terminals)), i, -1})
+						i, d.Location, len(d.Terminals)), i, -1)
 			case d.Source == d.Drain:
-				add(Finding{Warning, "shorted-transistor",
-					fmt.Sprintf("device %d at %v has source shorted to drain", i, d.Location), i, -1})
+				add(Warning, "shorted-transistor",
+					fmt.Sprintf("device %d at %v has source shorted to drain", i, d.Location), i, -1)
 			}
 		}
 		if d.Length < minSize || d.Width < minSize {
-			add(Finding{Error, "undersized-channel",
+			add(Error, "undersized-channel",
 				fmt.Sprintf("device %d at %v is %d×%d (min %d)",
-					i, d.Location, d.Length, d.Width, minSize), i, -1})
+					i, d.Location, d.Length, d.Width, minSize), i, -1)
 		}
 		if d.Type == tech.Enhancement && d.Gate == d.Source && d.Gate == d.Drain {
-			add(Finding{Warning, "self-gated",
-				fmt.Sprintf("device %d at %v gates itself", i, d.Location), i, -1})
+			add(Warning, "self-gated",
+				fmt.Sprintf("device %d at %v gates itself", i, d.Location), i, -1)
 		}
 		if d.Type == tech.Enhancement && (d.Source == vdd && d.Drain == gnd ||
 			d.Source == gnd && d.Drain == vdd) {
-			add(Finding{Warning, "rail-crowbar",
-				fmt.Sprintf("device %d at %v connects VDD directly to GND", i, d.Location), i, -1})
+			add(Warning, "rail-crowbar",
+				fmt.Sprintf("device %d at %v connects VDD directly to GND", i, d.Location), i, -1)
 		}
 	}
 
@@ -160,10 +154,10 @@ func Run(nl *netlist.Netlist, opt Options) []Finding {
 				continue
 			}
 			if rpu/rpd < minRatio {
-				add(Finding{Warning, "ratio",
+				add(Warning, "ratio",
 					fmt.Sprintf("node %s: pull-up/pull-down ratio %.2f below %.2f (pu %d/%d, pd %d/%d)",
 						nl.Nets[node].Name(node), rpu/rpd, minRatio,
-						pu.Length, pu.Width, d.Length, d.Width), i, node})
+						pu.Length, pu.Width, d.Length, d.Width), i, node)
 			}
 		}
 	}
@@ -173,12 +167,12 @@ func Run(nl *netlist.Netlist, opt Options) []Finding {
 		isRail := i == vdd || i == gnd
 		switch {
 		case gateDriven[i] && !sdTouched[i] && !isRail && len(nl.Nets[i].Names) == 0:
-			add(Finding{Warning, "floating-gate",
+			add(Warning, "floating-gate",
 				fmt.Sprintf("net N%d at %v drives gates but is not driven and has no label",
-					i, nl.Nets[i].Location), -1, i})
+					i, nl.Nets[i].Location), -1, i)
 		case !gateDriven[i] && !sdTouched[i] && !isRail && len(nl.Nets[i].Names) == 0:
-			add(Finding{Warning, "dangling-net",
-				fmt.Sprintf("net N%d at %v connects to nothing", i, nl.Nets[i].Location), -1, i})
+			add(Warning, "dangling-net",
+				fmt.Sprintf("net N%d at %v connects to nothing", i, nl.Nets[i].Location), -1, i)
 		}
 	}
 
@@ -188,12 +182,5 @@ func Run(nl *netlist.Netlist, opt Options) []Finding {
 
 // Count tallies findings by severity.
 func Count(fs []Finding) (errors, warnings int) {
-	for _, f := range fs {
-		if f.Severity == Error {
-			errors++
-		} else {
-			warnings++
-		}
-	}
-	return
+	return diag.Count(fs)
 }

@@ -148,7 +148,7 @@ func TestGateCellLibraryIsClean(t *testing.T) {
 }
 
 func TestFindingString(t *testing.T) {
-	f := Finding{Error, "x", "boom", -1, -1}
+	f := Finding{Code: "x", Severity: Error, Message: "boom", Device: -1, Net: -1}
 	if !strings.Contains(f.String(), "error") || !strings.Contains(f.String(), "boom") {
 		t.Fatalf("format: %s", f)
 	}

@@ -13,6 +13,7 @@
 package cif
 
 import (
+	"ace/internal/diag"
 	"ace/internal/geom"
 	"ace/internal/tech"
 )
@@ -29,6 +30,12 @@ type File struct {
 	// Warnings collects non-fatal issues found during parsing
 	// (snapped rotations, unknown layers, ignored commands).
 	Warnings []string
+
+	// Diagnostics carries every finding in the unified form: the same
+	// warnings as above with stable codes and source spans, plus — in
+	// lenient mode — the Error-severity diagnostics recorded where the
+	// parser recovered instead of aborting.
+	Diagnostics diag.Set
 }
 
 // Symbol is one DS…DF definition.

@@ -1,14 +1,18 @@
 package cif
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"ace/internal/geom"
 )
 
 // FuzzParse feeds arbitrary bytes to the CIF parser: it must never
-// panic, and anything it accepts must survive a write/re-parse round
-// trip with the same instantiated bounding box.
+// panic, anything it accepts must survive a write/re-parse round
+// trip with the same instantiated bounding box, and the recovering
+// lenient mode must always return a File — agreeing with strict
+// exactly when it finds nothing to diagnose.
 func FuzzParse(f *testing.F) {
 	seeds := []string{
 		"L ND; B 400 1200 -600 -1400;\nE\n",
@@ -21,13 +25,32 @@ func FuzzParse(f *testing.F) {
 	for _, s := range seeds {
 		f.Add([]byte(s))
 	}
+	malformed, _ := filepath.Glob(filepath.Join("testdata", "malformed", "*.cif"))
+	for _, n := range malformed {
+		if data, err := os.ReadFile(n); err == nil {
+			f.Add(data)
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1<<16 {
 			return
 		}
+		lparsed, lerr := ParseBytesOpts(data, ParseOptions{Lenient: true})
+		if lerr != nil {
+			t.Fatalf("lenient parse aborted: %v", lerr)
+		}
 		parsed, err := ParseBytes(data)
 		if err != nil {
+			if lparsed.Diagnostics.Errors() == 0 && lparsed.Diagnostics.Len() == 0 {
+				t.Fatalf("strict rejects (%v) but lenient reports nothing", err)
+			}
 			return
+		}
+		if lparsed.Diagnostics.Errors() > 0 {
+			t.Fatalf("strict accepts but lenient reports errors: %v", lparsed.Diagnostics.All())
+		}
+		if got, want := String(lparsed), String(parsed); got != want {
+			t.Fatalf("lenient file differs from strict on accepted input:\n%s\nvs\n%s", got, want)
 		}
 		// Round trip must stay parseable with the same extent.
 		text := String(parsed)

@@ -1,0 +1,257 @@
+package cif
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ace/internal/diag"
+)
+
+// -update regenerates the golden diagnostic renderings next to each
+// malformed corpus file:
+//
+//	go test ./internal/cif/ -run TestMalformedCorpus -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// corpusFiles returns the malformed CIF corpus, sorted by name.
+func corpusFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "malformed", "*.cif"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("empty malformed corpus")
+	}
+	return files
+}
+
+// countGeom counts geometry items (boxes, polygons, wires) across the
+// top level and every symbol body.
+func countGeom(f *File) int {
+	n := 0
+	count := func(items []Item) {
+		for _, it := range items {
+			switch it.Kind {
+			case ItemBox, ItemPolygon, ItemWire:
+				n++
+			}
+		}
+	}
+	count(f.Top)
+	for _, s := range f.Symbols {
+		if s != nil {
+			count(s.Items)
+		}
+	}
+	return n
+}
+
+// TestMalformedCorpusGolden locks the lenient diagnostics for every
+// corpus file, in both renderings, and checks the strict/lenient
+// contract: strict fails on the first Error-severity diagnostic with
+// the same located message lenient records for it, and on files whose
+// damage is warning-only strict still succeeds.
+func TestMalformedCorpusGolden(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := ParseBytesOpts(src, ParseOptions{Lenient: true})
+			if err != nil {
+				t.Fatalf("lenient parse aborted: %v", err)
+			}
+			if f.Diagnostics.Len() == 0 {
+				t.Fatal("no diagnostics on malformed input")
+			}
+			f.Diagnostics.Sort()
+
+			// Deterministic: a second run renders identically.
+			var text, json bytes.Buffer
+			if err := diag.WriteText(&text, name, &f.Diagnostics); err != nil {
+				t.Fatal(err)
+			}
+			if err := diag.WriteJSON(&json, name, &f.Diagnostics); err != nil {
+				t.Fatal(err)
+			}
+			f2, err := ParseBytesOpts(src, ParseOptions{Lenient: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			f2.Diagnostics.Sort()
+			var text2 bytes.Buffer
+			if err := diag.WriteText(&text2, name, &f2.Diagnostics); err != nil {
+				t.Fatal(err)
+			}
+			if text.String() != text2.String() {
+				t.Fatalf("nondeterministic diagnostics:\n%s\nvs\n%s", text.String(), text2.String())
+			}
+
+			compareGolden(t, path+".diag.txt", text.Bytes())
+			compareGolden(t, path+".diag.json", json.Bytes())
+
+			// Strict/lenient agreement.
+			strictF, strictErr := ParseBytes(src)
+			firstErr := firstErrorDiag(&f.Diagnostics)
+			if firstErr == nil {
+				// Warning-only damage: strict must succeed and salvage
+				// exactly what lenient does.
+				if strictErr != nil {
+					t.Fatalf("warning-only file fails strict parse: %v", strictErr)
+				}
+				if got, want := countGeom(strictF), countGeom(f); got != want {
+					t.Fatalf("strict salvages %d items, lenient %d", got, want)
+				}
+				return
+			}
+			if strictErr == nil {
+				t.Fatalf("strict parse succeeded despite error diagnostic %v", firstErr)
+			}
+			if firstErr.Span.Located() {
+				want := fmt.Sprintf("cif: line %d: %s", firstErr.Span.Line, firstErr.Message)
+				if strictErr.Error() != want {
+					t.Fatalf("strict error %q, lenient's first error renders %q", strictErr, want)
+				}
+			}
+		})
+	}
+}
+
+// firstErrorDiag returns the first Error-severity diagnostic in sorted
+// order, or nil.
+func firstErrorDiag(s *diag.Set) *diag.Diagnostic {
+	for _, d := range s.All() {
+		if d.Severity == diag.Error {
+			d := d
+			return &d
+		}
+	}
+	return nil
+}
+
+func compareGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("golden mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestLenientSalvagesPrefix is the corpus property test: lenient never
+// reports fewer geometry items than the longest well-formed prefix of
+// the input, so recovery only ever adds salvaged geometry.
+func TestLenientSalvagesPrefix(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		name := filepath.Base(path)
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := ParseBytesOpts(src, ParseOptions{Lenient: true})
+			if err != nil {
+				t.Fatalf("lenient parse aborted: %v", err)
+			}
+			got := countGeom(f)
+			want := wellFormedPrefixGeom(src)
+			if got < want {
+				t.Fatalf("lenient salvaged %d geometry items, well-formed prefix holds %d", got, want)
+			}
+		})
+	}
+}
+
+// wellFormedPrefixGeom finds the longest prefix of src, cut at command
+// terminators, that strict-parses cleanly once an E terminator is
+// appended, and returns its geometry count.
+func wellFormedPrefixGeom(src []byte) int {
+	best := 0
+	for i := 0; i <= len(src); i++ {
+		if i < len(src) && src[i] != ';' {
+			continue
+		}
+		prefix := append(append([]byte{}, src[:i]...), []byte("\nE\n")...)
+		f, err := ParseBytes(prefix)
+		if err != nil {
+			continue
+		}
+		if n := countGeom(f); n > best {
+			best = n
+		}
+	}
+	return best
+}
+
+// TestLenientNeverPanics hammers the recovering parser with byte-level
+// mutations of the corpus: truncations at every boundary and single
+// byte corruptions. Lenient must return a File (or a typed error) and
+// never panic; this runs the same shapes the fuzzer explores, but
+// deterministically in CI.
+func TestLenientNeverPanics(t *testing.T) {
+	for _, path := range corpusFiles(t) {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i <= len(src); i++ {
+			if _, err := ParseBytesOpts(src[:i], ParseOptions{Lenient: true}); err != nil {
+				t.Fatalf("%s[:%d]: lenient aborted: %v", path, i, err)
+			}
+		}
+		for i := 0; i < len(src); i++ {
+			for _, b := range []byte{0, ';', '(', 'D', '-', 0xff} {
+				mut := append([]byte{}, src...)
+				mut[i] = b
+				if _, err := ParseBytesOpts(mut, ParseOptions{Lenient: true}); err != nil {
+					t.Fatalf("%s mutated at %d to %q: lenient aborted: %v", path, i, b, err)
+				}
+			}
+		}
+	}
+}
+
+// TestStrictLenientAgreeOnClean locks the equivalence contract at the
+// parser level: on inputs that produce zero diagnostics, lenient and
+// strict build identical Files.
+func TestStrictLenientAgreeOnClean(t *testing.T) {
+	srcs := []string{
+		"L ND; B 400 1200 -600 -1400;\nE\n",
+		"DS 1 1 1;\n9 inv;\nL ND; B 100 100 0 0;\nDF;\nC 1 T 500 600;\nC 1 M X T 100 0;\nE\n",
+		"DS 1 25 2;\nL ND; B 8 4 0 2;\nDF;\nC 1;\nE\n",
+	}
+	for i, src := range srcs {
+		strict, err := ParseString(src)
+		if err != nil {
+			t.Fatalf("case %d strict: %v", i, err)
+		}
+		lenient, err := ParseBytesOpts([]byte(src), ParseOptions{Lenient: true})
+		if err != nil {
+			t.Fatalf("case %d lenient: %v", i, err)
+		}
+		if lenient.Diagnostics.Len() != 0 {
+			t.Fatalf("case %d: clean input produced diagnostics: %v", i, lenient.Diagnostics.All())
+		}
+		if gs, ls := String(strict), String(lenient); gs != ls {
+			t.Fatalf("case %d: strict and lenient disagree:\n%s\nvs\n%s", i, gs, ls)
+		}
+		if countGeom(strict) != countGeom(lenient) {
+			t.Fatalf("case %d geometry count mismatch", i)
+		}
+	}
+}

@@ -1,11 +1,14 @@
 package cif
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 
+	"ace/internal/diag"
 	"ace/internal/geom"
 	"ace/internal/guard"
 	"ace/internal/tech"
@@ -13,12 +16,52 @@ import (
 
 // ParseOptions harden a parse against hostile input. The zero value
 // imposes no budgets (beyond the overflow checks, which are always
-// on).
+// on) and selects the strict, fail-fast error contract.
 type ParseOptions struct {
 	// Limits.MaxBoxes caps the number of geometry items (boxes,
 	// polygons, wires, calls, labels) the parser will accept; excess
-	// input fails with a line-located *guard.LimitError.
+	// input fails with a line-located *guard.LimitError. Budgets bind
+	// in lenient mode too: they are resource protection, not input
+	// validation, so a budget violation always aborts.
 	Limits guard.Limits
+
+	// Lenient selects the fail-soft error contract: a parse error is
+	// recorded as a located diagnostic in File.Diagnostics and the
+	// parser resynchronises at the next ';' command terminator (or, for
+	// damage to a DS definition header, at the next DF command or E),
+	// salvaging every well-formed command instead of aborting. Strict
+	// mode (the default) fails on the first error with the same located
+	// message it always has.
+	Lenient bool
+
+	// Diag caps the diagnostics recorded per parse; the zero value
+	// applies diag.DefaultMaxDiagnostics.
+	Diag diag.Limits
+}
+
+// Error is a located parse error with a stable diagnostic code. Its
+// rendered text is byte-for-byte the historical "cif: line N: message"
+// form, so strict-mode callers see exactly the errors they always
+// have; lenient mode records the same information as a diagnostic and
+// keeps going.
+type Error struct {
+	Code string    // stable diagnostic code, e.g. "missing-semicolon"
+	Span diag.Span // where parsing stalled
+	Msg  string    // the located message body
+	Err  error     // wrapped cause (geom.ErrOverflow, …), may be nil
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("cif: line %d: %s", e.Span.Line, e.Msg)
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Diagnostic converts the error to its diagnostic form.
+func (e *Error) Diagnostic() diag.Diagnostic {
+	d := diag.New(diag.Error, guard.StageParse, e.Code, e.Msg)
+	d.Span = e.Span
+	return d
 }
 
 // Parse reads a complete CIF file from r.
@@ -52,23 +95,28 @@ func ParseBytesOpts(data []byte, opt ParseOptions) (f *File, err error) {
 		return nil, err
 	}
 	p := &parser{
-		src:    data,
-		limits: opt.Limits,
-		file:   &File{Symbols: map[int]*Symbol{}},
+		src:     data,
+		limits:  opt.Limits,
+		lenient: opt.Lenient,
+		file:    &File{Symbols: map[int]*Symbol{}},
 	}
+	p.file.Diagnostics.SetLimits(opt.Diag)
 	if err := p.run(); err != nil {
 		return nil, err
 	}
-	if err := checkSemantics(p.file); err != nil {
+	if opt.Lenient {
+		lenientSemantics(p.file)
+	} else if err := checkSemantics(p.file); err != nil {
 		return nil, err
 	}
 	return p.file, nil
 }
 
 type parser struct {
-	src  []byte
-	pos  int
-	line int
+	src       []byte
+	pos       int
+	line      int
+	lineStart int // byte offset where the current line begins
 
 	file *File
 
@@ -80,9 +128,12 @@ type parser struct {
 	scaleB   int64 // DS scale denominator
 	ended    bool
 
-	limits guard.Limits
-	items  int64 // geometry items emitted, against Limits.MaxBoxes
-	ovf    bool  // a scale or literal overflowed; fail at command end
+	limits  guard.Limits
+	lenient bool
+	items   int64 // geometry items emitted, against Limits.MaxBoxes
+	ovf     bool  // a scale or literal overflowed; fail at command end
+
+	semiConsumed bool // the current command consumed its ';' terminator
 
 	// Allocation arenas (see "allocation discipline" below): items of
 	// the open symbol accumulate in itemArena and are sliced out at DF;
@@ -136,13 +187,45 @@ func (p *parser) intern(w []byte) string {
 	return s
 }
 
-func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("cif: line %d: %s", p.line+1, fmt.Sprintf(format, args...))
+// span is the current source position: where parsing stalled for
+// errors, where the command sits for warnings.
+func (p *parser) span() diag.Span {
+	pos := p.pos
+	if pos > len(p.src) {
+		pos = len(p.src)
+	}
+	col := pos - p.lineStart + 1
+	if col < 1 {
+		col = 1
+	}
+	return diag.Span{Offset: pos, Line: p.line + 1, Col: col}
 }
 
-func (p *parser) warnf(format string, args ...any) {
+// errc builds a located *Error carrying a stable diagnostic code. The
+// rendered text is the historical "cif: line N: message" form.
+func (p *parser) errc(code, format string, args ...any) error {
+	return &Error{Code: code, Span: p.span(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// errWrap is errc for messages whose cause must stay unwrappable
+// (errors.Is must still reach geom.ErrOverflow through it).
+func (p *parser) errWrap(code string, cause error, format string, args ...any) error {
+	return &Error{
+		Code: code, Span: p.span(),
+		Msg: fmt.Sprintf(format, args...) + ": " + cause.Error(),
+		Err: cause,
+	}
+}
+
+// warnc records a non-fatal issue both as a legacy warning string and
+// as a Warning-severity diagnostic with a stable code.
+func (p *parser) warnc(code, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
 	p.file.Warnings = append(p.file.Warnings,
-		fmt.Sprintf("line %d: %s", p.line+1, fmt.Sprintf(format, args...)))
+		fmt.Sprintf("line %d: %s", p.line+1, msg))
+	d := diag.New(diag.Warning, guard.StageParse, code, msg)
+	d.Span = p.span()
+	p.file.Diagnostics.Add(d)
 }
 
 func (p *parser) run() error {
@@ -151,7 +234,15 @@ func (p *parser) run() error {
 		p.skipBlanks()
 		if p.pos >= len(p.src) {
 			if p.cur != nil {
-				return p.errf("unterminated symbol definition DS %d", p.cur.ID)
+				err := p.errc("unterminated-symbol",
+					"unterminated symbol definition DS %d", p.cur.ID)
+				if !p.lenient {
+					return err
+				}
+				// Salvage the open definition: close it as DF would so
+				// its well-formed items survive.
+				p.report(err)
+				p.closeSymbol()
 			}
 			return nil
 		}
@@ -160,29 +251,155 @@ func (p *parser) run() error {
 			return nil
 		}
 		c := p.src[p.pos]
+		p.semiConsumed = false
+		var err error
 		switch {
 		case c == ';':
 			p.pos++ // empty command
 		case c == '(':
-			if err := p.skipComment(); err != nil {
-				return err
-			}
+			err = p.skipComment()
 		case c >= '0' && c <= '9':
-			if err := p.userExtension(); err != nil {
-				return err
-			}
+			err = p.userExtension()
 		case c >= 'A' && c <= 'Z' || c >= 'a' && c <= 'z':
-			if err := p.command(); err != nil {
+			err = p.command()
+		default:
+			err = p.errc("unexpected-char", "unexpected character %q", c)
+		}
+		if err == nil && p.ovf {
+			err = p.errWrap("overflow", geom.ErrOverflow,
+				"coordinate arithmetic under DS scale %d/%d", p.scaleA, p.scaleB)
+		}
+		if err != nil {
+			if !p.lenient {
 				return err
 			}
-		default:
-			return p.errf("unexpected character %q", c)
-		}
-		if p.ovf {
-			return fmt.Errorf("cif: line %d: coordinate arithmetic under DS scale %d/%d: %w",
-				p.line+1, p.scaleA, p.scaleB, geom.ErrOverflow)
+			if aerr := p.recoverFrom(err); aerr != nil {
+				return aerr
+			}
 		}
 	}
+}
+
+// recoverFrom is the lenient-mode error path: the failure is recorded
+// as a diagnostic and the input is resynchronised — at the next ';'
+// for command-level damage, at the next DF command (or E) when a DS
+// definition header itself was damaged, and in place when only the
+// terminator was missing. Resource-budget violations are not input
+// faults and abort the parse even here.
+func (p *parser) recoverFrom(err error) error {
+	p.ovf = false
+	var le *guard.LimitError
+	if errors.As(err, &le) {
+		return err
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		e := &Error{Code: "parse", Span: p.span(), Msg: err.Error(), Err: err}
+		pe = e
+	}
+	p.report(pe)
+	switch pe.Code {
+	case "nested-definition", "bad-definition", "bad-scale", "duplicate-symbol":
+		// The definition header is unusable, so its body cannot be
+		// attributed to a symbol: skip it wholesale.
+		p.resyncDefinition()
+	case "end-in-definition":
+		// E closed the file with a definition still open; salvage it.
+		p.closeSymbol()
+	case "missing-semicolon":
+		if !p.semiConsumed {
+			// The command was complete apart from its terminator; the
+			// next character starts a fresh command, so resume in
+			// place instead of discarding it.
+			return nil
+		}
+		p.resyncCommand()
+	default:
+		if p.semiConsumed {
+			// The command's text was fully consumed (the fault is
+			// semantic: negative box, degenerate polygon); the input
+			// is already at a command boundary.
+			return nil
+		}
+		p.resyncCommand()
+	}
+	return nil
+}
+
+// report records a recovered parse error as a diagnostic.
+func (p *parser) report(err error) {
+	var pe *Error
+	if errors.As(err, &pe) {
+		p.file.Diagnostics.Add(pe.Diagnostic())
+		return
+	}
+	p.file.Diagnostics.Add(diag.New(diag.Error, guard.StageParse, "parse", err.Error()))
+}
+
+// resyncCommand advances past the next ';' — the command-level
+// resynchronisation point.
+func (p *parser) resyncCommand() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		p.pos++
+		if c == ';' {
+			return
+		}
+		if c == '\n' {
+			p.line++
+			p.lineStart = p.pos
+		}
+	}
+}
+
+// resyncDefinition discards input up to and including the next DF
+// command (or up to E / end of input) — the definition-level
+// resynchronisation point used when a DS header itself is damaged and
+// the body that follows cannot be attributed to any symbol.
+func (p *parser) resyncDefinition() {
+	for {
+		p.skipBlanks()
+		if p.pos >= len(p.src) {
+			return
+		}
+		c := p.src[p.pos]
+		switch {
+		case c == ';':
+			p.pos++
+		case c == '(':
+			if p.skipComment() != nil {
+				return // unterminated comment: nothing left to scan
+			}
+		case upper(c) == 'E':
+			return // not consumed: the main loop handles E
+		case upper(c) == 'D':
+			save, saveLine, saveStart := p.pos, p.line, p.lineStart
+			p.pos++
+			p.skipBlanks()
+			if p.pos < len(p.src) && upper(p.src[p.pos]) == 'F' {
+				p.pos++
+				p.resyncCommand() // consume through the DF's ';'
+				return
+			}
+			p.pos, p.line, p.lineStart = save, saveLine, saveStart
+			p.resyncCommand()
+		default:
+			p.resyncCommand()
+		}
+	}
+}
+
+// closeSymbol slices the open symbol's items out of the arena exactly
+// as DF does and returns the parser to top level.
+func (p *parser) closeSymbol() {
+	if p.cur == nil {
+		return
+	}
+	if n := len(p.itemArena); n > p.curMark {
+		p.cur.Items = p.itemArena[p.curMark:n:n]
+	}
+	p.cur = nil
+	p.scaleA, p.scaleB = 1, 1
 }
 
 func (p *parser) command() error {
@@ -192,7 +409,7 @@ func (p *parser) command() error {
 	case 'D':
 		p.skipBlanks()
 		if p.pos >= len(p.src) {
-			return p.errf("truncated D command")
+			return p.errc("truncated-command", "truncated D command")
 		}
 		switch upper(p.src[p.pos]) {
 		case 'S':
@@ -204,10 +421,10 @@ func (p *parser) command() error {
 		case 'D':
 			p.pos++
 			_, _ = p.number() // symbol number
-			p.warnf("DD (delete definition) ignored")
+			p.warnc("ignored-command", "DD (delete definition) ignored")
 			return p.endCommand()
 		}
-		return p.errf("unknown D command")
+		return p.errc("unknown-command", "unknown D command")
 	case 'C':
 		return p.call()
 	case 'L':
@@ -223,35 +440,35 @@ func (p *parser) command() error {
 	case 'E':
 		p.ended = true
 		if p.cur != nil {
-			return p.errf("E inside symbol definition")
+			return p.errc("end-in-definition", "E inside symbol definition")
 		}
 		return nil
 	}
-	return p.errf("unknown command %q", c)
+	return p.errc("unknown-command", "unknown command %q", c)
 }
 
 func (p *parser) defineStart() error {
 	if p.cur != nil {
-		return p.errf("nested DS (symbol %d still open)", p.cur.ID)
+		return p.errc("nested-definition", "nested DS (symbol %d still open)", p.cur.ID)
 	}
 	id, err := p.number()
 	if err != nil {
-		return p.errf("DS needs a symbol number: %v", err)
+		return p.errc("bad-definition", "DS needs a symbol number: %v", err)
 	}
 	a, b := int64(1), int64(1)
 	if n, ok := p.tryNumber(); ok {
 		a = n
 		m, ok2 := p.tryNumber()
 		if !ok2 {
-			return p.errf("DS scale needs both a and b")
+			return p.errc("bad-scale", "DS scale needs both a and b")
 		}
 		b = m
 		if a <= 0 || b <= 0 {
-			return p.errf("DS scale must be positive, got %d/%d", a, b)
+			return p.errc("bad-scale", "DS scale must be positive, got %d/%d", a, b)
 		}
 	}
 	if _, dup := p.file.Symbols[int(id)]; dup {
-		return p.errf("symbol %d defined twice", id)
+		return p.errc("duplicate-symbol", "symbol %d defined twice", id)
 	}
 	p.cur = p.newSymbol(int(id))
 	p.curMark = len(p.itemArena)
@@ -262,52 +479,49 @@ func (p *parser) defineStart() error {
 
 func (p *parser) defineFinish() error {
 	if p.cur == nil {
-		return p.errf("DF without DS")
+		return p.errc("misplaced-command", "DF without DS")
 	}
 	// Slice the symbol's items out of the arena. The three-index form
 	// caps the view so appending to sym.Items can never scribble over a
 	// later symbol's items.
-	if n := len(p.itemArena); n > p.curMark {
-		p.cur.Items = p.itemArena[p.curMark:n:n]
-	}
-	p.cur = nil
-	p.scaleA, p.scaleB = 1, 1
+	p.closeSymbol()
 	return p.endCommand()
 }
 
 func (p *parser) call() error {
 	id, err := p.number()
 	if err != nil {
-		return p.errf("C needs a symbol number: %v", err)
+		return p.errc("bad-operand", "C needs a symbol number: %v", err)
 	}
 	tr := geom.Identity
 	for {
 		p.skipBlanks()
 		if p.pos >= len(p.src) {
-			return p.errf("unterminated call")
+			return p.errc("unterminated-call", "unterminated call")
 		}
 		switch upper(p.src[p.pos]) {
 		case ';':
 			p.pos++
+			p.semiConsumed = true
 			return p.emit(Item{Kind: ItemCall, SymbolID: int(id), Trans: tr})
 		case 'T':
 			p.pos++
 			x, err := p.number()
 			if err != nil {
-				return p.errf("T needs x: %v", err)
+				return p.errc("bad-operand", "T needs x: %v", err)
 			}
 			y, err := p.number()
 			if err != nil {
-				return p.errf("T needs y: %v", err)
+				return p.errc("bad-operand", "T needs y: %v", err)
 			}
 			if tr, err = tr.ThenChecked(geom.Translate(p.scale(x), p.scale(y))); err != nil {
-				return fmt.Errorf("cif: line %d: call translation: %w", p.line+1, err)
+				return p.errWrap("overflow", err, "call translation")
 			}
 		case 'M':
 			p.pos++
 			p.skipBlanks()
 			if p.pos >= len(p.src) {
-				return p.errf("M needs an axis")
+				return p.errc("bad-transform", "M needs an axis")
 			}
 			switch upper(p.src[p.pos]) {
 			case 'X':
@@ -317,25 +531,25 @@ func (p *parser) call() error {
 				p.pos++
 				tr = tr.Then(geom.MirrorY())
 			default:
-				return p.errf("M needs X or Y")
+				return p.errc("bad-transform", "M needs X or Y")
 			}
 		case 'R':
 			p.pos++
 			a, err := p.number()
 			if err != nil {
-				return p.errf("R needs a: %v", err)
+				return p.errc("bad-operand", "R needs a: %v", err)
 			}
 			b, err := p.number()
 			if err != nil {
-				return p.errf("R needs b: %v", err)
+				return p.errc("bad-operand", "R needs b: %v", err)
 			}
 			rot, snapped := geom.ApproxRotation(a, b)
 			if snapped {
-				p.warnf("rotation (%d,%d) snapped to nearest axis", a, b)
+				p.warnc("snapped-rotation", "rotation (%d,%d) snapped to nearest axis", a, b)
 			}
 			tr = tr.Then(rot)
 		default:
-			return p.errf("unexpected %q in call transformation list", p.src[p.pos])
+			return p.errc("bad-transform", "unexpected %q in call transformation list", p.src[p.pos])
 		}
 	}
 }
@@ -343,11 +557,11 @@ func (p *parser) call() error {
 func (p *parser) layerCmd() error {
 	name, err := p.wordBytes()
 	if err != nil {
-		return p.errf("L needs a layer name: %v", err)
+		return p.errc("bad-operand", "L needs a layer name: %v", err)
 	}
 	l, ok := tech.LayerByCIFNameBytes(name)
 	if !ok {
-		p.warnf("unknown layer %q; geometry on it will be ignored", name)
+		p.warnc("unknown-layer", "unknown layer %q; geometry on it will be ignored", name)
 		p.hasLayer = false
 		return p.endCommand()
 	}
@@ -359,19 +573,19 @@ func (p *parser) layerCmd() error {
 func (p *parser) box() error {
 	length, err := p.number()
 	if err != nil {
-		return p.errf("B needs length: %v", err)
+		return p.errc("bad-operand", "B needs length: %v", err)
 	}
 	width, err := p.number()
 	if err != nil {
-		return p.errf("B needs width: %v", err)
+		return p.errc("bad-operand", "B needs width: %v", err)
 	}
 	cx, err := p.number()
 	if err != nil {
-		return p.errf("B needs cx: %v", err)
+		return p.errc("bad-operand", "B needs cx: %v", err)
 	}
 	cy, err := p.number()
 	if err != nil {
-		return p.errf("B needs cy: %v", err)
+		return p.errc("bad-operand", "B needs cy: %v", err)
 	}
 	var dx, dy int64
 	hasDir := false
@@ -379,7 +593,7 @@ func (p *parser) box() error {
 		dx = n
 		dy, err = p.number()
 		if err != nil {
-			return p.errf("B direction needs dy: %v", err)
+			return p.errc("bad-operand", "B direction needs dy: %v", err)
 		}
 		hasDir = true
 	}
@@ -387,7 +601,7 @@ func (p *parser) box() error {
 		return err
 	}
 	if length < 0 || width < 0 {
-		return p.errf("negative box dimensions %d x %d", length, width)
+		return p.errc("bad-geometry", "negative box dimensions %d x %d", length, width)
 	}
 	if !p.requireLayer("box") {
 		return nil
@@ -405,14 +619,14 @@ func (p *parser) box() error {
 		p.ovf = true
 	}
 	if p.ovf {
-		return fmt.Errorf("cif: line %d: box corners: %w", p.line+1, geom.ErrOverflow)
+		return p.errWrap("overflow", geom.ErrOverflow, "box corners")
 	}
 	r := geom.RectCWH(sl, sw, geom.Pt(scx, scy))
 	if hasDir && !(dy == 0 && dx > 0) {
 		// Rotated box: rotate the corners about the centre.
 		rot, snapped := geom.ApproxRotation(dx, dy)
 		if snapped {
-			p.warnf("box direction (%d,%d) snapped to nearest axis", dx, dy)
+			p.warnc("snapped-rotation", "box direction (%d,%d) snapped to nearest axis", dx, dy)
 		}
 		c := r.Center()
 		tr := geom.Translate(-c.X, -c.Y).Then(rot).Then(geom.Translate(c.X, c.Y))
@@ -430,7 +644,7 @@ func (p *parser) polygon() error {
 		return err
 	}
 	if len(pts) < 3 {
-		return p.errf("polygon needs at least 3 points, got %d", len(pts))
+		return p.errc("bad-geometry", "polygon needs at least 3 points, got %d", len(pts))
 	}
 	if !p.requireLayer("polygon") {
 		return nil
@@ -441,7 +655,7 @@ func (p *parser) polygon() error {
 func (p *parser) wire() error {
 	width, err := p.number()
 	if err != nil {
-		return p.errf("W needs width: %v", err)
+		return p.errc("bad-operand", "W needs width: %v", err)
 	}
 	pts, err := p.points()
 	if err != nil {
@@ -451,7 +665,7 @@ func (p *parser) wire() error {
 		return err
 	}
 	if len(pts) == 0 {
-		return p.errf("wire needs at least 1 point")
+		return p.errc("bad-geometry", "wire needs at least 1 point")
 	}
 	if !p.requireLayer("wire") {
 		return nil
@@ -463,15 +677,15 @@ func (p *parser) wire() error {
 func (p *parser) roundFlash() error {
 	diam, err := p.number()
 	if err != nil {
-		return p.errf("R needs diameter: %v", err)
+		return p.errc("bad-operand", "R needs diameter: %v", err)
 	}
 	cx, err := p.number()
 	if err != nil {
-		return p.errf("R needs cx: %v", err)
+		return p.errc("bad-operand", "R needs cx: %v", err)
 	}
 	cy, err := p.number()
 	if err != nil {
-		return p.errf("R needs cy: %v", err)
+		return p.errc("bad-operand", "R needs cy: %v", err)
 	}
 	if err := p.endCommand(); err != nil {
 		return err
@@ -497,16 +711,16 @@ func (p *parser) userExtension() error {
 		// "9 name;" — symbol name.
 		name, err := p.wordBytes()
 		if err != nil {
-			return p.errf("9 needs a name: %v", err)
+			return p.errc("bad-operand", "9 needs a name: %v", err)
 		}
 		if p.cur != nil {
 			p.cur.Name = p.intern(name)
 		} else {
-			p.warnf("symbol name %q outside symbol definition ignored", name)
+			p.warnc("ignored-command", "symbol name %q outside symbol definition ignored", name)
 		}
 		return p.endCommand()
 	default:
-		p.warnf("user extension %q skipped", digit)
+		p.warnc("ignored-command", "user extension %q skipped", digit)
 		return p.skipToSemicolon()
 	}
 }
@@ -517,15 +731,15 @@ func (p *parser) userExtension() error {
 func (p *parser) label() error {
 	name, err := p.wordBytes()
 	if err != nil {
-		return p.errf("94 needs a name: %v", err)
+		return p.errc("bad-operand", "94 needs a name: %v", err)
 	}
 	x, err := p.number()
 	if err != nil {
-		return p.errf("94 needs x: %v", err)
+		return p.errc("bad-operand", "94 needs x: %v", err)
 	}
 	y, err := p.number()
 	if err != nil {
-		return p.errf("94 needs y: %v", err)
+		return p.errc("bad-operand", "94 needs y: %v", err)
 	}
 	it := Item{Kind: ItemLabel, Name: p.intern(name), At: geom.Pt(p.scale(x), p.scale(y))}
 	if w, ok := p.tryWordBytes(); ok {
@@ -533,7 +747,7 @@ func (p *parser) label() error {
 			it.Layer = l
 			it.HasLayer = true
 		} else {
-			p.warnf("label %q names unknown layer %q", it.Name, w)
+			p.warnc("unknown-layer", "label %q names unknown layer %q", it.Name, w)
 		}
 	}
 	if err := p.endCommand(); err != nil {
@@ -543,6 +757,12 @@ func (p *parser) label() error {
 }
 
 func (p *parser) emit(it Item) error {
+	if p.ovf {
+		// The command's scale arithmetic overflowed: its coordinates
+		// are garbage, so nothing is emitted. run() raises (strict) or
+		// records (lenient) the located overflow error.
+		return nil
+	}
 	p.items++
 	if err := p.limits.CheckBoxes(guard.StageParse, p.items); err != nil {
 		return fmt.Errorf("cif: line %d: %w", p.line+1, err)
@@ -557,7 +777,7 @@ func (p *parser) emit(it Item) error {
 
 func (p *parser) requireLayer(what string) bool {
 	if !p.hasLayer {
-		p.warnf("%s before any L command ignored", what)
+		p.warnc("no-layer", "%s before any L command ignored", what)
 		return false
 	}
 	return true
@@ -597,6 +817,7 @@ func (p *parser) skipBlanks() {
 		if c == '\n' {
 			p.line++
 			p.pos++
+			p.lineStart = p.pos
 			continue
 		}
 		if c == ' ' || c == '\t' || c == '\r' || c == ',' {
@@ -621,10 +842,11 @@ func (p *parser) skipComment() error {
 			}
 		case '\n':
 			p.line++
+			p.lineStart = p.pos + 1
 		}
 		p.pos++
 	}
-	return p.errf("unterminated comment")
+	return p.errc("unterminated-comment", "unterminated comment")
 }
 
 func (p *parser) skipToSemicolon() error {
@@ -636,10 +858,11 @@ func (p *parser) skipToSemicolon() error {
 		}
 		if c == '\n' {
 			p.line++
+			p.lineStart = p.pos + 1
 		}
 		p.pos++
 	}
-	return p.errf("unterminated command")
+	return p.errc("unterminated-command", "unterminated command")
 }
 
 // endCommand consumes separators up to and including the terminating
@@ -648,11 +871,12 @@ func (p *parser) endCommand() error {
 	p.skipBlanks()
 	if p.pos >= len(p.src) || p.src[p.pos] != ';' {
 		if p.pos < len(p.src) {
-			return p.errf("expected ';', found %q", p.src[p.pos])
+			return p.errc("missing-semicolon", "expected ';', found %q", p.src[p.pos])
 		}
-		return p.errf("expected ';', found end of input")
+		return p.errc("missing-semicolon", "expected ';', found end of input")
 	}
 	p.pos++
+	p.semiConsumed = true
 	return nil
 }
 
@@ -722,7 +946,7 @@ func (p *parser) points() ([]geom.Point, error) {
 		y, err := p.number()
 		if err != nil {
 			p.ptArena = p.ptArena[:mark]
-			return nil, p.errf("point needs both coordinates: %v", err)
+			return nil, p.errc("bad-operand", "point needs both coordinates: %v", err)
 		}
 		p.ptArena = append(p.ptArena, geom.Pt(p.scale(x), p.scale(y)))
 	}
@@ -748,7 +972,9 @@ func (p *parser) tryWordBytes() ([]byte, bool) {
 	return w, true
 }
 
-// checkSemantics validates calls and detects definition cycles.
+// checkSemantics validates calls and detects definition cycles —
+// strict mode's whole-file validation, unchanged: its messages are the
+// historical ones, byte for byte.
 func checkSemantics(f *File) error {
 	var undefined []int
 	check := func(items []Item) {
@@ -800,6 +1026,124 @@ func checkSemantics(f *File) error {
 		}
 	}
 	return nil
+}
+
+// lenientSemantics is checkSemantics' fail-soft counterpart: calls to
+// undefined symbols become Error diagnostics (the front ends drop such
+// calls, so the file stays extractable), and recursive definitions are
+// broken by dropping the back-edge call, again with a diagnostic.
+// Traversal is in sorted-id order so the diagnostics — and the choice
+// of dropped call in a multi-symbol cycle — are deterministic.
+func lenientSemantics(f *File) {
+	ids := make([]int, 0, len(f.Symbols))
+	for id := range f.Symbols {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	undef := map[int]bool{}
+	noteUndef := func(items []Item) {
+		for _, it := range items {
+			if it.Kind == ItemCall {
+				if _, ok := f.Symbols[it.SymbolID]; !ok {
+					undef[it.SymbolID] = true
+				}
+			}
+		}
+	}
+	noteUndef(f.Top)
+	for _, id := range ids {
+		noteUndef(f.Symbols[id].Items)
+	}
+	undefIDs := make([]int, 0, len(undef))
+	for id := range undef {
+		undefIDs = append(undefIDs, id)
+	}
+	sort.Ints(undefIDs)
+	for _, id := range undefIDs {
+		f.Diagnostics.Add(diag.New(diag.Error, guard.StageParse, "undefined-symbol",
+			fmt.Sprintf("call to undefined symbol %d dropped", id)))
+	}
+	if len(undef) > 0 {
+		dropUndefined := func(items []Item) []Item {
+			var kept []Item
+			dropped := false
+			for i, it := range items {
+				if it.Kind == ItemCall && undef[it.SymbolID] {
+					if !dropped {
+						kept = append(kept, items[:i]...)
+						dropped = true
+					}
+					continue
+				}
+				if dropped {
+					kept = append(kept, it)
+				}
+			}
+			if dropped {
+				return kept
+			}
+			return items
+		}
+		f.Top = dropUndefined(f.Top)
+		for _, id := range ids {
+			f.Symbols[id].Items = dropUndefined(f.Symbols[id].Items)
+		}
+	}
+
+	// Cycle breaking: depth-first over the call graph; a call whose
+	// target is on the current DFS path is a back edge and is removed
+	// from its containing symbol.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[int]int{}
+	var visit func(id int)
+	visit = func(id int) {
+		color[id] = grey
+		sym := f.Symbols[id]
+		var kept []Item
+		dropped := false
+		for i, it := range sym.Items {
+			backEdge := false
+			if it.Kind == ItemCall {
+				if tgt, ok := f.Symbols[it.SymbolID]; ok {
+					switch color[tgt.ID] {
+					case grey:
+						f.Diagnostics.Add(diag.New(diag.Error, guard.StageParse, "recursive-symbol",
+							fmt.Sprintf("recursive symbol definition involving DS %d; call from DS %d dropped",
+								it.SymbolID, id)))
+						backEdge = true
+					case white:
+						visit(it.SymbolID)
+					}
+				}
+			}
+			if backEdge {
+				if !dropped {
+					// Copy-on-first-drop: acyclic files never pay for
+					// the filtered slice.
+					kept = append(kept, sym.Items[:i]...)
+					dropped = true
+				}
+				continue
+			}
+			if dropped {
+				kept = append(kept, it)
+			}
+		}
+		if dropped {
+			sym.Items = kept
+		}
+		color[id] = black
+	}
+	for _, id := range ids {
+		if color[id] == white {
+			visit(id)
+		}
+	}
 }
 
 // TopSymbol returns the effective top of the design. If the file has

@@ -1,0 +1,83 @@
+// Package cli holds the glue shared by the ace and hext commands: the
+// exit-code taxonomy and the diagnostics rendering conventions, so both
+// binaries classify failures and print findings identically.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"ace/internal/diag"
+	"ace/internal/guard"
+)
+
+// Exit codes. Package flag already exits with 2 on a bad flag
+// (flag.ExitOnError), which this taxonomy deliberately adopts as the
+// usage code.
+const (
+	// ExitOK: extraction succeeded and no Error-severity diagnostics
+	// were reported.
+	ExitOK = 0
+
+	// ExitFindings: the run produced Error-severity diagnostics (parse
+	// damage in lenient mode, checker errors), or failed outright for a
+	// reason with no more specific code.
+	ExitFindings = 1
+
+	// ExitUsage: bad command line (flag package convention).
+	ExitUsage = 2
+
+	// ExitTimeout: the -timeout budget expired (context deadline).
+	ExitTimeout = 3
+
+	// ExitLimit: a guard.Limits resource budget was exceeded.
+	ExitLimit = 4
+)
+
+// ExitCodeFor classifies a pipeline error: context cancellation or
+// deadline → ExitTimeout, *guard.LimitError → ExitLimit, anything else
+// → ExitFindings. (Stage wrappers are unwrapped, so a LimitError inside
+// a *guard.StageError still classifies as ExitLimit.)
+func ExitCodeFor(err error) int {
+	if err == nil {
+		return ExitOK
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return ExitTimeout
+	}
+	var le *guard.LimitError
+	if errors.As(err, &le) {
+		return ExitLimit
+	}
+	return ExitFindings
+}
+
+// Fatal prints "prog: err" to stderr and exits with the taxonomy code
+// for err.
+func Fatal(prog string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	os.Exit(ExitCodeFor(err))
+}
+
+// RenderDiagnostics writes the diagnostics set in the shared format:
+// the JSON report to jsonW when jsonOut is set (machine consumption,
+// conventionally stdout), the text rendering to textW otherwise
+// (conventionally stderr, so the wirelist on stdout stays clean).
+func RenderDiagnostics(file string, s *diag.Set, jsonOut bool, jsonW, textW io.Writer) error {
+	if jsonOut {
+		return diag.WriteJSON(jsonW, file, s)
+	}
+	return diag.WriteText(textW, file, s)
+}
+
+// Exit returns the taxonomy code for a finished run: ExitFindings when
+// the set holds Error-severity diagnostics, ExitOK otherwise.
+func Exit(s *diag.Set) int {
+	if s.Errors() > 0 {
+		return ExitFindings
+	}
+	return ExitOK
+}

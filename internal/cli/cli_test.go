@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"ace/internal/diag"
+	"ace/internal/guard"
+)
+
+func TestExitCodeFor(t *testing.T) {
+	le := &guard.LimitError{Stage: guard.StageParse, What: "boxes", Value: 2, Limit: 1}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("plain failure"), ExitFindings},
+		{context.DeadlineExceeded, ExitTimeout},
+		{context.Canceled, ExitTimeout},
+		{&guard.StageError{Stage: guard.StageSweep, Err: context.DeadlineExceeded}, ExitTimeout},
+		{le, ExitLimit},
+		{&guard.StageError{Stage: guard.StageParse, Err: le}, ExitLimit},
+	}
+	for _, c := range cases {
+		if got := ExitCodeFor(c.err); got != c.want {
+			t.Errorf("ExitCodeFor(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestExit(t *testing.T) {
+	var s diag.Set
+	if Exit(&s) != ExitOK {
+		t.Fatal("empty set should exit 0")
+	}
+	s.Add(diag.New(diag.Warning, "check", "ratio", "weak"))
+	if Exit(&s) != ExitOK {
+		t.Fatal("warnings alone should exit 0")
+	}
+	s.Add(diag.New(diag.Error, "cif/parse", "bad-operand", "boom"))
+	if Exit(&s) != ExitFindings {
+		t.Fatal("errors should exit 1")
+	}
+}
+
+func TestRenderDiagnostics(t *testing.T) {
+	var s diag.Set
+	s.Add(diag.New(diag.Error, "cif/parse", "bad-operand", "boom"))
+	var jsonW, textW bytes.Buffer
+	if err := RenderDiagnostics("chip.cif", &s, false, &jsonW, &textW); err != nil {
+		t.Fatal(err)
+	}
+	if jsonW.Len() != 0 || !strings.Contains(textW.String(), "bad-operand") {
+		t.Fatalf("text mode wrote to wrong stream: json %q text %q", jsonW.String(), textW.String())
+	}
+	jsonW.Reset()
+	textW.Reset()
+	if err := RenderDiagnostics("chip.cif", &s, true, &jsonW, &textW); err != nil {
+		t.Fatal(err)
+	}
+	if textW.Len() != 0 || !strings.Contains(jsonW.String(), "\"diagnostics\"") {
+		t.Fatalf("json mode wrote to wrong stream: json %q text %q", jsonW.String(), textW.String())
+	}
+}

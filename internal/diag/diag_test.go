@@ -1,0 +1,219 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func located(sev Severity, code string, offset, line, col int) Diagnostic {
+	d := New(sev, "cif/parse", code, "msg "+code)
+	d.Span = Span{Offset: offset, Line: line, Col: col}
+	return d
+}
+
+func TestSeverityString(t *testing.T) {
+	for sev, want := range map[Severity]string{Info: "info", Warning: "warning", Error: "error"} {
+		if got := sev.String(); got != want {
+			t.Errorf("%d: %q, want %q", sev, got, want)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := located(Error, "bad-operand", 10, 3, 7)
+	if got := d.String(); got != "3:7: error: bad-operand: msg bad-operand" {
+		t.Fatalf("located: %q", got)
+	}
+	u := New(Warning, "check", "ratio", "weak pull-down")
+	if got := u.String(); got != "warning: ratio: weak pull-down" {
+		t.Fatalf("unlocated: %q", got)
+	}
+}
+
+func TestZeroSetIsValid(t *testing.T) {
+	var s Set
+	if s.Len() != 0 || s.Errors() != 0 || s.Dropped() != 0 {
+		t.Fatal("zero set not empty")
+	}
+	s.Add(New(Error, "check", "x", "boom"))
+	if s.Len() != 1 || s.Errors() != 1 {
+		t.Fatalf("add into zero set: len %d errors %d", s.Len(), s.Errors())
+	}
+	var nilSet *Set
+	if nilSet.Len() != 0 || nilSet.Dropped() != 0 || nilSet.All() != nil {
+		t.Fatal("nil set accessors not safe")
+	}
+	nilSet.Sort() // must not panic
+}
+
+func TestCapDropsAndCounts(t *testing.T) {
+	s := NewSet(Limits{MaxDiagnostics: 3})
+	for i := 0; i < 5; i++ {
+		s.Add(New(Warning, "cif/parse", "w", fmt.Sprintf("warn %d", i)))
+	}
+	if s.Len() != 3 || s.Dropped() != 2 {
+		t.Fatalf("len %d dropped %d", s.Len(), s.Dropped())
+	}
+}
+
+func TestCapErrorEvictsWarning(t *testing.T) {
+	s := NewSet(Limits{MaxDiagnostics: 2})
+	s.Add(New(Warning, "cif/parse", "w1", "first"))
+	s.Add(New(Warning, "cif/parse", "w2", "second"))
+	s.Add(New(Error, "cif/parse", "e1", "the error"))
+	if s.Errors() != 1 {
+		t.Fatalf("error dropped at capacity: %v", s.All())
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped %d, want 1", s.Dropped())
+	}
+	// A full-of-errors set drops further errors instead of evicting.
+	s.Add(New(Error, "cif/parse", "e2", "another"))
+	s.Add(New(Error, "cif/parse", "e3", "third"))
+	if s.Len() != 2 || s.Errors() != 2 || s.Dropped() != 3 {
+		t.Fatalf("len %d errors %d dropped %d", s.Len(), s.Errors(), s.Dropped())
+	}
+}
+
+func TestMergeCarriesDropped(t *testing.T) {
+	a := NewSet(Limits{MaxDiagnostics: 1})
+	a.Add(New(Warning, "s", "w", "kept"))
+	a.Add(New(Warning, "s", "w", "dropped"))
+	var b Set
+	b.Merge(a)
+	b.Merge(nil)
+	if b.Len() != 1 || b.Dropped() != 1 {
+		t.Fatalf("merge: len %d dropped %d", b.Len(), b.Dropped())
+	}
+}
+
+func TestOrderingContract(t *testing.T) {
+	var s Set
+	s.Add(New(Warning, "check", "ratio", "unlocated warning"))
+	s.Add(located(Error, "late", 50, 5, 1))
+	s.Add(New(Error, "check", "power-short", "unlocated error"))
+	s.Add(located(Warning, "early", 10, 2, 3))
+	s.Sort()
+	ds := s.All()
+	// Located first in offset order, then unlocated errors before
+	// warnings.
+	if ds[0].Code != "early" || ds[1].Code != "late" {
+		t.Fatalf("located order: %v", ds)
+	}
+	if ds[2].Code != "power-short" || ds[3].Code != "ratio" {
+		t.Fatalf("unlocated order: %v", ds)
+	}
+	for i := 1; i < len(ds); i++ {
+		if Less(ds[i], ds[i-1]) {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+func TestSortIsStable(t *testing.T) {
+	var s Set
+	for i := 0; i < 3; i++ {
+		d := located(Error, "same", 7, 1, 7)
+		d.Message = fmt.Sprintf("emission %d", i)
+		s.Add(d)
+	}
+	s.Sort()
+	for i, d := range s.All() {
+		if want := fmt.Sprintf("emission %d", i); d.Message != want {
+			t.Fatalf("emission order not preserved: %v", s.All())
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var s Set
+	s.Add(located(Error, "bad-operand", 10, 3, 7))
+	s.Add(New(Warning, "check", "ratio", "weak pull-down"))
+	var buf bytes.Buffer
+	if err := WriteText(&buf, "chip.cif", &s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"chip.cif:3:7: error: bad-operand:",
+		"chip.cif: warning: ratio: weak pull-down",
+		"1 errors, 1 warnings",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	capped := NewSet(Limits{MaxDiagnostics: 1})
+	capped.Add(New(Warning, "s", "w", "kept"))
+	capped.Add(New(Warning, "s", "w", "gone"))
+	buf.Reset()
+	if err := WriteText(&buf, "", capped); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(+1 beyond the diagnostic cap)") {
+		t.Fatalf("missing cap note:\n%s", buf.String())
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var s Set
+	s.Add(located(Error, "bad-operand", 10, 3, 7))
+	circuit := New(Warning, "check", "ratio", "weak pull-down")
+	circuit.Device = 2
+	circuit.Net = 5
+	s.Add(circuit)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "chip.cif", &s); err != nil {
+		t.Fatal(err)
+	}
+	var r struct {
+		File        string `json:"file"`
+		Errors      int    `json:"errors"`
+		Warnings    int    `json:"warnings"`
+		Diagnostics []struct {
+			Code     string `json:"code"`
+			Severity string `json:"severity"`
+			Span     *struct {
+				Offset, Line, Col int
+			} `json:"span"`
+			Device *int `json:"device"`
+			Net    *int `json:"net"`
+		} `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &r); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, buf.String())
+	}
+	if r.File != "chip.cif" || r.Errors != 1 || r.Warnings != 1 || len(r.Diagnostics) != 2 {
+		t.Fatalf("report header: %+v", r)
+	}
+	if d := r.Diagnostics[0]; d.Severity != "error" || d.Span == nil || d.Span.Line != 3 || d.Device != nil {
+		t.Fatalf("located entry: %+v", d)
+	}
+	if d := r.Diagnostics[1]; d.Span != nil || d.Device == nil || *d.Device != 2 || *d.Net != 5 {
+		t.Fatalf("circuit entry: %+v", d)
+	}
+	// Deterministic byte-for-byte.
+	var buf2 bytes.Buffer
+	if err := WriteJSON(&buf2, "chip.cif", &s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("JSON rendering not deterministic")
+	}
+}
+
+func TestLimitsMax(t *testing.T) {
+	if (Limits{}).Max() != DefaultMaxDiagnostics {
+		t.Fatal("zero Limits should apply the default cap")
+	}
+	if (Limits{MaxDiagnostics: 7}).Max() != 7 {
+		t.Fatal("explicit cap ignored")
+	}
+	if (Limits{MaxDiagnostics: -1}).Max() != 0 {
+		t.Fatal("negative cap should mean unlimited")
+	}
+}

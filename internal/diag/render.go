@@ -1,0 +1,114 @@
+package diag
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteText renders a set one diagnostic per line:
+//
+//	file:line:col: severity: code: message
+//
+// (the file prefix is omitted when file is empty, the line:col prefix
+// when the diagnostic is unlocated). A final summary line reports the
+// totals, including diagnostics the cap discarded.
+func WriteText(w io.Writer, file string, s *Set) error {
+	for _, d := range s.All() {
+		prefix := ""
+		if file != "" {
+			// "file:line:col: ..." for located diagnostics; unlocated
+			// ones read "file: severity: ..." like a plain tool message.
+			prefix = file + ":"
+			if !d.Span.Located() {
+				prefix += " "
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s\n", prefix, d); err != nil {
+			return err
+		}
+	}
+	errs, warns := s.Count()
+	line := fmt.Sprintf("%d errors, %d warnings", errs, warns)
+	if n := s.Dropped(); n > 0 {
+		line += fmt.Sprintf(" (+%d beyond the diagnostic cap)", n)
+	}
+	_, err := fmt.Fprintf(w, "%s\n", line)
+	return err
+}
+
+// jsonSpan mirrors Span for JSON output.
+type jsonSpan struct {
+	Offset int `json:"offset"`
+	Line   int `json:"line"`
+	Col    int `json:"col"`
+}
+
+// jsonDiagnostic is the wire form of one diagnostic. Span, device and
+// net are omitted when absent so clean findings stay compact.
+type jsonDiagnostic struct {
+	Code     string    `json:"code"`
+	Severity string    `json:"severity"`
+	Stage    string    `json:"stage,omitempty"`
+	Message  string    `json:"message"`
+	Span     *jsonSpan `json:"span,omitempty"`
+	Device   *int      `json:"device,omitempty"`
+	Net      *int      `json:"net,omitempty"`
+}
+
+// Report is the JSON diagnostics document (-diag-json).
+type Report struct {
+	File        string           `json:"file,omitempty"`
+	Errors      int              `json:"errors"`
+	Warnings    int              `json:"warnings"`
+	Dropped     int              `json:"dropped,omitempty"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+// NewReport builds the JSON document for a set.
+func NewReport(file string, s *Set) Report {
+	errs, warns := s.Count()
+	r := Report{
+		File:        file,
+		Errors:      errs,
+		Warnings:    warns,
+		Dropped:     s.Dropped(),
+		Diagnostics: make([]jsonDiagnostic, 0, s.Len()),
+	}
+	for _, d := range s.All() {
+		jd := jsonDiagnostic{
+			Code:     d.Code,
+			Severity: d.Severity.String(),
+			Stage:    d.Stage,
+			Message:  d.Message,
+		}
+		if d.Span.Located() {
+			jd.Span = &jsonSpan{Offset: d.Span.Offset, Line: d.Span.Line, Col: d.Span.Col}
+		}
+		if d.Device >= 0 {
+			dev := d.Device
+			jd.Device = &dev
+		}
+		if d.Net >= 0 {
+			net := d.Net
+			jd.Net = &net
+		}
+		r.Diagnostics = append(r.Diagnostics, jd)
+	}
+	return r
+}
+
+// WriteJSON renders the set as an indented JSON document followed by a
+// newline. The encoding is deterministic: field order is fixed by the
+// struct definitions and diagnostics appear in set order.
+func WriteJSON(w io.Writer, file string, s *Set) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(NewReport(file, s)); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ace/internal/cif"
+	"ace/internal/diag"
 	"ace/internal/frontend"
 	"ace/internal/guard"
 	"ace/internal/netlist"
@@ -61,6 +62,20 @@ type Options struct {
 	// defaults to guard.DefaultMaxDepth; violations surface as
 	// *guard.LimitError with stage attribution.
 	Limits guard.Limits
+
+	// Lenient selects the fail-soft front end: parse errors, unresolved
+	// symbol calls, recursive definitions and over-deep hierarchies are
+	// recorded as located diagnostics in Result.Diagnostics and the
+	// damaged input is skipped at the nearest resynchronisation point,
+	// so every well-formed command still extracts. On a clean design
+	// the wirelist is byte-identical to strict mode at every worker
+	// setting. Resource budgets (Limits), cancellation and internal
+	// panics abort exactly as in strict mode.
+	Lenient bool
+
+	// Diag caps the diagnostics a lenient extraction retains; the zero
+	// value applies diag.DefaultMaxDiagnostics.
+	Diag diag.Limits
 }
 
 // Phases is the paper's §5 time breakdown, extended with the streamed
@@ -94,6 +109,12 @@ type Result struct {
 	Frontend frontend.Stats
 	Phases   Phases
 	Warnings []string
+
+	// Diagnostics carries the unified findings of the run, sorted by
+	// the diag ordering contract: parser warnings always, plus — in
+	// lenient mode — every recovered fault. Error-severity entries mean
+	// parts of the input were skipped; the wirelist covers the rest.
+	Diagnostics diag.Set
 }
 
 // Reader extracts a CIF design from r.
@@ -107,7 +128,9 @@ func Reader(r io.Reader, opt Options) (*Result, error) {
 // stage-attributed error wrapping ctx.Err(). A nil ctx never cancels.
 func ReaderContext(ctx context.Context, r io.Reader, opt Options) (*Result, error) {
 	t0 := time.Now()
-	f, err := cif.ParseReaderOpts(r, cif.ParseOptions{Limits: opt.Limits})
+	f, err := cif.ParseReaderOpts(r, cif.ParseOptions{
+		Limits: opt.Limits, Lenient: opt.Lenient, Diag: opt.Diag,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +153,9 @@ func String(src string, opt Options) (*Result, error) {
 // ReaderContext).
 func StringContext(ctx context.Context, src string, opt Options) (*Result, error) {
 	t0 := time.Now()
-	f, err := cif.ParseBytesOpts([]byte(src), cif.ParseOptions{Limits: opt.Limits})
+	f, err := cif.ParseBytesOpts([]byte(src), cif.ParseOptions{
+		Limits: opt.Limits, Lenient: opt.Lenient, Diag: opt.Diag,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -158,8 +183,26 @@ func FileContext(ctx context.Context, f *cif.File, opt Options) (res *Result, er
 	if err := guard.Inject(guard.StageExtract); err != nil {
 		return nil, err
 	}
+	var ds diag.Set
+	ds.SetLimits(opt.Diag)
+	res, err = fileCtx(ctx, f, opt, &ds)
+	if err != nil {
+		return nil, err
+	}
+	// One merged, contract-ordered set: the parser's located findings
+	// first, then the front end's unlocated ones.
+	res.Diagnostics.SetLimits(opt.Diag)
+	res.Diagnostics.Merge(&f.Diagnostics)
+	res.Diagnostics.Merge(&ds)
+	res.Diagnostics.Sort()
+	return res, nil
+}
+
+func fileCtx(ctx context.Context, f *cif.File, opt Options, ds *diag.Set) (*Result, error) {
 	t0 := time.Now()
-	stream, err := frontend.New(f, frontend.Options{Grid: opt.Grid, Limits: opt.Limits})
+	stream, err := frontend.New(f, frontend.Options{
+		Grid: opt.Grid, Limits: opt.Limits, Lenient: opt.Lenient, Diags: ds,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +325,12 @@ func flattenFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt 
 	defer cancel()
 
 	tF := time.Now()
-	fl, err := frontend.Flatten(ctx, f, frontend.Options{Grid: opt.Grid, Limits: opt.Limits})
+	// Diags stays nil here: the fresh Stream above already recorded the
+	// lenient front end's findings; the flatten only needs the same ban
+	// decisions, which are deterministic.
+	fl, err := frontend.Flatten(ctx, f, frontend.Options{
+		Grid: opt.Grid, Limits: opt.Limits, Lenient: opt.Lenient,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -59,6 +59,7 @@ type Flat struct {
 	bboxes map[int]geom.Rect
 	arenas map[int]*symArena
 	insts  []flatInstance
+	banned map[int]bool // lenient-mode dropped symbols (see guard.go)
 
 	prepassed bool // instance impure boxes materialised
 
@@ -171,7 +172,13 @@ func FlattenItems(ctx context.Context, items []cif.Item, syms map[int]*cif.Symbo
 	if err := guard.Inject(guard.StageArena); err != nil {
 		return nil, err
 	}
-	if err := checkHierarchy(items, syms, opts.Limits.Depth()); err != nil {
+	var banned map[int]bool
+	if opts.Lenient {
+		// The diagnostics themselves come from the Stream build, which
+		// the extractor always runs first (for labels); reporting here
+		// too would double them. The ban set must match regardless.
+		banned = checkHierarchyLenient(items, syms, opts.Limits.Depth(), nil)
+	} else if err := checkHierarchy(items, syms, opts.Limits.Depth()); err != nil {
 		return nil, err
 	}
 	grid := opts.Grid
@@ -184,6 +191,7 @@ func FlattenItems(ctx context.Context, items []cif.Item, syms map[int]*cif.Symbo
 		syms:   syms,
 		bboxes: map[int]geom.Rect{},
 		arenas: map[int]*symArena{},
+		banned: banned,
 		ctx:    ctx,
 		limits: opts.Limits,
 	}
@@ -212,6 +220,9 @@ func (fl *Flat) addInstances(items []cif.Item, tr geom.Transform) {
 		case cif.ItemBox, cif.ItemPolygon, cif.ItemWire:
 			direct = append(direct, it)
 		case cif.ItemCall:
+			if fl.banned[it.SymbolID] {
+				continue // dropped by lenient hierarchy validation
+			}
 			sub, ok := cif.SymbolBBox(it.SymbolID, fl.syms, fl.bboxes)
 			if !ok {
 				continue // empty symbol, exactly as the heap skips it
@@ -297,6 +308,9 @@ func (fl *Flat) arena(id int) *symArena {
 				isWire: true, layer: it.Layer, wire: it.Wire, tr: geom.Identity,
 			})
 		case cif.ItemCall:
+			if fl.banned[it.SymbolID] {
+				continue // dropped by lenient hierarchy validation
+			}
 			child := fl.arena(it.SymbolID)
 			if fl.buildErr != nil {
 				return a

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"ace/internal/cif"
+	"ace/internal/diag"
 	"ace/internal/geom"
 	"ace/internal/guard"
 	"ace/internal/tech"
@@ -51,6 +52,18 @@ type Options struct {
 	// MaxMemBytes its retained bytes. Zero fields are unlimited except
 	// depth, which defaults to guard.DefaultMaxDepth.
 	Limits guard.Limits
+
+	// Lenient selects fail-soft hierarchy validation: recursive
+	// definitions and over-deep hierarchies are reported into Diags as
+	// Error diagnostics and the offending calls dropped, instead of
+	// failing the build. An empty design yields an empty stream plus a
+	// diagnostic rather than an error. Resource budgets (Limits) still
+	// abort: they protect the process, not the input.
+	Lenient bool
+
+	// Diags receives the front end's diagnostics in lenient mode. Nil
+	// is allowed; findings are then silently dropped.
+	Diags *diag.Set
 }
 
 // Stats reports front-end work counters.
@@ -82,6 +95,10 @@ type Stream struct {
 	labelMemo  map[int]bool
 	impureMemo map[int]bool
 	callSink   *[]entry
+
+	// banned holds symbols whose calls lenient hierarchy validation
+	// dropped (cycles, excess depth); nil in strict mode.
+	banned map[int]bool
 }
 
 type entryKind int8
@@ -114,7 +131,10 @@ func NewItems(items []cif.Item, syms map[int]*cif.Symbol, opts Options) (s *Stre
 	if err := guard.Inject(guard.StageFrontend); err != nil {
 		return nil, err
 	}
-	if err := checkHierarchy(items, syms, opts.Limits.Depth()); err != nil {
+	var banned map[int]bool
+	if opts.Lenient {
+		banned = checkHierarchyLenient(items, syms, opts.Limits.Depth(), opts.Diags)
+	} else if err := checkHierarchy(items, syms, opts.Limits.Depth()); err != nil {
 		return nil, err
 	}
 	grid := opts.Grid
@@ -126,10 +146,15 @@ func NewItems(items []cif.Item, syms map[int]*cif.Symbol, opts Options) (s *Stre
 		bboxes: map[int]geom.Rect{},
 		grid:   grid,
 		keepNG: opts.KeepGlass,
+		banned: banned,
 	}
 	s.pushItems(items, geom.Identity)
 	if len(s.heap) == 0 && len(s.labels) == 0 {
-		return nil, fmt.Errorf("frontend: design contains no geometry")
+		if !opts.Lenient {
+			return nil, fmt.Errorf("frontend: design contains no geometry")
+		}
+		addDiag(opts.Diags, diag.New(diag.Warning, guard.StageFrontend,
+			"no-geometry", "design contains no geometry"))
 	}
 	bb, ok := cif.BBoxItems(items, syms, s.bboxes)
 	if ok {
@@ -306,6 +331,9 @@ func (s *Stream) pushItems(items []cif.Item, tr geom.Transform) {
 				s.pushBox(it.Layer, r)
 			}
 		case cif.ItemCall:
+			if s.banned[it.SymbolID] {
+				continue // dropped by lenient hierarchy validation
+			}
 			sub, ok := cif.SymbolBBox(it.SymbolID, s.syms, s.bboxes)
 			if !ok {
 				continue // empty symbol

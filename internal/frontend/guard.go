@@ -4,8 +4,16 @@ import (
 	"fmt"
 
 	"ace/internal/cif"
+	"ace/internal/diag"
 	"ace/internal/guard"
 )
+
+// addDiag records a diagnostic into an optional sink.
+func addDiag(ds *diag.Set, d diag.Diagnostic) {
+	if ds != nil {
+		ds.Add(d)
+	}
+}
 
 // checkHierarchy walks the call graph reachable from items and rejects
 // cycles and hierarchies deeper than maxDepth, before any expansion
@@ -75,4 +83,74 @@ func checkHierarchy(items []cif.Item, syms map[int]*cif.Symbol, maxDepth int) er
 		}
 	}
 	return nil
+}
+
+// checkHierarchyLenient is checkHierarchy's fail-soft counterpart: a
+// symbol found on the DFS path (a cycle) or past the depth budget is
+// reported into ds and added to the returned ban set, whose calls the
+// front ends then drop — the rest of the design still extracts. The
+// walk follows item order, so the diagnostics and the ban choices are
+// deterministic.
+func checkHierarchyLenient(items []cif.Item, syms map[int]*cif.Symbol, maxDepth int, ds *diag.Set) map[int]bool {
+	banned := map[int]bool{}
+	ban := func(id int, code, format string, args ...any) {
+		if banned[id] {
+			return
+		}
+		banned[id] = true
+		addDiag(ds, diag.New(diag.Error, guard.StageFrontend, code,
+			fmt.Sprintf(format, args...)))
+	}
+	depths := make(map[int]int)
+	onStack := make(map[int]bool)
+	var visit func(id, depth int) int
+	visit = func(id, depth int) int {
+		if depth > maxDepth {
+			ban(id, "hierarchy-depth",
+				"call hierarchy exceeds depth limit %d at DS %d; calls to it dropped", maxDepth, id)
+			return 0
+		}
+		if onStack[id] {
+			ban(id, "hierarchy-cycle",
+				"recursive symbol definition involving DS %d; calls to it dropped", id)
+			return 0
+		}
+		if d, ok := depths[id]; ok {
+			return d
+		}
+		sym := syms[id]
+		if sym == nil {
+			// The parser's lenient pass scrubs undefined calls, but a
+			// synthesised symbol table handed straight to the front end
+			// can still hold them; expanding one would dereference nil.
+			ban(id, "undefined-symbol", "call to undefined symbol %d dropped", id)
+			return 0
+		}
+		onStack[id] = true
+		deepest := 0
+		for _, it := range sym.Items {
+			if it.Kind != cif.ItemCall {
+				continue
+			}
+			if d := visit(it.SymbolID, depth+1); d > deepest {
+				deepest = d
+			}
+		}
+		delete(onStack, id)
+		depths[id] = deepest + 1
+		return deepest + 1
+	}
+	for _, it := range items {
+		if it.Kind != cif.ItemCall {
+			continue
+		}
+		if d := visit(it.SymbolID, 1); d > maxDepth {
+			ban(it.SymbolID, "hierarchy-depth",
+				"call hierarchy exceeds depth limit %d at DS %d; calls to it dropped", maxDepth, it.SymbolID)
+		}
+	}
+	if len(banned) == 0 {
+		return nil
+	}
+	return banned
 }

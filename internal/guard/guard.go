@@ -47,6 +47,11 @@ const (
 	StageHextLeaf    = "hext/leaf"        // leaf window sweep
 	StageHextCompose = "hext/compose"     // window compose
 	StageHextFlatten = "hext/flatten"     // window-DAG flattening
+
+	// StageCheck is the static electrical-rule checker. It is not a
+	// fault-injection point (the checker is a pure post-pass), so it is
+	// absent from Stages; it exists for diagnostic attribution.
+	StageCheck = "check"
 )
 
 // Stages lists every injection point the fault matrix exercises, in

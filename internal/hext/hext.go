@@ -11,6 +11,7 @@ import (
 
 	"ace/internal/build"
 	"ace/internal/cif"
+	"ace/internal/diag"
 	"ace/internal/geom"
 	"ace/internal/guard"
 	"ace/internal/netlist"
@@ -54,6 +55,21 @@ type Options struct {
 
 	// Fracture selects the guillotine-cut strategy.
 	Fracture Fracture
+
+	// Lenient selects the fail-soft front end for Reader/ReaderContext:
+	// parse errors become located diagnostics in Result.Diagnostics and
+	// the parser resynchronises instead of aborting, and an empty
+	// (or fully-damaged) design yields an empty netlist plus a
+	// diagnostic instead of an error. See extract.Options.Lenient.
+	Lenient bool
+
+	// Diag caps the diagnostics a lenient run retains; the zero value
+	// applies diag.DefaultMaxDiagnostics.
+	Diag diag.Limits
+
+	// Limits carries the resource budgets enforced while parsing in
+	// Reader/ReaderContext (budgets always abort, even under Lenient).
+	Limits guard.Limits
 }
 
 // Fracture selects how windows are cut.
@@ -117,6 +133,11 @@ type Result struct {
 	Timing   Timing
 	Warnings []string
 
+	// Diagnostics carries the unified findings of the run (see
+	// extract.Result.Diagnostics), sorted by the diag ordering
+	// contract.
+	Diagnostics diag.Set
+
 	top *winResult // for hierarchical wirelist emission
 }
 
@@ -143,7 +164,7 @@ func Reader(r io.Reader, opt Options) (*Result, error) {
 // ExtractContext).
 func ReaderContext(ctx context.Context, r io.Reader, opt Options) (*Result, error) {
 	t0 := time.Now()
-	f, err := cif.ParseReaderOpts(r, cif.ParseOptions{})
+	f, err := cif.ParseReaderOpts(r, cif.ParseOptions{Limits: opt.Limits, Lenient: opt.Lenient, Diag: opt.Diag})
 	if err != nil {
 		return nil, err
 	}
@@ -229,11 +250,26 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 	}
 	e.warnings = append(e.warnings, f.Warnings...)
 
+	var diags diag.Set
+	diags.SetLimits(opt.Diag)
+	diags.Merge(&f.Diagnostics)
+
 	top, _ := f.TopSymbol()
 	t0 := time.Now()
 	win, origin, ok := e.newTopWindow(top)
 	if !ok {
-		return nil, fmt.Errorf("hext: design contains no geometry")
+		if !opt.Lenient {
+			return nil, fmt.Errorf("hext: design contains no geometry")
+		}
+		// Fail-soft: nothing was salvageable (or the design is truly
+		// empty); report it and return an empty netlist so the caller
+		// still gets the diagnostics alongside a well-formed result.
+		diags.Add(diag.New(diag.Warning, guard.StageHextPlan,
+			"no-geometry", "design contains no geometry"))
+		diags.Sort()
+		b := &build.Builder{}
+		nl, _ := b.Finish()
+		return &Result{Netlist: nl, Warnings: e.warnings, Diagnostics: diags}, nil
 	}
 	root, err := e.plan(win, 0)
 	if err != nil {
@@ -291,12 +327,14 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 		_, e.counters.CacheBytes = e.cache.stats()
 	}
 
+	diags.Sort()
 	return &Result{
-		Netlist:  nl,
-		Counters: e.counters,
-		Timing:   e.timing,
-		Warnings: append(e.warnings, b.Warnings()...),
-		top:      root.res,
+		Netlist:     nl,
+		Counters:    e.counters,
+		Timing:      e.timing,
+		Warnings:    append(e.warnings, b.Warnings()...),
+		Diagnostics: diags,
+		top:         root.res,
 	}, nil
 }
 

@@ -22,8 +22,10 @@ func (r *Result) WriteHierarchical(w io.Writer) error {
 	ew.printf("(DefPart nEnh (Exports G S D))\n")
 	ew.printf("(DefPart nDep (Exports G S D))\n")
 	ew.printf("(DefPart nCap (Exports G S D))\n")
-	ew.emit(r.top)
-	ew.printf("(Part Window%d (Name Top))\n", r.top.id)
+	if r.top != nil { // nil on a lenient empty design: prelude only
+		ew.emit(r.top)
+		ew.printf("(Part Window%d (Name Top))\n", r.top.id)
+	}
 	return ew.err
 }
 
