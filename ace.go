@@ -103,8 +103,15 @@ func FlattenHierarchicalWirelist(r io.Reader) (*Netlist, error) {
 
 // IncrementalSession returns a hierarchical extraction session whose
 // window memo persists across Extract calls: re-extracting an edited
-// design only analyses the windows that changed.
+// design only analyses the windows that changed. Set
+// HierOptions.CacheDir to also persist results on disk, so the memo
+// survives across processes.
 func IncrementalSession(opt HierOptions) *hext.Session { return hext.NewSession(opt) }
+
+// Edit is one symbol-granularity change for Session.Apply: replace,
+// add or delete a symbol definition (or the top-level instance list)
+// and re-extract, reusing every window whose content is unchanged.
+type Edit = hext.Edit
 
 // Equivalent reports whether two netlists describe the same circuit up
 // to renumbering — the wirelist comparator of the paper's introduction.

@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"ace/internal/frontend"
 	"ace/internal/gen"
 	"ace/internal/guard"
+	"ace/internal/hext"
 	"ace/internal/prof"
 	"ace/internal/raster"
 	"ace/internal/wirelist"
@@ -47,6 +49,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.BoolVar(&flagHier, "hier", false, "extract with the hierarchical engine (hext) instead of the flat sweep")
+	flag.StringVar(&flagCacheDir, "cache-dir", "", "persistent extraction cache directory (implies -hier; empty: disabled)")
 	flag.IntVar(&flagWorkers, "workers", 0, "split the sweep into this many concurrent bands (0 or 1: serial)")
 	flag.IntVar(&flagFlattenWorkers, "flatten-workers", 0, "pre-flatten the design and stamp instances with this many workers, streaming boxes into the sweep (0: lazy heap front end)")
 	flag.DurationVar(&flagTimeout, "timeout", 0, "abort the extraction after this wall-clock duration (e.g. 30s; 0: no limit)")
@@ -98,6 +102,10 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 	}
 	ctx, cancel := extractCtx()
 	defer cancel()
+	if flagHier || flagCacheDir != "" {
+		runExtractHier(ctx, r, in, out, geometry, stats)
+		return
+	}
 	res, err := extract.ReaderContext(ctx, r, extract.Options{
 		KeepGeometry:   geometry,
 		Profile:        profile || stats,
@@ -162,6 +170,64 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 		// With -diag-json the JSON report owns stdout; the wirelist is
 		// written only when -o directs it elsewhere.
 		if err := wirelist.Write(w, res.Netlist, wirelist.Options{Geometry: geometry}); err != nil {
+			fatal(err)
+		}
+	}
+	if code := cli.Exit(&res.Diagnostics); code != cli.ExitOK {
+		os.Exit(code)
+	}
+}
+
+// runExtractHier is runExtract delegated to the hierarchical engine:
+// same flat wirelist, same diagnostics rendering and exit-code
+// taxonomy, but windows are memoised — and, with -cache-dir, persisted
+// across processes.
+func runExtractHier(ctx context.Context, r io.Reader, in, out string, geometry, stats bool) {
+	if geometry {
+		fmt.Fprintln(os.Stderr, "ace: warning: -g is not supported with -hier; geometry omitted")
+	}
+	res, err := hext.ReaderContext(ctx, r, hext.Options{
+		Workers:  flagWorkers,
+		CacheDir: flagCacheDir,
+		Lenient:  flagLenient,
+		Limits:   guard.Limits{MaxBoxes: flagMaxBoxes},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if flagCheck {
+		res.Diagnostics.AddAll(check.Run(res.Netlist, check.Options{}))
+		res.Diagnostics.Sort()
+	}
+	if flagLenient || flagCheck || flagDiagJSON {
+		if err := cli.RenderDiagnostics(in, &res.Diagnostics, flagDiagJSON, os.Stdout, os.Stderr); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, w := range res.Warnings {
+			fmt.Fprintln(os.Stderr, "ace: warning:", w)
+		}
+	}
+	if in != "" {
+		res.Netlist.Name = in
+	}
+	if stats {
+		c := res.Counters
+		fmt.Printf("%s\n", res.Netlist.Stats())
+		fmt.Printf("uniqueWindows=%d memoHits=%d diskHits=%d diskMisses=%d\n",
+			c.UniqueWindows, c.MemoHits, c.DiskHits, c.DiskMisses)
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if !stats && !(flagDiagJSON && out == "") {
+		if err := wirelist.Write(w, res.Netlist, wirelist.Options{}); err != nil {
 			fatal(err)
 		}
 	}
@@ -277,6 +343,8 @@ func runMesh(n int) {
 // runs; flagTimeout is the -timeout wall-clock budget for a plain
 // extraction run.
 var (
+	flagHier           bool
+	flagCacheDir       string
 	flagWorkers        int
 	flagFlattenWorkers int
 	flagTimeout        time.Duration

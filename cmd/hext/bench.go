@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -8,8 +9,14 @@ import (
 	"testing"
 	"time"
 
+	"ace/internal/cif"
+	"ace/internal/extract"
 	"ace/internal/gen"
+	"ace/internal/geom"
 	"ace/internal/hext"
+	"ace/internal/netlist"
+	"ace/internal/tech"
+	"ace/internal/wirelist"
 )
 
 // benchEnv records the machine the numbers came from; baselines are
@@ -27,7 +34,8 @@ type benchEnv struct {
 
 type benchResult struct {
 	Workload    string `json:"workload"`
-	Reps        int    `json:"reps"`
+	Scenario    string `json:"scenario,omitempty"`
+	Reps        int    `json:"reps,omitempty"`
 	Workers     int    `json:"workers"`
 	CacheSize   int    `json:"cache_size"`
 	Devices     int    `json:"devices"`
@@ -45,11 +53,29 @@ type benchResult struct {
 	CacheHits     int   `json:"cache_hits"`
 	CacheMisses   int   `json:"cache_misses"`
 	CacheBytes    int64 `json:"cache_bytes"`
+
+	// Disk-tier and session evidence for the persist scenarios.
+	SessionHits int   `json:"session_hits,omitempty"`
+	DiskHits    int   `json:"disk_hits,omitempty"`
+	DiskMisses  int   `json:"disk_misses,omitempty"`
+	DiskBytes   int64 `json:"disk_bytes,omitempty"`
+}
+
+// persistSummary states the PR's headline ratios, measured at
+// workers=1: a warm process (new Session, populated cache directory)
+// versus a cold hext run, and a one-cell Session.Apply re-extract
+// versus a cold flat-ACE run. ByteIdentical reports that every
+// scenario produced the reference wirelist bytes.
+type persistSummary struct {
+	WarmProcessSpeedupVsColdHext float64 `json:"warm_process_speedup_vs_cold_hext"`
+	EditSpeedupVsColdFlatAce     float64 `json:"edit_speedup_vs_cold_flat_ace"`
+	ByteIdentical                bool    `json:"byte_identical"`
 }
 
 type benchReport struct {
-	Env     benchEnv      `json:"env"`
-	Results []benchResult `json:"results"`
+	Env     benchEnv       `json:"env"`
+	Results []benchResult  `json:"results"`
+	Persist persistSummary `json:"persist"`
 }
 
 // runBenchJSON runs the replication reuse sweep — the same gate cell
@@ -129,6 +155,8 @@ func runBenchJSON(path string) {
 		}
 	}
 
+	runPersistBench(&report)
+
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
@@ -140,4 +168,271 @@ func runBenchJSON(path string) {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// benchStrips sizes the routing serpentine inside each macro. At 800
+// strips a macro carries ~1200 boxes for 3 devices — the box-heavy
+// regime of the paper's chips (Table 5-1: ~10-13 boxes per device,
+// here exaggerated so the flat scanline's cost is unmistakable).
+const benchStrips = 800
+
+// benchMacro is one cell of the persistence workload: a library gate
+// plus a serpentine metal routing run above it. The serpentine's boxes
+// all merge into one net, so it inflates the geometry the flat
+// scanline must sweep without inflating the netlist the hierarchical
+// paths carry around. With cut set, the serpentine's middle link is
+// dropped, splitting its net in two — an edit that changes the circuit
+// without moving a single cell.
+func benchMacro(d *gen.Design, name string, k int, cut bool) *gen.Cell {
+	g := gen.GateCell(d, name+"_gate", k)
+	m := d.Cell(name)
+	m.Call(g, geom.Identity)
+	y := gen.GateCellHeight(k) + 2
+	for s := 0; s < benchStrips; s++ {
+		m.LBox(tech.Metal, 0, y, gen.GateCellWidth, y+1)
+		if cut && s == benchStrips/2 {
+			y += 2
+			continue
+		}
+		if s%2 == 0 {
+			m.LBox(tech.Metal, gen.GateCellWidth-1, y+1, gen.GateCellWidth, y+2)
+		} else {
+			m.LBox(tech.Metal, 0, y+1, 1, y+2)
+		}
+		y += 2
+	}
+	return m
+}
+
+// benchChip is the persistence workload: the 64x replicated chip in
+// editable form. Like gen.Replicated, the gaps between cells vary, so
+// windows differ while cell contents memoise; unlike gen.Replicated
+// the row lives in its own symbol, so one cell can be swapped through
+// the Session edit API.
+func benchChip(edit bool) *cif.File {
+	d := gen.NewDesign()
+	cell := benchMacro(d, "repCell", 1, false)
+	odd := benchMacro(d, "repOdd", 1, true)
+	chip := d.Cell("chip")
+	x := int64(0)
+	for i := 0; i < 64; i++ {
+		use := cell
+		if edit && i == 3 {
+			use = odd
+		}
+		chip.CallAt(use, x*gen.Lambda, 0)
+		x += gen.GateCellWidth + 4 + int64(i)%7
+	}
+	d.CallTop(chip, geom.Identity)
+	return d.File()
+}
+
+// benchEdit is benchChip(true)'s change expressed as a Session edit:
+// redefine the chip symbol with cell 3 swapped.
+func benchEdit() hext.Edit {
+	edited := benchChip(true)
+	for id, sym := range edited.Symbols {
+		if len(sym.Items) == 64 {
+			return hext.Edit{SymbolID: id, Items: sym.Items, Name: sym.Name}
+		}
+	}
+	panic("chip symbol not found")
+}
+
+func wirelistBytes(nl *netlist.Netlist) string {
+	var buf bytes.Buffer
+	if err := wirelist.Write(&buf, nl, wirelist.Options{}); err != nil {
+		fatal(err)
+	}
+	return buf.String()
+}
+
+// runPersistBench appends the persistent-cache scenarios — cold flat
+// ACE, cold hext, cold hext writing through to disk, a warm process on
+// a populated directory, and a one-cell edit in a live session — and
+// computes the summary speedups the PR targets.
+func runPersistBench(report *benchReport) {
+	base := benchChip(false)
+	edited := benchChip(true)
+	editOp := benchEdit()
+
+	refBase, err := hext.Extract(base, hext.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	refEdit, err := hext.Extract(edited, hext.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	wantBase := wirelistBytes(refBase.Netlist)
+	wantEdit := wirelistBytes(refEdit.Netlist)
+	byteIdentical := true
+	checkBytes := func(scenario string, nl *netlist.Netlist, want string) {
+		if wirelistBytes(nl) != want {
+			byteIdentical = false
+			fmt.Fprintf(os.Stderr, "hext: warning: %s bytes differ from reference\n", scenario)
+		}
+	}
+
+	var coldHextNs, warmNs, aceNs, editNs int64
+	for _, workers := range []int{1, 4} {
+		opt := hext.Options{Workers: workers}
+		add := func(scenario string, c hext.Counters, nl *netlist.Netlist, r testing.BenchmarkResult) {
+			report.Results = append(report.Results, benchResult{
+				Workload:      "replicated/64-edit",
+				Scenario:      scenario,
+				Workers:       workers,
+				Devices:       len(nl.Devices),
+				Nets:          len(nl.Nets),
+				NsPerOp:       r.NsPerOp(),
+				AllocsPerOp:   r.AllocsPerOp(),
+				BytesPerOp:    r.AllocedBytesPerOp(),
+				UniqueWindows: c.UniqueWindows,
+				FlatCalls:     c.FlatCalls,
+				LeafSweeps:    c.LeafSweeps,
+				CacheHits:     c.CacheHits,
+				CacheMisses:   c.CacheMisses,
+				CacheBytes:    c.CacheBytes,
+				SessionHits:   c.SessionHits,
+				DiskHits:      c.DiskHits,
+				DiskMisses:    c.DiskMisses,
+				DiskBytes:     c.DiskBytes,
+			})
+			fmt.Fprintf(os.Stderr, "%-18s workers=%d  %12v/op  sweeps=%-3d diskHits=%-3d sessionHits=%d\n",
+				scenario, workers, time.Duration(r.NsPerOp()), c.LeafSweeps, c.DiskHits, c.SessionHits)
+		}
+
+		// Cold flat ACE: the whole-chip re-extract an editor pays today.
+		aceProbe, err := extract.File(base, extract.Options{Workers: workers})
+		if err != nil {
+			fatal(err)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := extract.File(base, extract.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("cold_flat_ace", hext.Counters{}, aceProbe.Netlist, r)
+		if workers == 1 {
+			aceNs = r.NsPerOp()
+		}
+
+		// Cold hext, in-memory caches only.
+		probe, err := hext.Extract(base, opt)
+		if err != nil {
+			fatal(err)
+		}
+		checkBytes("cold_hext", probe.Netlist, wantBase)
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hext.Extract(base, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("cold_hext", probe.Counters, probe.Netlist, r)
+		if workers == 1 {
+			coldHextNs = r.NsPerOp()
+		}
+
+		// Cold hext writing through to a fresh cache directory: the
+		// first run's overhead for populating the disk tier.
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				dir, err := os.MkdirTemp("", "hext-bench-*")
+				if err != nil {
+					b.Fatal(err)
+				}
+				dopt := opt
+				dopt.CacheDir = dir
+				b.StartTimer()
+				_, err = hext.NewSession(dopt).Extract(base)
+				b.StopTimer()
+				os.RemoveAll(dir)
+				b.StartTimer()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		dir, err := os.MkdirTemp("", "hext-bench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		dopt := opt
+		dopt.CacheDir = dir
+		diskProbe, err := hext.NewSession(dopt).Extract(base)
+		if err != nil {
+			fatal(err)
+		}
+		checkBytes("cold_hext_disk", diskProbe.Netlist, wantBase)
+		add("cold_hext_disk", diskProbe.Counters, diskProbe.Netlist, r)
+
+		// Warm process: a brand-new Session (no in-memory state) on the
+		// directory the probe above populated.
+		warmProbe, err := hext.NewSession(dopt).Extract(base)
+		if err != nil {
+			fatal(err)
+		}
+		checkBytes("warm_process", warmProbe.Netlist, wantBase)
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := hext.NewSession(dopt).Extract(base); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("warm_process", warmProbe.Counters, warmProbe.Netlist, r)
+		if workers == 1 {
+			warmNs = r.NsPerOp()
+		}
+
+		// One-cell edit in a live session: the incremental re-extract.
+		s := hext.NewSession(opt)
+		if _, err := s.Extract(base); err != nil {
+			fatal(err)
+		}
+		editProbe, err := s.Apply(editOp)
+		if err != nil {
+			fatal(err)
+		}
+		checkBytes("edit_incremental", editProbe.Netlist, wantEdit)
+		r = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				s := hext.NewSession(opt)
+				if _, err := s.Extract(base); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := s.Apply(editOp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		add("edit_incremental", editProbe.Counters, editProbe.Netlist, r)
+		if workers == 1 {
+			editNs = r.NsPerOp()
+		}
+	}
+
+	report.Persist = persistSummary{
+		WarmProcessSpeedupVsColdHext: float64(coldHextNs) / float64(warmNs),
+		EditSpeedupVsColdFlatAce:     float64(aceNs) / float64(editNs),
+		ByteIdentical:                byteIdentical,
+	}
+	fmt.Fprintf(os.Stderr,
+		"persist: warm-process %.1fx vs cold hext, edit %.1fx vs cold flat ace, byteIdentical=%v\n",
+		report.Persist.WarmProcessSpeedupVsColdHext,
+		report.Persist.EditSpeedupVsColdFlatAce,
+		byteIdentical)
 }

@@ -34,6 +34,8 @@ import (
 var (
 	flagWorkers        int
 	flagCacheSize      int
+	flagCacheDir       string
+	flagCacheMaxBytes  int64
 	flagFlattenWorkers int
 	flagTimeout        time.Duration
 	flagLenient        bool
@@ -44,10 +46,12 @@ var (
 
 func hextOpts() hext.Options {
 	return hext.Options{
-		Workers:   flagWorkers,
-		CacheSize: flagCacheSize,
-		Lenient:   flagLenient,
-		Limits:    guard.Limits{MaxBoxes: flagMaxBoxes},
+		Workers:       flagWorkers,
+		CacheSize:     flagCacheSize,
+		CacheDir:      flagCacheDir,
+		CacheMaxBytes: flagCacheMaxBytes,
+		Lenient:       flagLenient,
+		Limits:        guard.Limits{MaxBoxes: flagMaxBoxes},
 	}
 }
 
@@ -72,6 +76,8 @@ func main() {
 	)
 	flag.IntVar(&flagWorkers, "workers", 0, "schedule leaf sweeps and composes over this many goroutines (0 or 1: serial)")
 	flag.IntVar(&flagCacheSize, "cache-size", 0, "content-cache capacity in cached window sweeps (0: default 4096, negative: disabled)")
+	flag.StringVar(&flagCacheDir, "cache-dir", "", "persistent extraction cache directory (shared across runs and processes; empty: disabled)")
+	flag.Int64Var(&flagCacheMaxBytes, "cache-max-bytes", 0, "size cap for -cache-dir with LRU eviction (0: default 256 MiB, negative: uncapped)")
 	flag.IntVar(&flagFlattenWorkers, "flatten-workers", 0, "use the flat extractor's streamed pre-flatten ingest (with this many stamp workers) in the ACE comparison columns")
 	flag.DurationVar(&flagTimeout, "timeout", 0, "abort the extraction after this wall-clock duration (e.g. 30s; 0: no limit)")
 	flag.BoolVar(&flagLenient, "lenient", false, "recover from malformed CIF: record located diagnostics, resynchronise, extract the salvageable geometry")
@@ -147,6 +153,8 @@ func runExtract(in, out string, hier, stats bool) {
 			c.UniqueWindows, c.MemoHits, c.FlatCalls, c.ComposeCalls)
 		fmt.Printf("leafSweeps=%d cacheHits=%d cacheMisses=%d cacheBytes=%d\n",
 			c.LeafSweeps, c.CacheHits, c.CacheMisses, c.CacheBytes)
+		fmt.Printf("sessionHits=%d diskHits=%d diskMisses=%d diskBytes=%d\n",
+			c.SessionHits, c.DiskHits, c.DiskMisses, c.DiskBytes)
 		fmt.Printf("phases: parse=%v frontend=%v flat=%v compose=%v flatten=%v total=%v\n",
 			res.Timing.Parse, res.Timing.FrontEnd, res.Timing.Flat, res.Timing.Compose,
 			res.Timing.Flatten, res.Timing.Total())

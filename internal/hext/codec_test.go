@@ -1,0 +1,201 @@
+package hext
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ace/internal/geom"
+	"ace/internal/netlist"
+	"ace/internal/tech"
+)
+
+func TestSweepCodecRoundTrip(t *testing.T) {
+	nl := &netlist.Netlist{
+		Name: "leaf",
+		Nets: []netlist.Net{
+			{Names: []string{"vdd", "a"}, Location: geom.Pt(-3, 7), Geometry: []netlist.LayerRect{
+				{Layer: tech.Metal, Rect: geom.Rect{XMin: -1, YMin: -2, XMax: 3, YMax: 4}},
+			}},
+			{}, // nameless, geometry-free net
+		},
+		Devices: []netlist.Device{
+			{
+				Type: tech.Depletion, Gate: 0, Source: 1, Drain: 0,
+				Length: 200, Width: 400, Area: 80000, ImplArea: 80000,
+				Location:  geom.Pt(10, 20),
+				Terminals: []netlist.Terminal{{Net: 1, Edge: 400}, {Net: 0, Edge: 300}},
+				Geometry:  []geom.Rect{{XMin: 10, YMin: 20, XMax: 12, YMax: 24}},
+			},
+		},
+	}
+	warns := []string{"w1", ""}
+	payload := encodeSweep(nl, warns, 42)
+	gotNl, gotWarns, gotBoxes, err := decodeSweep(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotNl, nl) {
+		t.Fatalf("netlist mismatch:\n got %+v\nwant %+v", gotNl, nl)
+	}
+	if !reflect.DeepEqual(gotWarns, warns) || gotBoxes != 42 {
+		t.Fatalf("warns/boxes mismatch: %v %d", gotWarns, gotBoxes)
+	}
+}
+
+// TestSweepCodecRejectsDamage: every truncation and a byte-flip sweep
+// over a real payload must decode to an error or a *valid* value —
+// never panic. Flips that strike content bytes may legitimately
+// decode; flips that break structure must error.
+func TestSweepCodecRejectsDamage(t *testing.T) {
+	nl := &netlist.Netlist{Name: "x", Nets: []netlist.Net{{Names: []string{"n"}}},
+		Devices: []netlist.Device{{Terminals: []netlist.Terminal{{Net: 0, Edge: 1}}}}}
+	payload := encodeSweep(nl, []string{"warn"}, 3)
+	for cut := 0; cut < len(payload); cut++ {
+		if _, _, _, err := decodeSweep(payload[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for i := range payload {
+		mut := bytes.Clone(payload)
+		mut[i] ^= 0x55
+		gotNl, _, _, err := decodeSweep(mut) // must not panic
+		if err == nil {
+			// Whatever decoded must still be internally consistent
+			// enough to flatten: device net indices in range.
+			for _, d := range gotNl.Devices {
+				if d.Gate < 0 || d.Gate >= len(gotNl.Nets) {
+					t.Fatalf("flip at %d decoded device with bad gate", i)
+				}
+				for _, term := range d.Terminals {
+					if term.Net < 0 || term.Net >= len(gotNl.Nets) {
+						t.Fatalf("flip at %d decoded bad terminal", i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWinTreeCodecRoundTrip encodes a real extraction's result DAG and
+// checks the decoded copy re-encodes to identical bytes (with fresh
+// post-order ids), and that node sharing is preserved.
+func TestWinTreeCodecRoundTrip(t *testing.T) {
+	s := NewSession(Options{})
+	res, err := s.Extract(editableChip(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := encodeWinTree(res.top, nil)
+
+	ids := 0
+	nextID := func() int { ids++; return ids }
+	root, err := decodeWinTree(payload, nil, nil, nextID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.id != ids {
+		t.Fatalf("root id %d, want last-assigned %d", root.id, ids)
+	}
+	again := encodeWinTree(root, nil)
+	if !bytes.Equal(payload, again) {
+		t.Fatal("decoded tree re-encodes differently")
+	}
+	// Sharing: the decoded DAG must have exactly as many distinct
+	// nodes as records were assigned ids.
+	seen := map[*winResult]bool{}
+	var walk func(r *winResult)
+	walk = func(r *winResult) {
+		if seen[r] {
+			return
+		}
+		seen[r] = true
+		if r.comp != nil {
+			walk(r.comp.kids[0])
+			walk(r.comp.kids[1])
+		}
+	}
+	walk(root)
+	if len(seen) != ids {
+		t.Fatalf("decoded %d distinct nodes, assigned %d ids", len(seen), ids)
+	}
+}
+
+// TestWinTreeCodecRejectsDamage: truncations and byte flips of a tree
+// payload never panic, and whatever decodes keeps every
+// cross-reference in range (so flatten cannot index out of bounds).
+func TestWinTreeCodecRejectsDamage(t *testing.T) {
+	s := NewSession(Options{})
+	res, err := s.Extract(editableChip(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := encodeWinTree(res.top, nil)
+	nextID := func() func() int {
+		ids := 0
+		return func() int { ids++; return ids }
+	}
+	for cut := 0; cut < len(payload); cut += 7 {
+		if _, err := decodeWinTree(payload[:cut], nil, nil, nextID()); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	checkRefs := func(i int, root *winResult) {
+		var walk func(r *winResult)
+		seen := map[*winResult]bool{}
+		walk = func(r *winResult) {
+			if seen[r] {
+				return
+			}
+			seen[r] = true
+			if r.leaf != nil {
+				for _, di := range r.leaf.partDevs {
+					if di < 0 || di >= len(r.leaf.nl.Devices) {
+						t.Fatalf("flip at %d: partial device out of range", i)
+					}
+				}
+				return
+			}
+			c := r.comp
+			counts := func(rf ref, nets bool) {
+				kid := c.kids[rf.child]
+				max := int32(kid.netCount)
+				if !nets {
+					max = int32(kid.partCount)
+				}
+				if rf.idx < 0 || rf.idx >= max {
+					t.Fatalf("flip at %d: ref out of range", i)
+				}
+			}
+			for _, eq := range c.netEquivs {
+				counts(eq[0], true)
+				counts(eq[1], true)
+			}
+			for _, eq := range c.partEquivs {
+				counts(eq[0], false)
+				counts(eq[1], false)
+			}
+			for _, pt := range c.partTerms {
+				counts(pt.part, false)
+				counts(pt.net, true)
+			}
+			for _, rf := range c.parentNets {
+				counts(rf, true)
+			}
+			for _, rf := range c.parentParts {
+				counts(rf, false)
+			}
+			walk(c.kids[0])
+			walk(c.kids[1])
+		}
+		walk(root)
+	}
+	for i := 0; i < len(payload); i++ {
+		mut := bytes.Clone(payload)
+		mut[i] ^= 0x55
+		root, err := decodeWinTree(mut, nil, nil, nextID()) // must not panic
+		if err == nil {
+			checkRefs(i, root)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ace/internal/guard"
+	"ace/internal/store"
 )
 
 // dagNode is one unit of back-end work in the planned merge DAG: a
@@ -49,6 +50,7 @@ const (
 // parallel runs.
 type execCtx struct {
 	cache    *leafCache
+	disk     *store.Store
 	counters Counters
 	flat     time.Duration
 	comp     time.Duration
@@ -108,7 +110,7 @@ func (e *env) execute(workers int) error {
 		workers = len(nodes)
 	}
 	if workers <= 1 {
-		x := execCtx{cache: e.cache}
+		x := execCtx{cache: e.cache, disk: e.disk}
 		for _, n := range nodes {
 			if err := x.runGuarded(e, n); err != nil {
 				e.mergeExec(&x)
@@ -151,6 +153,7 @@ func (e *env) execute(workers int) error {
 	ctxs := make([]execCtx, workers)
 	for i := range ctxs {
 		ctxs[i].cache = e.cache
+		ctxs[i].disk = e.disk
 		wg.Add(1)
 		go func(x *execCtx) {
 			defer wg.Done()
@@ -188,6 +191,9 @@ func (e *env) mergeExec(x *execCtx) {
 	e.counters.CacheHits += x.counters.CacheHits
 	e.counters.CacheMisses += x.counters.CacheMisses
 	e.counters.SeamMatches += x.counters.SeamMatches
+	e.counters.DiskHits += x.counters.DiskHits
+	e.counters.DiskMisses += x.counters.DiskMisses
+	e.counters.DiskBytes += x.counters.DiskBytes
 	e.timing.Flat += x.flat
 	e.timing.Compose += x.comp
 }

@@ -2,6 +2,7 @@ package hext
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"ace/internal/geom"
 	"ace/internal/guard"
 	"ace/internal/netlist"
+	"ace/internal/store"
 )
 
 // Options configures a hierarchical extraction.
@@ -50,8 +52,23 @@ type Options struct {
 	// off, so every window is analysed even when identical to a
 	// previous one. Used by the ablation benchmark to quantify what
 	// the paper's "redundant windows are recognised and extracted only
-	// once" is worth.
+	// once" is worth. It also disables the disk cache.
 	DisableMemo bool
+
+	// CacheDir, when non-empty, adds a persistent tier under the
+	// in-memory caches: a content-addressed store (internal/store) in
+	// that directory. Window results and leaf sweeps computed by any
+	// process survive there, so a later run of the same (or an edited)
+	// design starts warm. Entries are verified against their full key
+	// on read, so the disk tier can change speed but never bytes; a
+	// store that cannot be opened degrades to a per-run warning, not
+	// an error.
+	CacheDir string
+
+	// CacheMaxBytes caps the disk cache directory's size: 0 selects
+	// store.DefaultMaxBytes, negative disables the cap. Eviction is
+	// least-recently-used.
+	CacheMaxBytes int64
 
 	// Fracture selects the guillotine-cut strategy.
 	Fracture Fracture
@@ -96,13 +113,26 @@ type Counters struct {
 	CellsExpanded int // one-level instance expansions
 	SeamMatches   int // interface-segment pairs matched
 
+	// SessionHits counts the MemoHits answered from a previous Extract
+	// in the same Session (the warm path of incremental re-extraction),
+	// as opposed to windows repeated within one run.
+	SessionHits int
+
 	// Content-cache counters: a flat call whose anchored content was
 	// already swept is a CacheHit and does no sweep, so LeafSweeps =
-	// CacheMisses when the cache is enabled and FlatCalls otherwise.
+	// CacheMisses - sweep-tier DiskHits when the cache is enabled and
+	// FlatCalls otherwise.
 	LeafSweeps  int   // scanline sweeps actually run
 	CacheHits   int   // flat calls answered by the content cache
-	CacheMisses int   // flat calls that had to sweep
+	CacheMisses int   // flat calls that had to sweep or go to disk
 	CacheBytes  int64 // approximate bytes retained by the cache (gauge)
+
+	// Disk-tier counters (zero unless Options.CacheDir is set): window
+	// trees and leaf sweeps answered by / missing from the persistent
+	// store, and the traffic this run exchanged with it.
+	DiskHits   int
+	DiskMisses int
+	DiskBytes  int64 // payload bytes read from + written to the store
 }
 
 // Timing splits the run into the paper's phases, in the style of the
@@ -138,7 +168,15 @@ type Result struct {
 	// contract.
 	Diagnostics diag.Set
 
-	top *winResult // for hierarchical wirelist emission
+	top  *winResult // for hierarchical wirelist emission
+	hier []byte     // undecoded window tree of a whole-result disk hit
+
+	// hierStore/hierKey locate the window tree of a whole-result hit
+	// whose entry did not embed one (the tree lives in the root's own
+	// "w:" entry); WriteHierarchical reads it on demand, so warm runs
+	// that never ask for hierarchical output never pay for the tree.
+	hierStore *store.Store
+	hierKey   string
 }
 
 // Extract runs HEXT over a parsed CIF design.
@@ -191,6 +229,14 @@ type Session struct {
 	memo  map[string]*winResult
 	cache *leafCache
 	ids   int
+
+	// disk is the persistent cache tier (nil without Options.CacheDir);
+	// diskWarn reports a store that failed to open, once per Extract.
+	disk     *store.Store
+	diskWarn string
+
+	// last is the most recently extracted design, the base Apply edits.
+	last *cif.File
 }
 
 // NewSession creates an incremental extraction session.
@@ -198,6 +244,16 @@ func NewSession(opt Options) *Session {
 	s := &Session{opt: opt, memo: map[string]*winResult{}}
 	if !opt.DisableMemo && opt.CacheSize >= 0 {
 		s.cache = newLeafCache(opt.CacheSize)
+	}
+	if opt.CacheDir != "" && !opt.DisableMemo {
+		disk, err := store.Open(opt.CacheDir, store.Options{MaxBytes: opt.CacheMaxBytes})
+		if err != nil {
+			// Fail-soft: a broken cache directory costs speed, never
+			// correctness — extraction proceeds cold with a warning.
+			s.diskWarn = fmt.Sprintf("cache disabled: %v", err)
+		} else {
+			s.disk = disk
+		}
 	}
 	return s
 }
@@ -247,8 +303,16 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 		noMemo:    opt.DisableMemo,
 		fracture:  opt.Fracture,
 		cache:     s.cache,
+		disk:      s.disk,
 	}
 	e.warnings = append(e.warnings, f.Warnings...)
+	if s.diskWarn != "" {
+		e.warnings = append(e.warnings, s.diskWarn)
+	}
+	// Warnings past this point describe the extraction itself (not this
+	// parse or this store handle); they are what a whole-result entry
+	// persists and replays.
+	preWarn := len(e.warnings)
 
 	var diags diag.Set
 	diags.SetLimits(opt.Diag)
@@ -269,6 +333,7 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 		diags.Sort()
 		b := &build.Builder{}
 		nl, _ := b.Finish()
+		s.last = f
 		return &Result{Netlist: nl, Warnings: e.warnings, Diagnostics: diags}, nil
 	}
 	root, err := e.plan(win, 0)
@@ -276,6 +341,23 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 		return nil, err
 	}
 	e.timing.FrontEnd = time.Since(t0)
+
+	if e.flatNL != nil {
+		// Whole-result hit: the final netlist, warnings and (lazily) the
+		// window tree all come from one verified store entry.
+		s.last = f
+		diags.Sort()
+		return &Result{
+			Netlist:     e.flatNL,
+			Counters:    e.counters,
+			Timing:      e.timing,
+			Warnings:    append(e.warnings, e.flatWarns...),
+			Diagnostics: diags,
+			hier:        e.flatHier,
+			hierStore:   e.disk,
+			hierKey:     e.rootKey,
+		}, nil
+	}
 
 	if err := e.execute(workers); err != nil {
 		return nil, err
@@ -294,6 +376,7 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 	for _, n := range e.nodeList {
 		e.warnings = append(e.warnings, n.warnings...)
 	}
+	e.persistResults()
 
 	t1 := time.Now()
 	b := &build.Builder{}
@@ -326,13 +409,16 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 	if e.cache != nil {
 		_, e.counters.CacheBytes = e.cache.stats()
 	}
+	warnings := append(e.warnings, b.Warnings()...)
+	e.persistFlat(root, nl, warnings[preWarn:])
+	s.last = f
 
 	diags.Sort()
 	return &Result{
 		Netlist:     nl,
 		Counters:    e.counters,
 		Timing:      e.timing,
-		Warnings:    append(e.warnings, b.Warnings()...),
+		Warnings:    warnings,
 		Diagnostics: diags,
 		top:         root.res,
 	}, nil
@@ -354,7 +440,19 @@ type env struct {
 	noMemo    bool
 	fracture  Fracture
 	cache     *leafCache
+	disk      *store.Store
 	overlay   []*overlayLabel
+
+	// rootKey is the top window's memo key (the content address of the
+	// whole design); flatNL/flatWarns hold a whole-result disk hit, and
+	// flatHier is its undecoded window-tree section for lazy hierarchical
+	// emission. diskLoaded marks memo keys whose results were decoded
+	// from the store this run, so persistResults never re-stats them.
+	rootKey    string
+	flatNL     *netlist.Netlist
+	flatWarns  []string
+	flatHier   []byte
+	diskLoaded map[string]bool
 
 	counters Counters
 	timing   Timing
@@ -389,14 +487,26 @@ func (e *env) plan(win window, depth int) (*dagNode, error) {
 	var k string
 	if !e.noMemo {
 		k = e.key(win)
+		if depth == 0 {
+			e.rootKey = k
+		}
 		if n, ok := e.nodes[k]; ok {
 			e.counters.MemoHits++
 			return n, nil
 		}
 		if r, ok := e.memo[k]; ok {
 			e.counters.MemoHits++
+			e.counters.SessionHits++
 			n := &dagNode{kind: nodeDone, res: r}
 			e.nodes[k] = n
+			return n, nil
+		}
+		// The top window first tries the whole-result tier: a hit skips
+		// planning, execution and flattening outright.
+		if depth == 0 && e.probeFlat(k) {
+			return &dagNode{kind: nodeDone}, nil
+		}
+		if n, ok := e.probeDisk(k); ok {
 			return n, nil
 		}
 	}
@@ -454,6 +564,199 @@ func (e *env) plan(win window, depth int) (*dagNode, error) {
 		e.nodes[k] = n
 	}
 	return n, nil
+}
+
+// winTreeMinInsts is the smallest window (in leaf instances) whose
+// result tree is persisted whole; smaller windows are covered by the
+// leaf-sweep tier, and their tree entries would cost more I/O than
+// the compose they save.
+const winTreeMinInsts = 2
+
+// winTreeKey is the store key of a window's persisted result tree.
+func winTreeKey(memoKey string) string { return "w:" + memoKey }
+
+// sweepKey is the store key of a persisted leaf sweep.
+func sweepKey(contentKey string) string { return "s:" + contentKey }
+
+// flatKey is the store key of a design's persisted whole result: the
+// flattened netlist, the run's warnings and the window tree, in one
+// verified entry.
+func flatKey(rootMemoKey string) string { return "f:" + rootMemoKey }
+
+// encodeFlat frames the whole-result entry: the flat section (netlist
+// + warnings) length-prefixed, followed by the window-tree section.
+func encodeFlat(flat, tree []byte) []byte {
+	out := binary.AppendUvarint(make([]byte, 0, 10+len(flat)+len(tree)), uint64(len(flat)))
+	out = append(out, flat...)
+	return append(out, tree...)
+}
+
+// decodeFlatFrame splits a whole-result entry into its two sections.
+func decodeFlatFrame(payload []byte) (flat, tree []byte, err error) {
+	n, w := binary.Uvarint(payload)
+	if w <= 0 || n > uint64(len(payload)-w) {
+		return nil, nil, errCodec
+	}
+	return payload[w : w+int(n)], payload[w+int(n):], nil
+}
+
+// probeFlat consults the whole-result tier for the design under root
+// memo key k. On a hit the final netlist and warnings are decoded
+// immediately; the window tree — embedded in the entry, or deferred to
+// the root's own "w:" entry when the entry is slim — is only touched
+// if the caller asks for hierarchical output.
+func (e *env) probeFlat(k string) bool {
+	if e.disk == nil {
+		return false
+	}
+	payload, ok := e.disk.Get(flatKey(k))
+	if !ok {
+		e.counters.DiskMisses++
+		return false
+	}
+	e.counters.DiskBytes += int64(len(payload))
+	flat, tree, err := decodeFlatFrame(payload)
+	if err == nil {
+		// A slim entry defers its tree to the root's "w:" entry; if the
+		// store has since lost that, the hit could not serve -hier, so
+		// retire it and recompute (which rewrites both entries).
+		if len(tree) == 0 && !e.disk.Has(winTreeKey(k)) {
+			err = errCodec
+		}
+	}
+	if err == nil {
+		var nl *netlist.Netlist
+		var warns []string
+		nl, warns, _, err = decodeSweep(flat)
+		if err == nil {
+			e.counters.DiskHits++
+			e.flatNL, e.flatWarns, e.flatHier = nl, warns, tree
+			return true
+		}
+	}
+	e.disk.Quarantine(flatKey(k))
+	e.counters.DiskMisses++
+	return false
+}
+
+// persistFlat writes the whole-result entry after a computed run, so
+// the next process over the same design bytes skips extraction
+// entirely.
+func (e *env) persistFlat(root *dagNode, nl *netlist.Netlist, warns []string) {
+	if e.disk == nil || e.noMemo || e.rootKey == "" || root.res == nil {
+		return
+	}
+	fk := flatKey(e.rootKey)
+	if e.disk.Has(fk) {
+		return
+	}
+	// persistResults already stored the root's window tree under its
+	// own "w:" entry for any non-trivial design; a slim entry defers to
+	// it, keeping the warm-process read proportional to the netlist,
+	// not the window tree. Tiny designs below winTreeMinInsts embed the
+	// tree instead.
+	var tree []byte
+	if !e.disk.Has(winTreeKey(e.rootKey)) {
+		rev := make(map[*winResult]string, len(e.nodes))
+		for k, n := range e.nodes {
+			if n.res != nil {
+				rev[n.res] = k
+			}
+		}
+		tree = encodeWinTree(root.res, func(r *winResult) string { return rev[r] })
+	}
+	payload := encodeFlat(encodeSweep(nl, warns, 0), tree)
+	if e.disk.Put(fk, payload) == nil {
+		e.counters.DiskBytes += int64(len(payload))
+	}
+}
+
+// probeDisk consults the persistent store for an already-extracted
+// window tree under memo key k. A hit decodes the whole result DAG —
+// grafting any subtrees the session already holds in memory — and
+// enters it as a pre-resolved node, so neither planning nor the back
+// end ever look inside the window again. Any failure (absent entry,
+// damaged payload) is a miss; damaged entries are quarantined.
+func (e *env) probeDisk(k string) (*dagNode, bool) {
+	if e.disk == nil {
+		return nil, false
+	}
+	payload, ok := e.disk.Get(winTreeKey(k))
+	if !ok {
+		e.counters.DiskMisses++
+		return nil, false
+	}
+	e.counters.DiskBytes += int64(len(payload))
+	lookup := func(key string) (*winResult, bool) {
+		if n, ok := e.nodes[key]; ok && n.res != nil {
+			return n.res, true
+		}
+		r, ok := e.memo[key]
+		return r, ok
+	}
+	adopt := func(key string, r *winResult) {
+		e.markDiskLoaded(key)
+		if _, ok := e.nodes[key]; !ok {
+			e.nodes[key] = &dagNode{kind: nodeDone, res: r}
+		}
+	}
+	r, err := decodeWinTree(payload, lookup, adopt, e.nextID)
+	if err != nil {
+		// Verified bytes that fail to decode are a schema change or a
+		// deliberate corruption; either way retire the entry so it is
+		// not re-read every run.
+		e.disk.Quarantine(winTreeKey(k))
+		e.counters.DiskMisses++
+		return nil, false
+	}
+	e.counters.DiskHits++
+	e.markDiskLoaded(k)
+	n := &dagNode{kind: nodeDone, res: r}
+	e.nodes[k] = n
+	return n, true
+}
+
+// markDiskLoaded records that key's result came from the store this
+// run, so persistResults skips it without a stat.
+func (e *env) markDiskLoaded(key string) {
+	if e.diskLoaded == nil {
+		e.diskLoaded = map[string]bool{}
+	}
+	e.diskLoaded[key] = true
+}
+
+// persistResults writes this run's window trees to the persistent
+// store, best-effort: cancellation stops the loop, write errors are
+// ignored (the next run recomputes), and entries already on disk are
+// skipped with a stat. Keys are embedded per node so future decodes
+// can graft shared subtrees.
+func (e *env) persistResults() {
+	if e.disk == nil || e.noMemo {
+		return
+	}
+	rev := make(map[*winResult]string, len(e.nodes))
+	for k, n := range e.nodes {
+		if n.res != nil {
+			rev[n.res] = k
+		}
+	}
+	keyOf := func(r *winResult) string { return rev[r] }
+	for k, n := range e.nodes {
+		if n.res == nil || n.res.insts < winTreeMinInsts || e.diskLoaded[k] {
+			continue
+		}
+		if guard.Ctx(e.ctx, guard.StageHextPlan) != nil {
+			return
+		}
+		dk := winTreeKey(k)
+		if e.disk.Has(dk) {
+			continue
+		}
+		payload := encodeWinTree(n.res, keyOf)
+		if e.disk.Put(dk, payload) == nil {
+			e.counters.DiskBytes += int64(len(payload))
+		}
+	}
 }
 
 // overlayCand is one leaf instance that could resolve a top-level

@@ -34,21 +34,72 @@ func (x *execCtx) extractLeaf(n *dagNode) (*winResult, []string) {
 		ck := contentKey(boxes, labels, anchor)
 		ent, owner := c.lookup(fnv64str(ck), ck)
 		if owner {
+			// Owner of a memory miss: try the disk tier before sweeping.
+			// Single-flight is preserved across both tiers — waiters on
+			// ent.ready get whichever source the owner used.
 			x.counters.CacheMisses++
-			x.counters.LeafSweeps++
-			snl, swarns := runLeafSweep(boxes, labels, anchor)
-			c.complete(ent, snl, swarns, len(boxes))
+			snl, swarns, sboxes, ok := x.diskSweep(ck)
+			if !ok {
+				x.counters.LeafSweeps++
+				snl, swarns = runLeafSweep(boxes, labels, anchor)
+				sboxes = len(boxes)
+				x.putSweep(ck, snl, swarns, sboxes)
+			}
+			c.complete(ent, snl, swarns, sboxes)
 		} else {
 			<-ent.ready
 			x.counters.CacheHits++
 		}
 		nl, warns, nboxes = ent.nl, ent.warnings, ent.boxes
+	} else if x.disk != nil {
+		ck := contentKey(boxes, labels, anchor)
+		var ok bool
+		if nl, warns, nboxes, ok = x.diskSweep(ck); !ok {
+			x.counters.LeafSweeps++
+			nl, warns = runLeafSweep(boxes, labels, anchor)
+			nboxes = len(boxes)
+			x.putSweep(ck, nl, warns, nboxes)
+		}
 	} else {
 		x.counters.LeafSweeps++
 		nl, warns = runLeafSweep(boxes, labels, anchor)
 		nboxes = len(boxes)
 	}
 	return buildLeafResult(n.id, n.win, nl, anchor, nboxes), warns
+}
+
+// diskSweep reads a persisted leaf sweep from the disk tier. Failures
+// of any kind are a miss; an entry whose verified payload fails to
+// decode is quarantined.
+func (x *execCtx) diskSweep(ck string) (*netlist.Netlist, []string, int, bool) {
+	if x.disk == nil {
+		return nil, nil, 0, false
+	}
+	payload, ok := x.disk.Get(sweepKey(ck))
+	if !ok {
+		x.counters.DiskMisses++
+		return nil, nil, 0, false
+	}
+	nl, warns, boxes, err := decodeSweep(payload)
+	if err != nil {
+		x.disk.Quarantine(sweepKey(ck))
+		x.counters.DiskMisses++
+		return nil, nil, 0, false
+	}
+	x.counters.DiskHits++
+	x.counters.DiskBytes += int64(len(payload))
+	return nl, warns, boxes, true
+}
+
+// putSweep persists a freshly-run leaf sweep, best-effort.
+func (x *execCtx) putSweep(ck string, nl *netlist.Netlist, warns []string, boxes int) {
+	if x.disk == nil {
+		return
+	}
+	payload := encodeSweep(nl, warns, boxes)
+	if x.disk.Put(sweepKey(ck), payload) == nil {
+		x.counters.DiskBytes += int64(len(payload))
+	}
 }
 
 // leafContent gathers a window's geometry and labels (in window-frame

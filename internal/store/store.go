@@ -1,0 +1,364 @@
+// Package store is a persistent content-addressed result store: a
+// directory of cache entries keyed by arbitrary strings, written
+// atomically and verified exhaustively on the way back in. The
+// hierarchical extractor uses it as the disk tier under its in-memory
+// caches, so extraction results survive the process; identical keys
+// computed by a later run (or a concurrent process sharing the
+// directory) read the stored payload instead of recomputing.
+//
+// Guarantees:
+//
+//   - An entry is either fully present or absent: writes go to a
+//     temporary file in the same directory and are published with
+//     os.Rename, which is atomic on POSIX filesystems. Two processes
+//     racing on one key leave one winner and no torn file.
+//   - A read can never return the wrong payload: the file carries a
+//     magic number, a format version, the complete key and an FNV-64a
+//     checksum over key and payload. Hash collisions in the file name,
+//     stale schema versions, truncation and bit flips all fail
+//     verification and degrade into a miss — the caller recomputes.
+//   - A failed verification quarantines the entry (renames it to a
+//     .bad file) so it is never consulted again; garbage collection
+//     removes quarantined files first.
+//   - The store is size-capped: when the directory grows past
+//     Options.MaxBytes, the least-recently-used entries (by
+//     modification time, refreshed on Get) are evicted until the
+//     store fits again.
+//
+// Every operation is fail-soft: I/O errors surface as misses (Get) or
+// returned errors the caller may ignore (Put). The store never
+// panics on hostile directory contents.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultMaxBytes is the size cap applied when Options.MaxBytes is 0.
+const DefaultMaxBytes = 256 << 20 // 256 MiB
+
+// formatVersion is the on-disk entry schema. Bump it when the header
+// layout changes; old entries then fail verification, are quarantined
+// and are lazily replaced by fresh computes.
+const formatVersion = 1
+
+// magic marks a store entry file.
+var magic = [4]byte{'A', 'C', 'S', 'T'}
+
+// headerSize is magic + version + keyLen + payloadLen.
+const headerSize = 4 + 4 + 4 + 4
+
+// checksumSize is the trailing FNV-64a over key+payload.
+const checksumSize = 8
+
+// entryExt is the extension of live entries; quarantined entries get
+// badExt and in-flight writes tmpPrefix.
+const (
+	entryExt  = ".e"
+	badExt    = ".bad"
+	tmpPrefix = ".tmp-"
+)
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes caps the directory's total size: 0 selects
+	// DefaultMaxBytes, negative disables the cap. Eviction is
+	// least-recently-used by file modification time.
+	MaxBytes int64
+}
+
+// Store is one cache directory. All methods are safe for concurrent
+// use by multiple goroutines, and the on-disk format is safe for
+// concurrent use by multiple processes (atomic rename publication;
+// eviction races degrade into misses).
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu    sync.Mutex
+	bytes int64 // approximate; < 0 until first sized; recomputed on GC
+	puts  int   // puts since the last GC consideration
+}
+
+// Open creates (if needed) and opens a store directory.
+func Open(dir string, opt Options) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	maxBytes := opt.MaxBytes
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	// The directory is not sized here: read-only openers (a warm
+	// process) never pay for a scan. The first Put sizes it lazily so
+	// the cap can be enforced.
+	s := &Store{dir: dir, maxBytes: maxBytes, bytes: -1}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its entry file: 16 hex digits of the key's
+// FNV-64a hash. Collisions are legal — verification against the full
+// key stored inside the file turns them into misses, and the last
+// writer owns the name.
+func (s *Store) path(key string) string {
+	var h [8]byte
+	binary.BigEndian.PutUint64(h[:], fnv64a(key, ""))
+	return filepath.Join(s.dir, hex.EncodeToString(h[:])+entryExt)
+}
+
+// Get returns the payload stored under key, refreshing the entry's
+// LRU position. Any verification failure — wrong magic, wrong
+// version, wrong key, bad checksum, truncation — quarantines the file
+// and reports a miss.
+func (s *Store) Get(key string) ([]byte, bool) {
+	p := s.path(key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	payload, err := verify(raw, key)
+	if err != nil {
+		s.quarantine(p)
+		return nil, false
+	}
+	// LRU touch; best-effort (the entry may have been evicted by a
+	// concurrent process between the read and the touch).
+	now := time.Now()
+	_ = os.Chtimes(p, now, now)
+	return payload, true
+}
+
+// Has reports whether an entry file exists under key's name without
+// reading or verifying it. It is the cheap "probably stored already"
+// check used to skip redundant Puts; a corrupt entry reporting true
+// here is quarantined by the next Get and re-Put after that.
+func (s *Store) Has(key string) bool {
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
+// Put stores payload under key, atomically: the entry is assembled in
+// a temporary file and published with a rename. Entries larger than
+// half the size cap are silently dropped (they would immediately
+// evict the rest of the store).
+func (s *Store) Put(key string, payload []byte) error {
+	size := int64(headerSize + len(key) + len(payload) + checksumSize)
+	if s.maxBytes > 0 && size > s.maxBytes/2 {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(payload)))
+	var sum [checksumSize]byte
+	binary.LittleEndian.PutUint64(sum[:], fnv64a(key, string(payload)))
+	for _, b := range [][]byte{hdr[:], []byte(key), payload, sum[:]} {
+		if _, err := tmp.Write(b); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	if s.bytes < 0 {
+		// First write through this handle: size the directory once (the
+		// scan already includes the entry just published).
+		s.bytes = s.scanBytes()
+	} else {
+		s.bytes += size
+	}
+	s.puts++
+	runGC := s.maxBytes > 0 && s.bytes > s.maxBytes
+	s.mu.Unlock()
+	if runGC {
+		s.GC()
+	}
+	return nil
+}
+
+// verify checks a raw entry file against the key it should hold and
+// returns the payload. It is pure and never panics, whatever the
+// bytes.
+func verify(raw []byte, key string) ([]byte, error) {
+	if len(raw) < headerSize+checksumSize {
+		return nil, errors.New("store: entry truncated")
+	}
+	if string(raw[:4]) != string(magic[:]) {
+		return nil, errors.New("store: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:]); v != formatVersion {
+		return nil, fmt.Errorf("store: version %d, want %d", v, formatVersion)
+	}
+	keyLen := int64(binary.LittleEndian.Uint32(raw[8:]))
+	payLen := int64(binary.LittleEndian.Uint32(raw[12:]))
+	if int64(len(raw)) != headerSize+keyLen+payLen+checksumSize {
+		return nil, errors.New("store: length mismatch")
+	}
+	gotKey := raw[headerSize : headerSize+keyLen]
+	if string(gotKey) != key {
+		return nil, errors.New("store: key mismatch")
+	}
+	payload := raw[headerSize+keyLen : headerSize+keyLen+payLen]
+	want := binary.LittleEndian.Uint64(raw[len(raw)-checksumSize:])
+	if fnv64a(key, string(payload)) != want {
+		return nil, errors.New("store: checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Quarantine retires the entry stored under key. Callers use it when
+// an entry passed verification but its payload failed to decode (a
+// payload-schema change, or corruption introduced before the checksum
+// was computed) — leaving it live would re-read it every run.
+func (s *Store) Quarantine(key string) { s.quarantine(s.path(key)) }
+
+// quarantine renames a failed entry to its .bad twin so it is never
+// consulted again (the entry name is then free for a fresh Put). If
+// the rename fails the file is removed outright.
+func (s *Store) quarantine(p string) {
+	if err := os.Rename(p, strings.TrimSuffix(p, entryExt)+badExt); err != nil {
+		_ = os.Remove(p)
+	}
+}
+
+// Stats reports the number of live entries and the approximate size
+// of the whole directory (live, quarantined and in-flight files).
+func (s *Store) Stats() (entries int, bytes int64) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, 0
+	}
+	for _, de := range ents {
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		bytes += info.Size()
+		if strings.HasSuffix(de.Name(), entryExt) {
+			entries++
+		}
+	}
+	return entries, bytes
+}
+
+// GC removes quarantined and stale temporary files, then evicts live
+// entries least-recently-used first until the directory fits in the
+// size cap again. Safe to call at any time and from any process
+// sharing the directory; a concurrent reader losing its entry sees a
+// plain miss.
+func (s *Store) GC() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	var live []entry
+	var total int64
+	now := time.Now()
+	for _, de := range ents {
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		p := filepath.Join(s.dir, de.Name())
+		switch {
+		case strings.HasSuffix(de.Name(), badExt):
+			_ = os.Remove(p)
+		case strings.HasPrefix(de.Name(), tmpPrefix):
+			// A temp file this old belongs to a crashed writer; live
+			// writers publish within seconds.
+			if now.Sub(info.ModTime()) > time.Hour {
+				_ = os.Remove(p)
+			} else {
+				total += info.Size()
+			}
+		case strings.HasSuffix(de.Name(), entryExt):
+			live = append(live, entry{p, info.Size(), info.ModTime()})
+			total += info.Size()
+		default:
+			total += info.Size()
+		}
+	}
+	if s.maxBytes > 0 && total > s.maxBytes {
+		sort.Slice(live, func(i, j int) bool { return live[i].mtime.Before(live[j].mtime) })
+		// Evict down to 7/8 of the cap so steady-state Puts don't GC
+		// on every call.
+		target := s.maxBytes - s.maxBytes/8
+		for _, e := range live {
+			if total <= target {
+				break
+			}
+			if os.Remove(e.path) == nil {
+				total -= e.size
+			}
+		}
+	}
+	s.bytes = total
+	s.puts = 0
+}
+
+// scanBytes sums the directory for the initial size estimate.
+func (s *Store) scanBytes() int64 {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, de := range ents {
+		if info, err := de.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
+}
+
+// fnv64a hashes two strings as one stream (key then payload), so the
+// checksum binds the payload to its key.
+func fnv64a(a, b string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(a); i++ {
+		h ^= uint64(a[i])
+		h *= prime
+	}
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime
+	}
+	return h
+}
