@@ -4,24 +4,19 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
 	"ace/internal/extract"
 	"ace/internal/gen"
+	"ace/internal/prof"
 )
 
-// benchEnv records the machine the numbers came from; baselines are
-// only comparable against the same environment.
+// benchEnv is the shared machine snapshot plus this benchmark's scale
+// knob; baselines are only comparable against the same environment.
 type benchEnv struct {
-	Date       string  `json:"date"`
-	GoVersion  string  `json:"go"`
-	OS         string  `json:"os"`
-	Arch       string  `json:"arch"`
-	NumCPU     int     `json:"num_cpu"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Scale      float64 `json:"scale"`
+	prof.Env
+	Scale float64 `json:"scale"`
 }
 
 type benchResult struct {
@@ -38,8 +33,11 @@ type benchResult struct {
 }
 
 type benchReport struct {
-	Env     benchEnv      `json:"env"`
-	Results []benchResult `json:"results"`
+	Env benchEnv `json:"env"`
+	// PeakRSSBytes is the process high-water mark sampled after the
+	// whole sweep — an upper bound on any single scenario's footprint.
+	PeakRSSBytes int64         `json:"peak_rss_bytes"`
+	Results      []benchResult `json:"results"`
 }
 
 // runBenchJSON benchmarks serial and banded extraction over the
@@ -48,15 +46,7 @@ type benchReport struct {
 // exercise the band-stitch overhead, so the sweep includes them and
 // the env block says how many cores the numbers were taken on.
 func runBenchJSON(path string, scale float64) {
-	report := benchReport{Env: benchEnv{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		OS:         runtime.GOOS,
-		Arch:       runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Scale:      scale,
-	}}
+	report := benchReport{Env: benchEnv{Env: prof.CaptureEnv(), Scale: scale}}
 
 	workerSweep := []int{1, 2, 4, 8}
 	for _, c := range gen.Chips {
@@ -95,6 +85,7 @@ func runBenchJSON(path string, scale float64) {
 		}
 	}
 
+	report.PeakRSSBytes = prof.PeakRSSBytes()
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)

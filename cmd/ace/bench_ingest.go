@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"testing"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"ace/internal/extract"
 	"ace/internal/frontend"
 	"ace/internal/gen"
+	"ace/internal/prof"
 )
 
 // ingestResult is one measurement of the ingest pipeline: either the
@@ -77,15 +77,7 @@ func ingestWorkloads() []gen.Workload {
 // show the streamed path's overhead stays flat with grain.
 func runBenchIngestJSON(path string, scale float64) {
 	report := ingestReport{
-		Env: benchEnv{
-			Date:       time.Now().UTC().Format(time.RFC3339),
-			GoVersion:  runtime.Version(),
-			OS:         runtime.GOOS,
-			Arch:       runtime.GOARCH,
-			NumCPU:     runtime.NumCPU(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
-			Scale:      scale,
-		},
+		Env:           benchEnv{Env: prof.CaptureEnv(), Scale: scale},
 		PrePRBaseline: prePRBaseline,
 	}
 

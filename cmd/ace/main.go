@@ -46,6 +46,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "chip scale factor for the table harnesses")
 		bench    = flag.String("bench-json", "", "benchmark the synthetic chips and write a JSON baseline to this file")
 		benchIn  = flag.String("bench-ingest-json", "", "benchmark the ingest pipeline (parse + instantiate) and write a JSON baseline to this file")
+		benchTil = flag.String("bench-tiles-json", "", "benchmark out-of-core tiled extraction under GOMEMLIMIT and write a JSON baseline to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -58,6 +59,10 @@ func main() {
 	flag.BoolVar(&flagCheck, "check", false, "run the static electrical-rule checker on the extracted netlist")
 	flag.BoolVar(&flagDiagJSON, "diag-json", false, "emit diagnostics as a JSON report on stdout (the wirelist then requires -o)")
 	flag.Int64Var(&flagMaxBoxes, "max-boxes", 0, "fail the extraction after this many geometry items (0: unlimited)")
+	flag.StringVar(&flagName, "name", "", "override the wirelist part name (default: the input path)")
+	flag.StringVar(&flagTiles, "tiles", "", "extract from a packed tile file (see cmd/cifpack) instead of CIF")
+	flag.StringVar(&flagWindow, "window", "", "with -tiles: extract only the window x0,y0,x1,y1 (centimicrons), reading O(window) tiles")
+	flag.StringVar(&flagStatsJSON, "stats-json", "", "write a machine-readable run summary (timing, peak RSS, tile I/O) to this file")
 	flag.Parse()
 
 	stop, err := prof.Start(*cpuProf, *memProf)
@@ -71,6 +76,10 @@ func main() {
 		runBenchIngestJSON(*benchIn, *scale)
 	case *bench != "":
 		runBenchJSON(*bench, *scale)
+	case *benchTil != "":
+		runBenchTilesJSON(*benchTil, *scale)
+	case flagTiles != "":
+		runExtractTiles(*out, *geometry, *stats, *profile)
 	case *table51:
 		runTable51(*scale)
 	case *table52:
@@ -91,6 +100,9 @@ func fatal(err error) {
 }
 
 func runExtract(in, out string, geometry, stats, profile bool) {
+	if flagWindow != "" {
+		fatal(fmt.Errorf("-window requires -tiles: windowed queries read a packed tile file"))
+	}
 	r := os.Stdin
 	if in != "" {
 		f, err := os.Open(in)
@@ -106,6 +118,7 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 		runExtractHier(ctx, r, in, out, geometry, stats)
 		return
 	}
+	t0 := time.Now()
 	res, err := extract.ReaderContext(ctx, r, extract.Options{
 		KeepGeometry:   geometry,
 		Profile:        profile || stats,
@@ -117,6 +130,7 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 	if err != nil {
 		fatal(err)
 	}
+	elapsed := time.Since(t0)
 	if flagCheck {
 		res.Diagnostics.AddAll(check.Run(res.Netlist, check.Options{}))
 		res.Diagnostics.Sort()
@@ -136,6 +150,9 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 	if in != "" {
 		res.Netlist.Name = in
 	}
+	if flagName != "" {
+		res.Netlist.Name = flagName
+	}
 
 	if stats || profile {
 		fmt.Printf("%s\n", res.Netlist.Stats())
@@ -152,7 +169,9 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 			fmt.Printf("phases: parse=%v frontend=%v insert=%v devices=%v output=%v misc=%v total=%v\n",
 				p.Parse, p.FrontEnd, p.Insert, p.Devices, p.Output, p.Misc(), p.Total)
 		}
+		printResourceStats(res.Tile)
 		if profile {
+			writeRunStats("cif", res, elapsed)
 			os.Exit(cli.Exit(&res.Diagnostics))
 		}
 	}
@@ -173,6 +192,7 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 			fatal(err)
 		}
 	}
+	writeRunStats("cif", res, elapsed)
 	if code := cli.Exit(&res.Diagnostics); code != cli.ExitOK {
 		os.Exit(code)
 	}
@@ -211,11 +231,15 @@ func runExtractHier(ctx context.Context, r io.Reader, in, out string, geometry, 
 	if in != "" {
 		res.Netlist.Name = in
 	}
+	if flagName != "" {
+		res.Netlist.Name = flagName
+	}
 	if stats {
 		c := res.Counters
 		fmt.Printf("%s\n", res.Netlist.Stats())
 		fmt.Printf("uniqueWindows=%d memoHits=%d diskHits=%d diskMisses=%d\n",
 			c.UniqueWindows, c.MemoHits, c.DiskHits, c.DiskMisses)
+		printResourceStats(nil)
 	}
 	w := os.Stdout
 	if out != "" {
@@ -343,6 +367,7 @@ func runMesh(n int) {
 // runs; flagTimeout is the -timeout wall-clock budget for a plain
 // extraction run.
 var (
+	flagName           string
 	flagHier           bool
 	flagCacheDir       string
 	flagWorkers        int

@@ -12,9 +12,16 @@
 //	cifgen -w mesh -n 32                 ACE §4 worst-case mesh
 //	cifgen -w stat -n 10000 -seed 7      Bentley–Haken–Hon statistical model
 //	cifgen -w chip:testram -scale 0.1    a Table 5-1 stand-in chip
+//	cifgen -target-boxes 8000000         size-targeted streamed chip
+//
+// -target-boxes selects the streaming generator: the chip is emitted
+// as CIF text while it is generated, so multi-GB benchmark chips cost
+// O(1) memory. Add -flat to write every box at top level instead of
+// symbol calls (same flattened design, much bigger text).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -33,8 +40,36 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed for stochastic workloads")
 		scale    = flag.Float64("scale", 1.0, "chip scale factor")
 		out      = flag.String("o", "", "output file (default stdout)")
+		target   = flag.Int64("target-boxes", 0, "emit a streamed chip with ~N flattened boxes (overrides -w)")
+		cellBox  = flag.Int("cell-boxes", 0, "streamed mode: boxes per row cell (0 = default)")
+		flat     = flag.Bool("flat", false, "streamed mode: flatten to top-level boxes")
 	)
 	flag.Parse()
+
+	if *target > 0 {
+		w := os.Stdout
+		if *out != "" {
+			fo, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer fo.Close()
+			w = fo
+		}
+		bw := bufio.NewWriterSize(w, 1<<20)
+		info, err := gen.StreamChip(bw, gen.StreamSpec{
+			TargetBoxes: *target, CellBoxes: *cellBox, Flat: *flat,
+		})
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "cifgen: %d boxes (%d row cells in %dx%d grid, %d gates)\n",
+			info.Boxes, info.Instances, info.Cols, info.Rows, info.Gates)
+		return
+	}
 
 	var f *cif.File
 	switch {

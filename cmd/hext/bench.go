@@ -15,22 +15,16 @@ import (
 	"ace/internal/geom"
 	"ace/internal/hext"
 	"ace/internal/netlist"
+	"ace/internal/prof"
 	"ace/internal/tech"
 	"ace/internal/wirelist"
 )
 
-// benchEnv records the machine the numbers came from; baselines are
-// only comparable against the same environment. GOMAXPROCS sits next
-// to num_cpu because the worker sweep's speedups are meaningless
-// without it.
-type benchEnv struct {
-	Date       string `json:"date"`
-	GoVersion  string `json:"go"`
-	OS         string `json:"os"`
-	Arch       string `json:"arch"`
-	NumCPU     int    `json:"num_cpu"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-}
+// benchEnv is the shared machine snapshot (see prof.CaptureEnv);
+// baselines are only comparable against the same environment.
+// GOMAXPROCS sits next to num_cpu because the worker sweep's speedups
+// are meaningless without it.
+type benchEnv = prof.Env
 
 type benchResult struct {
 	Workload    string `json:"workload"`
@@ -73,9 +67,12 @@ type persistSummary struct {
 }
 
 type benchReport struct {
-	Env     benchEnv       `json:"env"`
-	Results []benchResult  `json:"results"`
-	Persist persistSummary `json:"persist"`
+	Env benchEnv `json:"env"`
+	// PeakRSSBytes is the process high-water mark sampled after the
+	// whole sweep — an upper bound on any single scenario's footprint.
+	PeakRSSBytes int64          `json:"peak_rss_bytes"`
+	Results      []benchResult  `json:"results"`
+	Persist      persistSummary `json:"persist"`
 }
 
 // runBenchJSON runs the replication reuse sweep — the same gate cell
@@ -85,14 +82,7 @@ type benchReport struct {
 // the content cache it grows far slower than the instance count,
 // because leaf_sweeps stays at the number of distinct contents.
 func runBenchJSON(path string) {
-	report := benchReport{Env: benchEnv{
-		Date:       time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		OS:         runtime.GOOS,
-		Arch:       runtime.GOARCH,
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-	}}
+	report := benchReport{Env: prof.CaptureEnv()}
 	if runtime.NumCPU() < 2 {
 		fmt.Fprintf(os.Stderr,
 			"hext: single-core host (NumCPU=%d): worker sweeps measure scheduling overhead, not speedup\n",
@@ -156,6 +146,7 @@ func runBenchJSON(path string) {
 	}
 
 	runPersistBench(&report)
+	report.PeakRSSBytes = prof.PeakRSSBytes()
 
 	f, err := os.Create(path)
 	if err != nil {

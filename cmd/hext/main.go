@@ -158,6 +158,9 @@ func runExtract(in, out string, hier, stats bool) {
 		fmt.Printf("phases: parse=%v frontend=%v flat=%v compose=%v flatten=%v total=%v\n",
 			res.Timing.Parse, res.Timing.FrontEnd, res.Timing.Flat, res.Timing.Compose,
 			res.Timing.Flatten, res.Timing.Total())
+		if rss := prof.PeakRSSBytes(); rss > 0 {
+			fmt.Printf("peakRSS=%d bytes (%.1f MiB)\n", rss, float64(rss)/(1<<20))
+		}
 		os.Exit(cli.Exit(&res.Diagnostics))
 	}
 	w := os.Stdout

@@ -290,3 +290,105 @@ func TestExitCodeTaxonomy(t *testing.T) {
 		}
 	}
 }
+
+// TestTiledCLISmoke drives the out-of-core loop across real
+// processes: stream a size-targeted chip, pack it to the tiled format,
+// extract it from tiles under a hard GOMEMLIMIT, and confirm the
+// wirelist matches the in-RAM pipeline byte for byte. Windowed queries
+// must report touching a small fraction of the file, and a corrupted
+// file must fail with a diagnostic, not a panic.
+func TestTiledCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"ace", "cifgen", "cifpack"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bins[name], args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	cif := filepath.Join(dir, "chip.cif")
+	run("cifgen", "-target-boxes", "50000", "-o", cif)
+	actb := filepath.Join(dir, "chip.actb")
+	run("cifpack", "-o", actb, cif)
+	if out := run("cifpack", "-info", actb); !strings.Contains(out, "boxes") {
+		t.Fatalf("cifpack -info: %s", out)
+	}
+	if out := run("cifpack", "-verify", actb); !strings.Contains(out, "ok") {
+		t.Fatalf("cifpack -verify: %s", out)
+	}
+
+	// Byte-identity across sources and worker counts, with the tiled
+	// runs under a memory limit far below the flattened chip.
+	ref := run("ace", "-name", "chip", "-workers", "1", cif)
+	for _, workers := range []string{"1", "4"} {
+		stats := filepath.Join(dir, "stats"+workers+".json")
+		cmd := exec.Command(bins["ace"], "-name", "chip", "-workers", workers,
+			"-tiles", actb, "-stats-json", stats)
+		cmd.Env = append(os.Environ(), "GOMEMLIMIT=16MiB")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("ace -tiles -workers %s: %v\n%s", workers, err, out)
+		}
+		if string(out) != ref {
+			t.Fatalf("tiled wirelist differs from in-RAM at workers=%s", workers)
+		}
+		var st struct {
+			PeakRSSBytes int64 `json:"peak_rss_bytes"`
+			TilesDecoded int64 `json:"tiles_decoded"`
+			TilesTotal   int64 `json:"tiles_total"`
+		}
+		b, err := os.ReadFile(stats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(b, &st); err != nil {
+			t.Fatalf("stats-json: %v\n%s", err, b)
+		}
+		if st.PeakRSSBytes <= 0 || st.TilesDecoded <= 0 || st.TilesTotal <= 0 {
+			t.Fatalf("stats-json missing counters: %+v", st)
+		}
+	}
+
+	// A windowed query touches O(window) tiles and says so.
+	out := run("ace", "-tiles", actb, "-window", "0,0,100000,100000", "-stats")
+	if !strings.Contains(out, "tiles: decoded=") || !strings.Contains(out, "peakRSS=") {
+		t.Fatalf("window -stats missing tile counters:\n%s", out)
+	}
+
+	// Corruption fails soft: diagnostic and nonzero exit, no panic.
+	data, err := os.ReadFile(actb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	bad := filepath.Join(dir, "bad.actb")
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bins["ace"], "-tiles", bad)
+	b, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("corrupt tile file extracted without error:\n%s", b)
+	}
+	if strings.Contains(string(b), "panic") {
+		t.Fatalf("corrupt tile file panicked:\n%s", b)
+	}
+}

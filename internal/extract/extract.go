@@ -115,6 +115,10 @@ type Result struct {
 	// lenient mode — every recovered fault. Error-severity entries mean
 	// parts of the input were skipped; the wirelist covers the rest.
 	Diagnostics diag.Set
+
+	// Tile reports disk I/O when the design came from a packed tile
+	// file (Tiles / TileWindow); nil for the CIF pipelines.
+	Tile *TileIO
 }
 
 // Reader extracts a CIF design from r.

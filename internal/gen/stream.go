@@ -1,0 +1,183 @@
+package gen
+
+import (
+	"fmt"
+	"io"
+)
+
+// StreamSpec sizes a streamed benchmark chip: a grid of metal
+// serpentine row cells (box-heavy, netlist-light — every row merges
+// into one net) plus a thin strip of transistors so the extraction
+// exercises devices too. The generator emits CIF text directly to the
+// writer and never materialises the design, so multi-GB chips cost
+// O(1) memory to produce.
+type StreamSpec struct {
+	// TargetBoxes is the flattened box count to aim for; the actual
+	// count (within one row cell of the target) is reported back.
+	TargetBoxes int64
+
+	// CellBoxes is the box count of one row cell; 0 selects 128. Larger
+	// cells mean fewer, longer rows.
+	CellBoxes int
+
+	// Gates is the number of transistor cells placed along the bottom
+	// strip; 0 selects 64. Each contributes one device and three nets.
+	Gates int
+
+	// Flat emits every box as a top-level B command instead of symbol
+	// calls: the text grows to O(TargetBoxes) but the writer still
+	// streams. Use it to exercise parsers on huge flat files; the
+	// hierarchical form extracts identically.
+	Flat bool
+}
+
+// StreamInfo reports what StreamChip actually emitted.
+type StreamInfo struct {
+	Boxes     int64 // flattened box count
+	Instances int64 // row-cell instances
+	Gates     int   // transistor cells
+	Cols      int   // instance grid columns
+	Rows      int   // instance grid rows
+}
+
+// Stream geometry, in centimicrons (λ = Lambda). A row cell is
+// CellBoxes metal boxes, each 4λ wide and 2λ tall, overlapping 1λ so
+// the sweep merges the whole row into a single strip — the box-heavy,
+// element-light shape that keeps the union-find arena tiny relative to
+// the geometry, which is what lets a chip far larger than memory
+// extract under a hard memory limit.
+const (
+	streamBoxW     = 4 * Lambda // box width
+	streamBoxPitch = 3 * Lambda // horizontal step (1λ overlap)
+	streamRowH     = 2 * Lambda // row cell height
+	streamRowGap   = 2 * Lambda // vertical gap between rows
+	streamCellGap  = 2 * Lambda // horizontal gap between row cells
+	streamGateW    = 10 * Lambda
+)
+
+// StreamChip writes the chip as CIF text. The caller supplies a
+// buffered writer for large outputs.
+func StreamChip(w io.Writer, spec StreamSpec) (StreamInfo, error) {
+	cellBoxes := spec.CellBoxes
+	if cellBoxes <= 0 {
+		cellBoxes = 128
+	}
+	gates := spec.Gates
+	if gates == 0 {
+		gates = 64
+	}
+	target := spec.TargetBoxes
+	if target < 1 {
+		target = 1
+	}
+	gateBoxes := int64(gates) * 2
+	instances := (target - gateBoxes + int64(cellBoxes) - 1) / int64(cellBoxes)
+	if instances < 1 {
+		instances = 1
+	}
+	rowW := int64(cellBoxes-1)*streamBoxPitch + streamBoxW
+	cellPitchX := rowW + streamCellGap
+	cellPitchY := int64(streamRowH + streamRowGap)
+
+	// Square the chip in coordinate space, not instance count: row
+	// cells are much wider than tall, so the grid needs far more rows
+	// than columns. A square chip gives the band partitioner (and tile
+	// grid) plenty of distinct stop levels to cut at.
+	cols := 1
+	for int64(cols)*int64(cols)*cellPitchX < instances*cellPitchY {
+		cols++
+	}
+	rows := int((instances + int64(cols) - 1) / int64(cols))
+
+	info := StreamInfo{
+		Boxes:     instances*int64(cellBoxes) + gateBoxes,
+		Instances: instances,
+		Gates:     gates,
+		Cols:      cols,
+		Rows:      rows,
+	}
+
+	ew := &errWriter{w: w}
+
+	emitRowBoxes := func(dx, dy int64) {
+		for i := 0; i < cellBoxes; i++ {
+			x0 := dx + int64(i)*streamBoxPitch
+			// B length width cx cy (center form; even extents round-trip).
+			ew.printf("B %d %d %d %d;\n", streamBoxW, streamRowH,
+				x0+streamBoxW/2, dy+streamRowH/2)
+		}
+	}
+	// One enhancement transistor: a diff bar crossed by a poly gate.
+	// Channel at the overlap; diff splits into source and drain nets.
+	emitGateBoxes := func(dx, dy int64, layer func(string)) {
+		layer("ND")
+		ew.printf("B %d %d %d %d;\n", 6*Lambda, 2*Lambda, dx+3*Lambda, dy+Lambda)
+		layer("NP")
+		ew.printf("B %d %d %d %d;\n", 2*Lambda, 4*Lambda, dx+3*Lambda, dy+Lambda)
+	}
+
+	if spec.Flat {
+		ew.printf("L NM;\n")
+		var emitted int64
+		for inst := int64(0); inst < instances; inst++ {
+			col := int(inst % int64(cols))
+			row := int(inst / int64(cols))
+			emitRowBoxes(int64(col)*cellPitchX, int64(row)*cellPitchY)
+			emitted += int64(cellBoxes)
+			if ew.err != nil {
+				return info, ew.err
+			}
+		}
+		cur := "NM"
+		layer := func(l string) {
+			if l != cur {
+				ew.printf("L %s;\n", l)
+				cur = l
+			}
+		}
+		for g := 0; g < gates; g++ {
+			emitGateBoxes(int64(g)*streamGateW, -6*Lambda, layer)
+		}
+	} else {
+		ew.printf("DS 1 1 1;\n9 srow;\nL NM;\n")
+		emitRowBoxes(0, 0)
+		ew.printf("DF;\n")
+		ew.printf("DS 2 1 1;\n9 sgate;\n")
+		cur := ""
+		layer := func(l string) {
+			if l != cur {
+				ew.printf("L %s;\n", l)
+				cur = l
+			}
+		}
+		emitGateBoxes(0, -6*Lambda, layer)
+		ew.printf("DF;\n")
+		for inst := int64(0); inst < instances; inst++ {
+			col := inst % int64(cols)
+			row := inst / int64(cols)
+			ew.printf("C 1 T %d %d;\n", col*cellPitchX, row*cellPitchY)
+			if ew.err != nil {
+				return info, ew.err
+			}
+		}
+		for g := 0; g < gates; g++ {
+			ew.printf("C 2 T %d 0;\n", int64(g)*streamGateW)
+		}
+	}
+	// One label on the first row's first box: the label path stays live.
+	ew.printf("94 row0 %d %d;\n", Lambda, Lambda)
+	ew.printf("E\n")
+	return info, ew.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

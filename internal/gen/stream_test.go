@@ -1,0 +1,77 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+
+	"ace/internal/cif"
+	"ace/internal/frontend"
+)
+
+func streamToFile(t *testing.T, spec StreamSpec) (*cif.File, StreamInfo) {
+	t.Helper()
+	var buf bytes.Buffer
+	info, err := StreamChip(&buf, spec)
+	if err != nil {
+		t.Fatalf("StreamChip: %v", err)
+	}
+	f, err := cif.ParseBytes(buf.Bytes())
+	if err != nil {
+		t.Fatalf("parse streamed chip: %v", err)
+	}
+	return f, info
+}
+
+func countBoxes(t *testing.T, f *cif.File) int64 {
+	t.Helper()
+	s, err := frontend.New(f, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func TestStreamChipBoxCount(t *testing.T) {
+	for _, target := range []int64{1, 500, 5000, 20000} {
+		f, info := streamToFile(t, StreamSpec{TargetBoxes: target, CellBoxes: 32, Gates: 8})
+		got := countBoxes(t, f)
+		if got != info.Boxes {
+			t.Fatalf("target %d: flattened %d boxes, info says %d", target, got, info.Boxes)
+		}
+		if target > 100 {
+			if got < target || got > target+32+16 {
+				t.Fatalf("target %d: emitted %d boxes, outside [target, target+cell]", target, got)
+			}
+		}
+	}
+}
+
+func TestStreamChipFlatMatchesHierarchical(t *testing.T) {
+	spec := StreamSpec{TargetBoxes: 3000, CellBoxes: 32, Gates: 8}
+	hier, hInfo := streamToFile(t, spec)
+	spec.Flat = true
+	flat, fInfo := streamToFile(t, spec)
+	if hInfo != fInfo {
+		t.Fatalf("info differs: hier %+v flat %+v", hInfo, fInfo)
+	}
+	hs, err := frontend.New(hier, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := frontend.New(flat, frontend.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := hs.Drain()
+	fb := fs.Drain()
+	if len(hb) != len(fb) {
+		t.Fatalf("hier %d boxes, flat %d", len(hb), len(fb))
+	}
+}

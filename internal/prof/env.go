@@ -1,0 +1,73 @@
+package prof
+
+import (
+	"bytes"
+	"os"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Env records the machine and toolchain a measurement came from;
+// baselines are only comparable against the same environment. Both
+// bench commands embed it in their reports so the fields (and any new
+// ones, like peak RSS) land once.
+type Env struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CaptureEnv snapshots the current environment.
+func CaptureEnv() Env {
+	return Env{
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+}
+
+// PeakRSSBytes reports the process's high-water resident set size
+// (VmHWM from /proc/self/status) — the honest "how much memory did
+// this run actually take" number the out-of-core benchmarks record.
+// It returns 0 on platforms without procfs; callers should treat 0 as
+// "unavailable", not "no memory".
+func PeakRSSBytes() int64 {
+	raw, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	return parseVmHWM(raw)
+}
+
+// parseVmHWM extracts the VmHWM value (reported in kB) from a
+// /proc/self/status image.
+func parseVmHWM(status []byte) int64 {
+	for len(status) > 0 {
+		line := status
+		if i := bytes.IndexByte(status, '\n'); i >= 0 {
+			line, status = status[:i], status[i+1:]
+		} else {
+			status = nil
+		}
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		f := bytes.Fields(line[len("VmHWM:"):])
+		if len(f) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(f[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}

@@ -1,0 +1,33 @@
+package prof
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestParseVmHWM(t *testing.T) {
+	status := []byte("Name:\tace\nVmPeak:\t  123 kB\nVmHWM:\t   2048 kB\nVmRSS:\t 1024 kB\n")
+	if got := parseVmHWM(status); got != 2048<<10 {
+		t.Fatalf("parseVmHWM = %d, want %d", got, 2048<<10)
+	}
+	if got := parseVmHWM([]byte("no such field\n")); got != 0 {
+		t.Fatalf("missing field: got %d, want 0", got)
+	}
+	if got := parseVmHWM(nil); got != 0 {
+		t.Fatalf("empty: got %d, want 0", got)
+	}
+}
+
+func TestPeakRSSBytes(t *testing.T) {
+	rss := PeakRSSBytes()
+	if runtime.GOOS == "linux" && rss <= 0 {
+		t.Fatalf("PeakRSSBytes = %d on linux, want > 0", rss)
+	}
+}
+
+func TestCaptureEnv(t *testing.T) {
+	e := CaptureEnv()
+	if e.GoVersion == "" || e.OS == "" || e.NumCPU < 1 || e.Date == "" {
+		t.Fatalf("incomplete env: %+v", e)
+	}
+}

@@ -280,13 +280,24 @@ func chooseCuts(boxes []frontend.Box, workers int) []int64 {
 // multiset, the result equals chooseCuts on any box list with the same
 // tops.
 func CutsFromTops(tops []int64, workers int) []int64 {
+	return CutsFromTopsFunc(len(tops), func(i int) int64 { return tops[i] }, workers)
+}
+
+// CutsFromTopsFunc is CutsFromTops for callers that can look up the
+// top at a given descending rank without materialising the whole top
+// list — the tiled on-disk source resolves the handful of quantile
+// probes by decoding only the tile rows they land in. at(i) must
+// return the i-th largest top (0-based) of an n-box design; the
+// result then equals chooseCuts on any box list with the same tops.
+func CutsFromTopsFunc(n int, at func(int) int64, workers int) []int64 {
 	cuts := make([]int64, 0, workers-1)
+	top0 := at(0)
 	for k := 1; k < workers; k++ {
-		c := tops[k*len(tops)/workers]
-		if c >= tops[0] {
+		c := at(k * n / workers)
+		if c >= top0 {
 			continue // the whole prefix shares one top
 		}
-		if n := len(cuts); n == 0 || c < cuts[n-1] {
+		if nc := len(cuts); nc == 0 || c < cuts[nc-1] {
 			cuts = append(cuts, c)
 		}
 	}

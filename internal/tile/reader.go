@@ -1,0 +1,631 @@
+package tile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+
+	"ace/internal/frontend"
+	"ace/internal/geom"
+	"ace/internal/scan"
+	"ace/internal/tech"
+)
+
+// Reader serves windowed and banded reads from a packed tile file.
+// Only the footer index lives in memory (52 bytes per tile plus the
+// labels); tile payloads are fetched with positioned reads as the
+// iterators need them and decoded one tile at a time into reusable
+// arenas. ReadAt is safe for concurrent use, so band workers share one
+// Reader and pull their tile ranges in parallel.
+//
+// Every structural read is verified: the header magic and version, the
+// footer checksum, per-tile payload checksums, and index consistency
+// (offsets inside the payload region, counts summing to the recorded
+// box total). Damage surfaces as *CorruptError, never a panic.
+type Reader struct {
+	r      io.ReaderAt
+	closer io.Closer
+	size   int64
+
+	grid   Grid
+	nBoxes int64
+	// entries is row-major, rows top-down: entries[r*Cols+c].
+	entries []tileEntry
+	labels  []frontend.Label
+	// rowCum[r] is the number of boxes in rows [0, r): prefix sums over
+	// the index, so top-rank queries can find their row in O(log rows).
+	rowCum []int64
+
+	bytesRead    atomic.Int64
+	tilesDecoded atomic.Int64
+}
+
+// Counters is a snapshot of a Reader's I/O effort: how many payload,
+// footer and trailer bytes were fetched and how many tiles were
+// decoded. Windowed queries prove their O(window) claim with these.
+type Counters struct {
+	BytesRead    int64
+	TilesDecoded int64
+}
+
+// Open opens a tile file and parses its index. The returned Reader
+// owns the file handle; release it with Close.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("tile: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("tile: %w", err)
+	}
+	r, err := NewReader(f, info.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.closer = f
+	return r, nil
+}
+
+// NewReader parses the index of a tile file presented as a random
+// access byte region.
+func NewReader(ra io.ReaderAt, size int64) (*Reader, error) {
+	r := &Reader{r: ra, size: size}
+	if err := r.loadIndex(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Close releases the underlying file when the Reader owns one.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// Grid returns the file's tile grid.
+func (r *Reader) Grid() Grid { return r.grid }
+
+// BBox returns the grid bounding box recorded at pack time.
+func (r *Reader) BBox() geom.Rect { return r.grid.BBox }
+
+// NumBoxes returns the total box count across all tiles.
+func (r *Reader) NumBoxes() int64 { return r.nBoxes }
+
+// Labels returns the design's net-name annotations (shared slice; do
+// not mutate).
+func (r *Reader) Labels() []frontend.Label { return r.labels }
+
+// Size returns the file size in bytes.
+func (r *Reader) Size() int64 { return r.size }
+
+// NonEmptyTiles returns the number of tiles holding at least one box —
+// the denominator for "decoded k of n tiles" claims.
+func (r *Reader) NonEmptyTiles() int64 {
+	var n int64
+	for i := range r.entries {
+		if r.entries[i].count > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Counters snapshots the I/O counters. They accumulate across every
+// iterator served by this Reader, including concurrent band reads.
+func (r *Reader) Counters() Counters {
+	return Counters{BytesRead: r.bytesRead.Load(), TilesDecoded: r.tilesDecoded.Load()}
+}
+
+// readAt fetches a byte range, counting it.
+func (r *Reader) readAt(buf []byte, off int64) error {
+	n, err := r.r.ReadAt(buf, off)
+	r.bytesRead.Add(int64(n))
+	if err != nil {
+		return corruptf("file", "read %d bytes at %d: %v", len(buf), off, err)
+	}
+	return nil
+}
+
+// loadIndex verifies header and trailer and decodes the footer.
+func (r *Reader) loadIndex() error {
+	if r.size < headerSize+trailerSize {
+		return corruptf("file", "size %d below minimum %d", r.size, headerSize+trailerSize)
+	}
+	var hdr [headerSize]byte
+	if err := r.readAt(hdr[:], 0); err != nil {
+		return err
+	}
+	if string(hdr[:4]) != string(magicHeader[:]) {
+		return corruptf("header", "bad magic %q", hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
+		return corruptf("header", "version %d, want %d", v, Version)
+	}
+	var tr [trailerSize]byte
+	if err := r.readAt(tr[:], r.size-trailerSize); err != nil {
+		return err
+	}
+	if string(tr[24:28]) != string(magicEnd[:]) {
+		return corruptf("trailer", "bad end magic %q", tr[24:28])
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(tr[0:]))
+	footerLen := int64(binary.LittleEndian.Uint64(tr[8:]))
+	footerSum := binary.LittleEndian.Uint64(tr[16:])
+	if footerOff < headerSize || footerLen < 0 || footerOff+footerLen != r.size-trailerSize {
+		return corruptf("trailer", "footer range [%d,+%d) inconsistent with size %d",
+			footerOff, footerLen, r.size)
+	}
+	footer := make([]byte, footerLen)
+	if err := r.readAt(footer, footerOff); err != nil {
+		return err
+	}
+	if got := fnv64a(footer); got != footerSum {
+		return corruptf("footer", "checksum %#x, want %#x", got, footerSum)
+	}
+	return r.decodeFooter(footer, footerOff)
+}
+
+// decodeFooter parses the checksum-verified footer blob and
+// cross-checks the index against the payload region.
+func (r *Reader) decodeFooter(b []byte, footerOff int64) error {
+	const fixed = 32 + 16 + 8 + 8
+	if len(b) < fixed {
+		return corruptf("footer", "short fixed section: %d bytes", len(b))
+	}
+	g := Grid{BBox: getRect(b[0:])}
+	g.TileW = int64(binary.LittleEndian.Uint64(b[32:]))
+	g.TileH = int64(binary.LittleEndian.Uint64(b[40:]))
+	g.Cols = int(binary.LittleEndian.Uint32(b[48:]))
+	g.Rows = int(binary.LittleEndian.Uint32(b[52:]))
+	nBoxes := int64(binary.LittleEndian.Uint64(b[56:]))
+	if g.Cols < 1 || g.Rows < 1 || g.TileW < 1 || g.TileH < 1 ||
+		g.Cols > 1<<20 || g.Rows > 1<<20 || nBoxes < 0 {
+		return corruptf("footer", "implausible grid %dx%d tile %dx%d boxes %d",
+			g.Cols, g.Rows, g.TileW, g.TileH, nBoxes)
+	}
+	nTiles := g.Rows * g.Cols
+	need := fixed + nTiles*tileEntrySize + 4
+	if len(b) < need {
+		return corruptf("footer", "index needs %d bytes, footer has %d", need, len(b))
+	}
+	entries := make([]tileEntry, nTiles)
+	var total int64
+	p := b[fixed:]
+	for i := range entries {
+		e := &entries[i]
+		e.off = int64(binary.LittleEndian.Uint64(p[0:]))
+		e.count = binary.LittleEndian.Uint32(p[8:])
+		e.sum = binary.LittleEndian.Uint64(p[12:])
+		e.bbox = getRect(p[20:])
+		p = p[tileEntrySize:]
+		if e.count == 0 {
+			continue
+		}
+		if e.off < headerSize || e.off+e.payloadLen() > footerOff {
+			return corruptf("footer", "tile %d payload [%d,+%d) outside payload region [%d,%d)",
+				i, e.off, e.payloadLen(), headerSize, footerOff)
+		}
+		total += int64(e.count)
+	}
+	if total != nBoxes {
+		return corruptf("footer", "tile counts sum to %d, index records %d", total, nBoxes)
+	}
+
+	nLabels := int(binary.LittleEndian.Uint32(p[0:]))
+	p = p[4:]
+	labels := make([]frontend.Label, 0, nLabels)
+	for i := 0; i < nLabels; i++ {
+		if len(p) < 4 {
+			return corruptf("footer", "label %d truncated", i)
+		}
+		nameLen := int(binary.LittleEndian.Uint32(p[0:]))
+		p = p[4:]
+		if nameLen < 0 || len(p) < nameLen+16+2 {
+			return corruptf("footer", "label %d truncated", i)
+		}
+		name := string(p[:nameLen])
+		p = p[nameLen:]
+		l := frontend.Label{
+			Name: name,
+			At:   geom.Point{X: int64(binary.LittleEndian.Uint64(p[0:])), Y: int64(binary.LittleEndian.Uint64(p[8:]))},
+		}
+		l.Layer = tech.Layer(int8(p[16]))
+		l.HasLayer = p[17] != 0
+		p = p[18:]
+		labels = append(labels, l)
+	}
+
+	r.grid = g
+	r.nBoxes = nBoxes
+	r.entries = entries
+	r.labels = labels
+	r.rowCum = make([]int64, g.Rows+1)
+	for row := 0; row < g.Rows; row++ {
+		var n int64
+		for c := 0; c < g.Cols; c++ {
+			n += int64(entries[row*g.Cols+c].count)
+		}
+		r.rowCum[row+1] = r.rowCum[row] + n
+	}
+	return nil
+}
+
+// decodeTile fetches, verifies and decodes one tile's payload,
+// appending its boxes to dst. buf is the caller's reusable byte
+// scratch, returned (possibly grown) for the next call.
+func (r *Reader) decodeTile(row, col int, dst []frontend.Box, buf []byte) ([]frontend.Box, []byte, error) {
+	e := &r.entries[row*r.grid.Cols+col]
+	if e.count == 0 {
+		return dst, buf, nil
+	}
+	need := int(e.payloadLen())
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	if err := r.readAt(buf, e.off); err != nil {
+		return dst, buf, err
+	}
+	if got := fnv64a(buf); got != e.sum {
+		return dst, buf, corruptf(fmt.Sprintf("tile[%d,%d]", row, col),
+			"checksum %#x, want %#x", got, e.sum)
+	}
+	for i := 0; i < int(e.count); i++ {
+		p := buf[i*BoxRecordSize:]
+		layer := tech.Layer(int8(p[0]))
+		if layer < 0 || int(layer) >= tech.NumLayers {
+			return dst, buf, corruptf(fmt.Sprintf("tile[%d,%d]", row, col),
+				"box %d layer %d out of range", i, layer)
+		}
+		rect := getRect(p[1:])
+		if rect.XMin > rect.XMax || rect.YMin > rect.YMax {
+			return dst, buf, corruptf(fmt.Sprintf("tile[%d,%d]", row, col),
+				"box %d inverted rect %v", i, rect)
+		}
+		dst = append(dst, frontend.Box{Layer: layer, Rect: rect})
+	}
+	r.tilesDecoded.Add(1)
+	return dst, buf, nil
+}
+
+// Band describes a horizontal band as the parallel sweep partitions
+// them: the half-open y interval (Lo, Hi], unbounded on a side when
+// the matching flag is false. Boxes intersecting the band are clipped
+// to it exactly as scan's partitionBoxes clips — a box top exactly on
+// Hi belongs to this band; a bottom exactly on Lo does not.
+type Band struct {
+	Lo, Hi       int64
+	HasLo, HasHi bool
+}
+
+// WholeChip is the band covering everything: the serial-read case.
+func WholeChip() Band { return Band{} }
+
+// BandOf converts scan cut boundaries to a Band: band k of cuts has
+// Hi = cuts[k-1] (unbounded for k = 0) and Lo = cuts[k] (unbounded for
+// the last band).
+func BandOf(cuts []int64, k int) Band {
+	var b Band
+	if k > 0 {
+		b.HasHi, b.Hi = true, cuts[k-1]
+	}
+	if k < len(cuts) {
+		b.HasLo, b.Lo = true, cuts[k]
+	}
+	return b
+}
+
+// ReadBand returns an iterator over the band's clipped boxes in
+// non-increasing top order — a drop-in scan.Source for a band sweeper.
+// The iterator decodes one tile row at a time into a reusable arena;
+// its working set is one row of qualifying boxes, not the band.
+//
+// Iterators from one Reader may run concurrently.
+func (r *Reader) ReadBand(b Band) *Iter {
+	return r.newIter(b, geom.Rect{}, false)
+}
+
+// ReadWindow returns an iterator over the boxes overlapping rect,
+// clipped to it, in non-increasing top order, consulting only tiles
+// whose index bbox can matter — O(window) tiles, not O(chip). Labels
+// are not filtered here; use WindowLabels.
+func (r *Reader) ReadWindow(rect geom.Rect) *Iter {
+	b := Band{Lo: rect.YMin, Hi: rect.YMax, HasLo: true, HasHi: true}
+	return r.newIter(b, rect, true)
+}
+
+// WindowLabels returns the labels inside rect.
+func (r *Reader) WindowLabels(rect geom.Rect) []frontend.Label {
+	var out []frontend.Label
+	for _, l := range r.labels {
+		if rect.Contains(l.At) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// Iter streams a band's (or window's) clipped boxes in non-increasing
+// top order, implementing scan.Source. Errors cannot travel through
+// that interface, so a decode failure marks the iterator exhausted and
+// parks the error for Err() — the same fake-exhaustion contract the
+// streamed flatten sources use; callers must check Err after the sweep.
+type Iter struct {
+	r      *Reader
+	band   Band
+	rect   geom.Rect // x-clip window; zero when !windowed
+	wind   bool
+	err    error
+	done   bool
+	inited bool
+
+	// Phase A: boxes spanning down across Hi, clipped to top off at Hi.
+	// They all share the band's first stop, so they go out first.
+	span  []frontend.Box
+	spanI int
+
+	// Phase B: tile rows Hi-and-below, one row in the arena at a time.
+	row   int // next tile row to load
+	rowHi int // last tile row whose native tops can qualify
+	arena []frontend.Box
+	buf   []byte
+	i     int
+}
+
+func (r *Reader) newIter(b Band, rect geom.Rect, windowed bool) *Iter {
+	return &Iter{r: r, band: b, rect: rect, wind: windowed}
+}
+
+// Err returns the first decode error the iterator hit, if any. An
+// iterator that returned ok=false may have ended for this reason
+// rather than genuine exhaustion.
+func (it *Iter) Err() error { return it.err }
+
+func (it *Iter) fail(err error) {
+	if it.err == nil {
+		it.err = err
+	}
+	it.done = true
+	it.span = nil
+	it.arena = nil
+}
+
+// init computes the tile-row range and collects the spanning boxes.
+func (it *Iter) init() {
+	it.inited = true
+	g := it.r.grid
+	if it.band.HasHi {
+		// Rows that can hold tops > Hi: rows 0..RowOf(Hi+1). Collect
+		// spanning boxes (top above Hi, bottom below it), clip their tops
+		// to Hi. Native tops in (Lo, Hi] start at RowOf(Hi).
+		rSpanMax := g.RowOf(it.band.Hi + 1)
+		for row := 0; row <= rSpanMax; row++ {
+			for c := 0; c < g.Cols; c++ {
+				e := &it.r.entries[row*g.Cols+c]
+				if e.count == 0 || e.bbox.YMax <= it.band.Hi || e.bbox.YMin >= it.band.Hi {
+					continue
+				}
+				if it.wind && (e.bbox.XMin >= it.rect.XMax || e.bbox.XMax <= it.rect.XMin) {
+					continue
+				}
+				start := len(it.arena)
+				var err error
+				it.arena, it.buf, err = it.r.decodeTile(row, c, it.arena, it.buf)
+				if err != nil {
+					it.fail(err)
+					return
+				}
+				for _, b := range it.arena[start:] {
+					if b.Rect.YMax > it.band.Hi && b.Rect.YMin < it.band.Hi {
+						if cb, ok := it.clip(b); ok {
+							it.span = append(it.span, cb)
+						}
+					}
+				}
+				it.arena = it.arena[:start]
+			}
+		}
+		it.row = g.RowOf(it.band.Hi)
+	} else {
+		it.row = 0
+	}
+	if it.band.HasLo {
+		it.rowHi = g.RowOf(it.band.Lo + 1)
+	} else {
+		it.rowHi = g.Rows - 1
+	}
+}
+
+// clip clips a member box to the band (and window), reporting whether
+// anything remains. Band membership is checked by the caller; the
+// window's x test happens here.
+func (it *Iter) clip(b frontend.Box) (frontend.Box, bool) {
+	if it.band.HasHi && b.Rect.YMax > it.band.Hi {
+		b.Rect.YMax = it.band.Hi
+	}
+	if it.band.HasLo && b.Rect.YMin < it.band.Lo {
+		b.Rect.YMin = it.band.Lo
+	}
+	if it.wind {
+		if b.Rect.XMin >= it.rect.XMax || b.Rect.XMax <= it.rect.XMin {
+			return b, false
+		}
+		if b.Rect.XMin < it.rect.XMin {
+			b.Rect.XMin = it.rect.XMin
+		}
+		if b.Rect.XMax > it.rect.XMax {
+			b.Rect.XMax = it.rect.XMax
+		}
+	}
+	return b, true
+}
+
+// loadRow refills the arena with the next tile row's qualifying
+// boxes, sorted top-down. Returns false when rows are exhausted.
+func (it *Iter) loadRow() bool {
+	g := it.r.grid
+	for it.row <= it.rowHi {
+		row := it.row
+		it.row++
+		it.arena = it.arena[:0]
+		it.i = 0
+		for c := 0; c < g.Cols; c++ {
+			e := &it.r.entries[row*g.Cols+c]
+			if e.count == 0 {
+				continue
+			}
+			// Native membership needs a top in (Lo, Hi]; the index bbox
+			// bounds the tile's tops by YMax.
+			if it.band.HasLo && e.bbox.YMax <= it.band.Lo {
+				continue
+			}
+			if it.wind && (e.bbox.XMin >= it.rect.XMax || e.bbox.XMax <= it.rect.XMin) {
+				continue
+			}
+			start := len(it.arena)
+			var err error
+			it.arena, it.buf, err = it.r.decodeTile(row, c, it.arena, it.buf)
+			if err != nil {
+				it.fail(err)
+				return false
+			}
+			// Filter in place: keep native members only.
+			kept := start
+			for _, b := range it.arena[start:] {
+				if it.band.HasHi && b.Rect.YMax > it.band.Hi {
+					continue // spanning; emitted in phase A
+				}
+				if it.band.HasLo && b.Rect.YMax <= it.band.Lo {
+					continue
+				}
+				if it.band.HasHi && b.Rect.YMin >= it.band.Hi {
+					// Degenerate zero-height box sitting exactly on the band
+					// boundary: partitionBoxes drops it (hiOK fails), so we do.
+					continue
+				}
+				if cb, ok := it.clip(b); ok {
+					it.arena[kept] = cb
+					kept++
+				}
+			}
+			it.arena = it.arena[:kept]
+		}
+		if len(it.arena) > 0 {
+			// Tops within a row are unordered across columns; restore the
+			// global non-increasing-top order. Rows are disjoint in top
+			// range, so per-row sorting suffices.
+			scan.SortTopDown(it.arena)
+			return true
+		}
+	}
+	return false
+}
+
+// NextTop implements scan.Source.
+func (it *Iter) NextTop() (int64, bool) {
+	if it.done {
+		return 0, false
+	}
+	if !it.inited {
+		it.init()
+		if it.done {
+			return 0, false
+		}
+	}
+	if it.spanI < len(it.span) {
+		return it.span[it.spanI].Rect.YMax, true
+	}
+	for it.i >= len(it.arena) {
+		if !it.loadRow() {
+			it.done = true
+			return 0, false
+		}
+	}
+	return it.arena[it.i].Rect.YMax, true
+}
+
+// Next implements scan.Source.
+func (it *Iter) Next() (frontend.Box, bool) {
+	if _, ok := it.NextTop(); !ok {
+		return frontend.Box{}, false
+	}
+	if it.spanI < len(it.span) {
+		b := it.span[it.spanI]
+		it.spanI++
+		if it.spanI == len(it.span) {
+			it.span = nil
+		}
+		return b, true
+	}
+	b := it.arena[it.i]
+	it.i++
+	return b, true
+}
+
+// TopAt returns the box top at global descending-top rank i (0-based)
+// across the whole file — the quantile probe scan.CutsFromTopsFunc
+// needs to reproduce the in-RAM band cuts without draining the chip.
+// Rows partition the top order, so only the row containing rank i is
+// decoded; a rowTops cache makes repeated probes of one row free.
+func (r *Reader) TopAt(i int64, cache *RowTopsCache) (int64, error) {
+	if i < 0 || i >= r.nBoxes {
+		return 0, fmt.Errorf("tile: top rank %d out of range [0,%d)", i, r.nBoxes)
+	}
+	// Find the row holding rank i: the last row with rowCum <= i.
+	row := sort.Search(len(r.rowCum)-1, func(k int) bool { return r.rowCum[k+1] > i }) // first row with cum end > i
+	tops, err := cache.rowTops(r, row)
+	if err != nil {
+		return 0, err
+	}
+	return tops[i-r.rowCum[row]], nil
+}
+
+// RowTopsCache memoises the per-row sorted top lists TopAt decodes.
+// Zero value is ready to use; not safe for concurrent use.
+type RowTopsCache struct {
+	row  int
+	tops []int64
+	ok   bool
+}
+
+func (c *RowTopsCache) rowTops(r *Reader, row int) ([]int64, error) {
+	if c.ok && c.row == row {
+		return c.tops, nil
+	}
+	var boxes []frontend.Box
+	var buf []byte
+	var err error
+	for col := 0; col < r.grid.Cols; col++ {
+		boxes, buf, err = r.decodeTile(row, col, boxes, buf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	tops := make([]int64, len(boxes))
+	for i, b := range boxes {
+		tops[i] = b.Rect.YMax
+	}
+	sort.Slice(tops, func(a, b int) bool { return tops[a] > tops[b] })
+	c.row, c.tops, c.ok = row, tops, true
+	return tops, nil
+}
+
+// Sources builds one ReadBand iterator per band of cuts, ready to
+// hand to scan.ParallelSweepSources.
+func (r *Reader) Sources(cuts []int64) []*Iter {
+	its := make([]*Iter, len(cuts)+1)
+	for k := range its {
+		its[k] = r.ReadBand(BandOf(cuts, k))
+	}
+	return its
+}
+
+var _ scan.Source = (*Iter)(nil)

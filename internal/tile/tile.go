@@ -1,0 +1,230 @@
+// Package tile implements ACE's tiled, spatially indexed on-disk
+// layout format: the out-of-core substrate that lets a chip far larger
+// than memory extract with bounded RSS.
+//
+// The design follows the Cloud-Optimized-GeoTIFF pattern: fixed
+// spatial tiles written sequentially, followed by an IFD-style footer
+// index with per-tile offsets, box counts, actual bounding boxes and
+// checksums, so a reader can serve windowed queries by decoding only
+// the tiles a window touches. The file is written front to back in one
+// pass (the packer streams boxes straight off the lazy front end), and
+// read back with pread-style random access, so band workers can pull
+// exactly their band's tile ranges concurrently.
+//
+// Layout (all integers little-endian):
+//
+//	header   magic "ACTB" + format version                  (8 bytes)
+//	tiles    per-tile box records, row-major, rows top-down
+//	footer   grid geometry, per-tile index entries, labels
+//	trailer  footer offset + length + FNV-64a checksum
+//	         + end magic "ACTE"                            (28 bytes)
+//
+// A box record is layer (1 byte) + XMin, YMin, XMax, YMax (4×8 bytes)
+// = 33 bytes. Within a tile, records are sorted in the canonical
+// scan.SortTopDown order, so a tile decodes straight into a
+// descending-top run and identical inputs produce byte-identical
+// files.
+//
+// Spatial assignment: each box is stored exactly once, in the tile
+// row whose y-range contains its top edge (clamped to the grid) and
+// the tile column containing its left edge. Rows are keyed by box
+// tops, so the concatenation of rows top-to-bottom is globally sorted
+// by descending top — which is exactly the order the scanline sweep
+// consumes. The per-tile index bbox records the boxes' true extent
+// (a tall box can reach far below its home row), so windowed reads
+// stay exact while touching only the tiles whose contents can matter.
+//
+// Verification reuses the internal/store discipline: the header magic
+// and version gate the schema, the footer is checksummed as a unit,
+// and every tile payload carries its own FNV-64a checksum in the
+// index. Truncation, bit flips and stale versions all surface as
+// *tile.CorruptError — never a panic and never silently wrong boxes.
+package tile
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ace/internal/geom"
+)
+
+// Format constants.
+const (
+	// Version is the on-disk schema version. Bump it when the layout
+	// changes; old files then fail with a version CorruptError.
+	Version = 1
+
+	headerSize  = 8  // magic + version
+	trailerSize = 28 // footer off + len + checksum + end magic
+
+	// BoxRecordSize is the encoded size of one box record: layer byte
+	// plus four int64 coordinates.
+	BoxRecordSize = 1 + 4*8
+
+	// tileEntrySize is one footer index entry: payload offset (8),
+	// box count (4), payload checksum (8) and the true bbox (32).
+	tileEntrySize = 8 + 4 + 8 + 32
+)
+
+var (
+	magicHeader = [4]byte{'A', 'C', 'T', 'B'}
+	magicEnd    = [4]byte{'A', 'C', 'T', 'E'}
+)
+
+// DefaultGrid is the default tile-grid resolution (columns and rows)
+// used when the caller does not choose one. 64×64 keeps the footer
+// index small (~213 KiB) while a band read's working set — one row of
+// tiles — is about 1/64th of the chip.
+const DefaultGrid = 64
+
+// CorruptError reports a structural fault in a tile file: truncation,
+// bad magic, a stale version, a checksum mismatch or an inconsistent
+// index. Region locates the damage (header, footer, trailer, or
+// tile[r,c]).
+type CorruptError struct {
+	Region string
+	Msg    string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("tile: %s: %s", e.Region, e.Msg)
+}
+
+func corruptf(region, format string, args ...any) error {
+	return &CorruptError{Region: region, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Grid is the fixed spatial tiling of a chip: the grid bounding box
+// and the tile cell size. Rows count top-down (row 0 holds the
+// highest box tops); columns count left to right.
+type Grid struct {
+	BBox  geom.Rect
+	TileW int64
+	TileH int64
+	Cols  int
+	Rows  int
+}
+
+// NewGrid tiles bbox into a cols×rows grid. Degenerate boxes widen to
+// one unit so every box lands in a cell.
+func NewGrid(bbox geom.Rect, cols, rows int) Grid {
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	w, h := bbox.W(), bbox.H()
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	tw := (w + int64(cols) - 1) / int64(cols)
+	th := (h + int64(rows) - 1) / int64(rows)
+	if tw < 1 {
+		tw = 1
+	}
+	if th < 1 {
+		th = 1
+	}
+	return Grid{BBox: bbox, TileW: tw, TileH: th, Cols: cols, Rows: rows}
+}
+
+// RowOf returns the tile row for a box whose top edge is yMax: the row
+// whose half-open y-range (rowLo, rowHi] contains it, clamped to the
+// grid so overshooting geometry (manhattanisation rounds up to the
+// grid) still has a home.
+func (g Grid) RowOf(yMax int64) int {
+	if yMax >= g.BBox.YMax {
+		return 0
+	}
+	r := int((g.BBox.YMax - yMax) / g.TileH)
+	if yMax == g.BBox.YMax-int64(r)*g.TileH {
+		// Tops exactly on a row boundary belong to the row above
+		// (half-open (lo, hi] ranges), mirroring the band-cut rule.
+		r--
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r >= g.Rows {
+		r = g.Rows - 1
+	}
+	return r
+}
+
+// ColOf returns the tile column for a box whose left edge is xMin,
+// clamped to the grid.
+func (g Grid) ColOf(xMin int64) int {
+	if xMin <= g.BBox.XMin {
+		return 0
+	}
+	c := int((xMin - g.BBox.XMin) / g.TileW)
+	if c >= g.Cols {
+		c = g.Cols - 1
+	}
+	return c
+}
+
+// RowTop returns the inclusive upper bound of row r's nominal top
+// range. Row 0 is unbounded above (clamping sends every overshooting
+// top there).
+func (g Grid) RowTop(r int) (int64, bool) {
+	if r <= 0 {
+		return 0, false // +inf
+	}
+	return g.BBox.YMax - int64(r)*g.TileH, true
+}
+
+// RowBottom returns the exclusive lower bound of row r's nominal top
+// range. The last row is unbounded below.
+func (g Grid) RowBottom(r int) (int64, bool) {
+	if r >= g.Rows-1 {
+		return 0, false // -inf
+	}
+	return g.BBox.YMax - int64(r+1)*g.TileH, true
+}
+
+// tileEntry is one footer index record.
+type tileEntry struct {
+	off   int64  // payload offset from file start; 0 when count == 0
+	count uint32 // boxes in the tile
+	sum   uint64 // FNV-64a over the payload bytes
+	bbox  geom.Rect
+}
+
+func (e *tileEntry) payloadLen() int64 { return int64(e.count) * BoxRecordSize }
+
+// fnv64a hashes a byte slice (the store package's checksum, over raw
+// bytes instead of strings).
+func fnv64a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime
+	}
+	return h
+}
+
+// putRect / getRect encode a rectangle as 4 little-endian int64s.
+func putRect(b []byte, r geom.Rect) {
+	binary.LittleEndian.PutUint64(b[0:], uint64(r.XMin))
+	binary.LittleEndian.PutUint64(b[8:], uint64(r.YMin))
+	binary.LittleEndian.PutUint64(b[16:], uint64(r.XMax))
+	binary.LittleEndian.PutUint64(b[24:], uint64(r.YMax))
+}
+
+func getRect(b []byte) geom.Rect {
+	return geom.Rect{
+		XMin: int64(binary.LittleEndian.Uint64(b[0:])),
+		YMin: int64(binary.LittleEndian.Uint64(b[8:])),
+		XMax: int64(binary.LittleEndian.Uint64(b[16:])),
+		YMax: int64(binary.LittleEndian.Uint64(b[24:])),
+	}
+}

@@ -1,0 +1,350 @@
+package tile
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"ace/internal/frontend"
+	"ace/internal/geom"
+	"ace/internal/scan"
+	"ace/internal/tech"
+)
+
+// genBoxes builds a deterministic pseudo-random design: n boxes over a
+// coordinate range wide enough to span many tiles, with a few tall
+// boxes that cross row (and band) boundaries.
+func genBoxes(seed int64, n int) []frontend.Box {
+	rng := rand.New(rand.NewSource(seed))
+	boxes := make([]frontend.Box, n)
+	for i := range boxes {
+		x := rng.Int63n(20000) - 10000
+		y := rng.Int63n(20000) - 10000
+		w := rng.Int63n(400) + 1
+		h := rng.Int63n(400) + 1
+		if rng.Intn(20) == 0 {
+			h = rng.Int63n(8000) + 1000 // tall: spans rows and cuts
+		}
+		boxes[i] = frontend.Box{
+			Layer: tech.Layer(rng.Intn(tech.NumLayers)),
+			Rect:  geom.Rect{XMin: x, YMin: y, XMax: x + w, YMax: y + h},
+		}
+	}
+	scan.SortTopDown(boxes)
+	return boxes
+}
+
+func bboxOf(boxes []frontend.Box) geom.Rect {
+	bb := boxes[0].Rect
+	for _, b := range boxes[1:] {
+		bb = bb.Union(b.Rect)
+	}
+	return bb
+}
+
+// pack writes boxes+labels into an in-memory tile file.
+func pack(t *testing.T, boxes []frontend.Box, labels []frontend.Label, cols, rows int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, NewGrid(bboxOf(boxes), cols, rows))
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for _, l := range labels {
+		w.AddLabel(l)
+	}
+	for _, b := range boxes {
+		if err := w.Add(b); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func open(t *testing.T, raw []byte) *Reader {
+	t.Helper()
+	r, err := NewReader(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	return r
+}
+
+func drainIter(t *testing.T, it *Iter) []frontend.Box {
+	t.Helper()
+	var out []frontend.Box
+	lastTop := int64(0)
+	first := true
+	for {
+		top, ok := it.NextTop()
+		if !ok {
+			break
+		}
+		b, ok := it.Next()
+		if !ok {
+			t.Fatalf("NextTop says more, Next disagrees")
+		}
+		if b.Rect.YMax != top {
+			t.Fatalf("NextTop %d but box top %d", top, b.Rect.YMax)
+		}
+		if !first && top > lastTop {
+			t.Fatalf("tops not non-increasing: %d after %d", top, lastTop)
+		}
+		first, lastTop = false, top
+		out = append(out, b)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatalf("iterator error: %v", err)
+	}
+	return out
+}
+
+// canon sorts a box slice into the canonical total order so multisets
+// compare as slices.
+func canon(boxes []frontend.Box) []frontend.Box {
+	out := append([]frontend.Box(nil), boxes...)
+	scan.SortTopDown(out)
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	boxes := genBoxes(1, 3000)
+	labels := []frontend.Label{
+		{Name: "vdd", At: geom.Pt(10, 20)},
+		{Name: "gnd", At: geom.Pt(-5, 7), Layer: tech.Metal, HasLayer: true},
+	}
+	raw := pack(t, boxes, labels, 8, 8)
+	r := open(t, raw)
+	if r.NumBoxes() != int64(len(boxes)) {
+		t.Fatalf("NumBoxes %d, want %d", r.NumBoxes(), len(boxes))
+	}
+	if !reflect.DeepEqual(r.Labels(), labels) {
+		t.Fatalf("labels roundtrip: got %+v", r.Labels())
+	}
+	got := drainIter(t, r.ReadBand(WholeChip()))
+	if !reflect.DeepEqual(canon(got), canon(boxes)) {
+		t.Fatalf("whole-chip read is not the packed multiset: %d vs %d boxes", len(got), len(boxes))
+	}
+	if io := r.Counters(); io.TilesDecoded != r.NonEmptyTiles() {
+		t.Fatalf("whole-chip read decoded %d tiles, %d non-empty", io.TilesDecoded, r.NonEmptyTiles())
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	boxes := genBoxes(2, 1500)
+	raw1 := pack(t, boxes, nil, 8, 8)
+	// Permute ties: reverse runs of equal tops. The input stays a legal
+	// descending-top stream but arrives in a different order.
+	perm := append([]frontend.Box(nil), boxes...)
+	for i := 0; i < len(perm); {
+		j := i
+		for j < len(perm) && perm[j].Rect.YMax == perm[i].Rect.YMax {
+			j++
+		}
+		for a, b := i, j-1; a < b; a, b = a+1, b-1 {
+			perm[a], perm[b] = perm[b], perm[a]
+		}
+		i = j
+	}
+	raw2 := pack(t, perm, nil, 8, 8)
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("same multiset packed to different bytes")
+	}
+}
+
+// refPartition implements the documented partitionBoxes contract: band
+// k covers (lo_k, hi_k], hi_0 = +inf, lo_last = -inf; boxes clip to
+// their bands, a top exactly on a cut goes to the band below.
+func refPartition(boxes []frontend.Box, cuts []int64) [][]frontend.Box {
+	out := make([][]frontend.Box, len(cuts)+1)
+	for k := range out {
+		var hi, lo int64
+		hasHi, hasLo := k > 0, k < len(cuts)
+		if hasHi {
+			hi = cuts[k-1]
+		}
+		if hasLo {
+			lo = cuts[k]
+		}
+		for _, b := range boxes {
+			if hasLo && b.Rect.YMax <= lo {
+				continue
+			}
+			if hasHi && b.Rect.YMin >= hi {
+				continue
+			}
+			r := b.Rect
+			if hasHi && r.YMax > hi {
+				r.YMax = hi
+			}
+			if hasLo && r.YMin < lo {
+				r.YMin = lo
+			}
+			out[k] = append(out[k], frontend.Box{Layer: b.Layer, Rect: r})
+		}
+	}
+	return out
+}
+
+func TestBandReadMatchesPartition(t *testing.T) {
+	boxes := genBoxes(3, 4000)
+	raw := pack(t, boxes, nil, 16, 16)
+	r := open(t, raw)
+	tops := make([]int64, len(boxes))
+	for i, b := range boxes {
+		tops[i] = b.Rect.YMax
+	}
+	for _, workers := range []int{2, 3, 4, 7} {
+		cuts := scan.CutsFromTops(tops, workers)
+		want := refPartition(boxes, cuts)
+		its := r.Sources(cuts)
+		for k, it := range its {
+			got := drainIter(t, it)
+			if !reflect.DeepEqual(canon(got), canon(want[k])) {
+				t.Fatalf("workers=%d band %d of %d: %d boxes, want %d",
+					workers, k, len(its), len(got), len(want[k]))
+			}
+		}
+	}
+}
+
+func TestWindowRead(t *testing.T) {
+	boxes := genBoxes(4, 4000)
+	raw := pack(t, boxes, nil, 16, 16)
+	r := open(t, raw)
+	windows := []geom.Rect{
+		{XMin: -2000, YMin: -2000, XMax: 2000, YMax: 2000},
+		{XMin: -11000, YMin: -11000, XMax: 23000, YMax: 23000}, // whole chip
+		{XMin: 0, YMin: 0, XMax: 1, YMax: 1},                   // near-point
+		{XMin: 9000, YMin: -9500, XMax: 9800, YMax: -9000},
+	}
+	for _, win := range windows {
+		var want []frontend.Box
+		for _, b := range boxes {
+			if !b.Rect.Overlaps(win) {
+				continue
+			}
+			c := b.Rect.Intersect(win)
+			want = append(want, frontend.Box{Layer: b.Layer, Rect: c})
+		}
+		got := drainIter(t, r.ReadWindow(win))
+		if !reflect.DeepEqual(canon(got), canon(want)) {
+			t.Fatalf("window %v: %d boxes, want %d", win, len(got), len(want))
+		}
+	}
+}
+
+func TestWindowReadTouchesOWindowTiles(t *testing.T) {
+	boxes := genBoxes(5, 20000)
+	raw := pack(t, boxes, nil, 32, 32)
+	r := open(t, raw)
+	total := r.NonEmptyTiles()
+	io0 := r.Counters()
+	win := geom.Rect{XMin: -500, YMin: -500, XMax: 500, YMax: 500}
+	drainIter(t, r.ReadWindow(win))
+	io1 := r.Counters()
+	decoded := io1.TilesDecoded - io0.TilesDecoded
+	if decoded*4 > total {
+		t.Fatalf("small window decoded %d of %d tiles — not O(window)", decoded, total)
+	}
+	if int64(len(raw))/4 < io1.BytesRead-io0.BytesRead {
+		t.Fatalf("small window read %d of %d bytes", io1.BytesRead-io0.BytesRead, len(raw))
+	}
+}
+
+func TestTopAt(t *testing.T) {
+	boxes := genBoxes(6, 2500)
+	raw := pack(t, boxes, nil, 8, 8)
+	r := open(t, raw)
+	tops := make([]int64, len(boxes))
+	for i, b := range boxes {
+		tops[i] = b.Rect.YMax
+	}
+	sort.Slice(tops, func(a, b int) bool { return tops[a] > tops[b] })
+	var cache RowTopsCache
+	for _, i := range []int64{0, 1, 17, 1249, 1250, 2499} {
+		got, err := r.TopAt(i, &cache)
+		if err != nil {
+			t.Fatalf("TopAt(%d): %v", i, err)
+		}
+		if got != tops[i] {
+			t.Fatalf("TopAt(%d) = %d, want %d", i, got, tops[i])
+		}
+	}
+	if _, err := r.TopAt(int64(len(boxes)), &cache); err == nil {
+		t.Fatalf("TopAt out of range: want error")
+	}
+	// Cuts computed from disk must match cuts from the in-RAM top list.
+	for _, workers := range []int{2, 4, 8} {
+		want := scan.CutsFromTops(tops, workers)
+		var c2 RowTopsCache
+		got := scan.CutsFromTopsFunc(len(tops), func(i int) int64 {
+			v, err := r.TopAt(int64(i), &c2)
+			if err != nil {
+				t.Fatalf("TopAt(%d): %v", i, err)
+			}
+			return v
+		}, workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: disk cuts %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestWriterRejectsOutOfOrder(t *testing.T) {
+	boxes := genBoxes(7, 100)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, NewGrid(bboxOf(boxes), 8, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := boxes[len(boxes)-1]
+	if err := w.Add(last); err != nil {
+		t.Fatal(err)
+	}
+	first := boxes[0]
+	if first.Rect.YMax <= last.Rect.YMax {
+		t.Skip("generated boxes do not span rows")
+	}
+	if err := w.Add(first); err == nil {
+		t.Fatalf("out-of-order Add accepted")
+	}
+}
+
+func TestDegenerateOnCutDropped(t *testing.T) {
+	// A zero-height box sitting exactly on a cut is dropped by
+	// partitionBoxes (both bands reject it); the band reader must agree.
+	boxes := []frontend.Box{
+		{Layer: tech.Metal, Rect: geom.Rect{XMin: 0, YMin: 900, XMax: 100, YMax: 1000}},
+		{Layer: tech.Metal, Rect: geom.Rect{XMin: 0, YMin: 500, XMax: 100, YMax: 500}}, // degenerate on cut
+		{Layer: tech.Metal, Rect: geom.Rect{XMin: 0, YMin: 0, XMax: 100, YMax: 400}},
+	}
+	raw := pack(t, boxes, nil, 2, 2)
+	r := open(t, raw)
+	cuts := []int64{500}
+	want := refPartition(boxes, cuts)
+	for k, it := range r.Sources(cuts) {
+		got := drainIter(t, it)
+		if !reflect.DeepEqual(canon(got), canon(want[k])) {
+			t.Fatalf("band %d: got %+v want %+v", k, got, want[k])
+		}
+	}
+}
+
+func TestGridEdges(t *testing.T) {
+	// Single box, 1x1 grid, and a grid larger than the coordinate span.
+	for _, dims := range [][2]int{{1, 1}, {64, 64}, {3, 5}} {
+		boxes := []frontend.Box{{Layer: tech.Poly, Rect: geom.Rect{XMin: 0, YMin: 0, XMax: 10, YMax: 10}}}
+		raw := pack(t, boxes, nil, dims[0], dims[1])
+		r := open(t, raw)
+		got := drainIter(t, r.ReadBand(WholeChip()))
+		if !reflect.DeepEqual(got, boxes) {
+			t.Fatalf("grid %v: got %+v", dims, got)
+		}
+	}
+}
