@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -47,6 +48,7 @@ func main() {
 		bench    = flag.String("bench-json", "", "benchmark the synthetic chips and write a JSON baseline to this file")
 		benchIn  = flag.String("bench-ingest-json", "", "benchmark the ingest pipeline (parse + instantiate) and write a JSON baseline to this file")
 		benchTil = flag.String("bench-tiles-json", "", "benchmark out-of-core tiled extraction under GOMEMLIMIT and write a JSON baseline to this file")
+		benchWrm = flag.String("bench-warm-json", "", "benchmark cold vs warm-engine extraction (allocs/op, GC deltas, byte-identity) and write a JSON baseline to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -63,7 +65,10 @@ func main() {
 	flag.StringVar(&flagTiles, "tiles", "", "extract from a packed tile file (see cmd/cifpack) instead of CIF")
 	flag.StringVar(&flagWindow, "window", "", "with -tiles: extract only the window x0,y0,x1,y1 (centimicrons), reading O(window) tiles")
 	flag.StringVar(&flagStatsJSON, "stats-json", "", "write a machine-readable run summary (timing, peak RSS, tile I/O) to this file")
+	flag.IntVar(&flagRepeat, "repeat", 1, "re-extract the design this many times in one process through a warm engine, reporting per-iteration timings")
 	flag.Parse()
+
+	gcStart = prof.CaptureGC()
 
 	stop, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -78,6 +83,8 @@ func main() {
 		runBenchJSON(*bench, *scale)
 	case *benchTil != "":
 		runBenchTilesJSON(*benchTil, *scale)
+	case *benchWrm != "":
+		runBenchWarmJSON(*benchWrm, *scale)
 	case flagTiles != "":
 		runExtractTiles(*out, *geometry, *stats, *profile)
 	case *table51:
@@ -118,17 +125,39 @@ func runExtract(in, out string, geometry, stats, profile bool) {
 		runExtractHier(ctx, r, in, out, geometry, stats)
 		return
 	}
-	t0 := time.Now()
-	res, err := extract.ReaderContext(ctx, r, extract.Options{
+	opt := extract.Options{
 		KeepGeometry:   geometry,
 		Profile:        profile || stats,
 		Workers:        flagWorkers,
 		FlattenWorkers: flagFlattenWorkers,
 		Lenient:        flagLenient,
 		Limits:         guard.Limits{MaxBoxes: flagMaxBoxes},
-	})
-	if err != nil {
-		fatal(err)
+	}
+	t0 := time.Now()
+	var res *extract.Result
+	var err error
+	if flagRepeat > 1 {
+		// A warm loop: one engine, the same bytes, N extractions. The
+		// input is buffered so every iteration re-reads identical text;
+		// the last result is the one reported and written out.
+		src, rerr := io.ReadAll(r)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		eng := extract.NewEngine()
+		for i := 0; i < flagRepeat; i++ {
+			it0 := time.Now()
+			res, err = eng.ReaderContext(ctx, bytes.NewReader(src), opt)
+			if err != nil {
+				fatal(err)
+			}
+			recordIter(time.Since(it0))
+		}
+	} else {
+		res, err = extract.ReaderContext(ctx, r, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	elapsed := time.Since(t0)
 	if flagCheck {
@@ -206,14 +235,37 @@ func runExtractHier(ctx context.Context, r io.Reader, in, out string, geometry, 
 	if geometry {
 		fmt.Fprintln(os.Stderr, "ace: warning: -g is not supported with -hier; geometry omitted")
 	}
-	res, err := hext.ReaderContext(ctx, r, hext.Options{
+	hopt := hext.Options{
 		Workers:  flagWorkers,
 		CacheDir: flagCacheDir,
 		Lenient:  flagLenient,
 		Limits:   guard.Limits{MaxBoxes: flagMaxBoxes},
-	})
-	if err != nil {
-		fatal(err)
+	}
+	var res *hext.Result
+	var err error
+	if flagRepeat > 1 {
+		// A warm session loop: parse once, then re-extract through one
+		// Session so the memo, pools and caches stay hot.
+		f, perr := cif.ParseReaderOpts(r, cif.ParseOptions{
+			Limits: hopt.Limits, Lenient: hopt.Lenient, Diag: hopt.Diag,
+		})
+		if perr != nil {
+			fatal(perr)
+		}
+		s := hext.NewSession(hopt)
+		for i := 0; i < flagRepeat; i++ {
+			it0 := time.Now()
+			res, err = s.ExtractContext(ctx, f)
+			if err != nil {
+				fatal(err)
+			}
+			recordIter(time.Since(it0))
+		}
+	} else {
+		res, err = hext.ReaderContext(ctx, r, hopt)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if flagCheck {
 		res.Diagnostics.AddAll(check.Run(res.Netlist, check.Options{}))
@@ -377,7 +429,23 @@ var (
 	flagCheck          bool
 	flagDiagJSON       bool
 	flagMaxBoxes       int64
+	flagRepeat         int
 )
+
+// gcStart is the collector snapshot taken at process start; -stats and
+// -stats-json report the delta against it. iterNs collects the
+// per-iteration wall clocks of a -repeat run.
+var (
+	gcStart prof.GCStats
+	iterNs  []int64
+)
+
+// recordIter logs one -repeat iteration: echoed immediately so a slow
+// warm-up is visible, and collected for -stats-json.
+func recordIter(d time.Duration) {
+	fmt.Fprintf(os.Stderr, "ace: iter %d: %v\n", len(iterNs), d)
+	iterNs = append(iterNs, d.Nanoseconds())
+}
 
 // extractCtx returns the context for a -timeout-bounded extraction and
 // its cancel function (a no-op context when no timeout is set).

@@ -43,6 +43,12 @@ type runStats struct {
 	TilesDecoded int64  `json:"tiles_decoded,omitempty"`
 	TilesTotal   int64  `json:"tiles_total,omitempty"`
 	FileBytes    int64  `json:"file_bytes,omitempty"`
+
+	// Collector activity over the whole run (delta since process
+	// start), plus the per-iteration wall clocks of a -repeat loop.
+	GC     prof.GCStats `json:"gc"`
+	Repeat int          `json:"repeat,omitempty"`
+	IterNs []int64      `json:"iter_ns,omitempty"`
 }
 
 // writeRunStats emits the -stats-json file. Peak RSS is sampled here,
@@ -61,6 +67,11 @@ func writeRunStats(source string, res *extract.Result, elapsed time.Duration) {
 		Boxes:        res.Counters.BoxesIn,
 		Devices:      len(res.Netlist.Devices),
 		Nets:         len(res.Netlist.Nets),
+		GC:           prof.CaptureGC().Delta(gcStart),
+	}
+	if flagRepeat > 1 {
+		s.Repeat = flagRepeat
+		s.IterNs = iterNs
 	}
 	if t := res.Tile; t != nil {
 		s.BytesRead = t.BytesRead
@@ -90,6 +101,9 @@ func printResourceStats(t *extract.TileIO) {
 	if rss := prof.PeakRSSBytes(); rss > 0 {
 		fmt.Printf("peakRSS=%d bytes (%.1f MiB)\n", rss, float64(rss)/(1<<20))
 	}
+	gc := prof.CaptureGC().Delta(gcStart)
+	fmt.Printf("gc: cycles=%d pauseTotal=%v alloc=%d bytes heapInuse=%d bytes\n",
+		gc.NumGC, time.Duration(gc.PauseTotalNs), gc.TotalAlloc, gc.HeapInuse)
 }
 
 // parseWindow parses the -window rectangle, "x0,y0,x1,y1" in
@@ -135,17 +149,29 @@ func runExtractTiles(out string, geometry, stats, profile bool) {
 	}
 	t0 := time.Now()
 	var res *extract.Result
-	if flagWindow != "" {
-		rect, werr := parseWindow(flagWindow)
-		if werr != nil {
-			fatal(werr)
+	eng := extract.NewEngine()
+	once := func() {
+		if flagWindow != "" {
+			rect, werr := parseWindow(flagWindow)
+			if werr != nil {
+				fatal(werr)
+			}
+			res, err = eng.TileWindow(ctx, r, rect, opt)
+		} else {
+			res, err = eng.TilesContext(ctx, r, opt)
 		}
-		res, err = extract.TileWindow(ctx, r, rect, opt)
-	} else {
-		res, err = extract.TilesContext(ctx, r, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
-	if err != nil {
-		fatal(err)
+	if flagRepeat > 1 {
+		for i := 0; i < flagRepeat; i++ {
+			it0 := time.Now()
+			once()
+			recordIter(time.Since(it0))
+		}
+	} else {
+		once()
 	}
 	elapsed := time.Since(t0)
 

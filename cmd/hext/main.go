@@ -42,7 +42,21 @@ var (
 	flagCheck          bool
 	flagDiagJSON       bool
 	flagMaxBoxes       int64
+	flagRepeat         int
 )
+
+// gcStart is the collector snapshot at process start; -stats prints the
+// delta so a -repeat loop's allocation behaviour is visible. iterNs
+// collects the per-iteration wall clocks of a -repeat run.
+var (
+	gcStart prof.GCStats
+	iterNs  []int64
+)
+
+func recordIter(d time.Duration) {
+	fmt.Fprintf(os.Stderr, "hext: iter %d: %v\n", len(iterNs), d)
+	iterNs = append(iterNs, d.Nanoseconds())
+}
 
 func hextOpts() hext.Options {
 	return hext.Options{
@@ -84,7 +98,9 @@ func main() {
 	flag.BoolVar(&flagCheck, "check", false, "run the static electrical-rule checker on the extracted netlist")
 	flag.BoolVar(&flagDiagJSON, "diag-json", false, "emit diagnostics as a JSON report on stdout (the wirelist then requires -o)")
 	flag.Int64Var(&flagMaxBoxes, "max-boxes", 0, "fail the extraction after this many geometry items (0: unlimited)")
+	flag.IntVar(&flagRepeat, "repeat", 1, "extract the design this many times through one warm Session, printing per-iteration timings to stderr")
 	flag.Parse()
+	gcStart = prof.CaptureGC()
 
 	stop, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -126,8 +142,30 @@ func runExtract(in, out string, hier, stats bool) {
 		defer cancel()
 		ctx = tctx
 	}
-	res, err := hext.ReaderContext(ctx, r, hextOpts())
-	if err != nil {
+	hopt := hextOpts()
+	var res *hext.Result
+	var err error
+	if flagRepeat > 1 {
+		// Parse once, then re-extract through one warm Session: the memo,
+		// content cache and pooled sweep scratch persist, so every
+		// iteration after the first measures the warm re-extraction path.
+		t0 := time.Now()
+		f, perr := cif.ParseReaderOpts(r, cif.ParseOptions{Limits: hopt.Limits, Lenient: hopt.Lenient, Diag: hopt.Diag})
+		if perr != nil {
+			fatal(perr)
+		}
+		parse := time.Since(t0)
+		s := hext.NewSession(hopt)
+		for i := 0; i < flagRepeat; i++ {
+			it0 := time.Now()
+			res, err = s.ExtractContext(ctx, f)
+			if err != nil {
+				fatal(err)
+			}
+			recordIter(time.Since(it0))
+		}
+		res.Timing.Parse = parse
+	} else if res, err = hext.ReaderContext(ctx, r, hopt); err != nil {
 		fatal(err)
 	}
 	if flagCheck {
@@ -161,6 +199,9 @@ func runExtract(in, out string, hier, stats bool) {
 		if rss := prof.PeakRSSBytes(); rss > 0 {
 			fmt.Printf("peakRSS=%d bytes (%.1f MiB)\n", rss, float64(rss)/(1<<20))
 		}
+		gc := prof.CaptureGC().Delta(gcStart)
+		fmt.Printf("gc: cycles=%d pauseTotal=%v alloc=%d bytes heapInuse=%d bytes\n",
+			gc.NumGC, time.Duration(gc.PauseTotalNs), gc.TotalAlloc, gc.HeapInuse)
 		os.Exit(cli.Exit(&res.Diagnostics))
 	}
 	w := os.Stdout

@@ -67,6 +67,58 @@ type Builder struct {
 	netGeom  []netGeomRec
 	devGeom  []devGeomRec
 	warnings []string
+
+	// fin holds Finish's resolution scratch. It lives on the builder so
+	// a pooled, Reset builder finalises repeatedly without growing the
+	// heap; nothing in it survives into the returned netlist.
+	fin finishScratch
+}
+
+// finishScratch is the per-Finish working memory: class→index tables,
+// the terminal counting sort, and the name claim map.
+type finishScratch struct {
+	netOf, devOf []int32
+	roots        []int32
+	counts, pos  []int32
+	flat         []flatTerm
+	anomalous    []bool
+	claimed      map[string]int32
+}
+
+type flatTerm struct {
+	net  int32
+	edge int64
+}
+
+// Reset clears the builder for reuse, keeping the capacity of every
+// arena (and of Finish's scratch) so a steady-state workload of the
+// same shape allocates nothing. The warnings slice is dropped rather
+// than truncated: callers may hold the slice Warnings returned.
+func (b *Builder) Reset() {
+	b.KeepGeometry = false
+	b.nets.Reset()
+	b.devs.Reset()
+	b.netLoc = b.netLoc[:0]
+	b.devArea = b.devArea[:0]
+	b.devImpl = b.devImpl[:0]
+	b.devBBox = b.devBBox[:0]
+	b.devLastGeom = b.devLastGeom[:0]
+	b.terms = b.terms[:0]
+	b.gates = b.gates[:0]
+	b.names = b.names[:0]
+	b.netGeom = b.netGeom[:0]
+	b.devGeom = b.devGeom[:0]
+	b.warnings = nil
+}
+
+// grow32 returns a length-n int32 slice, reusing s's backing array
+// when it is large enough. Contents are unspecified; callers must
+// write before they read.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 type termRec struct {
@@ -374,14 +426,18 @@ func (b *Builder) Finish() (*netlist.Netlist, FinishStats) {
 	var fs FinishStats
 	nl := &netlist.Netlist{}
 
-	// Net classes → output indices, in first-element order.
-	netOf := make([]int32, b.nets.Len())
+	// Net classes → output indices, in first-element order. The table
+	// is reused scratch: roots are marked -1 up front and every entry
+	// is written before it is read, so stale contents are harmless.
+	netOf := grow32(b.fin.netOf, b.nets.Len())
+	b.fin.netOf = netOf
 	for e := int32(0); e < int32(len(netOf)); e++ {
-		root := b.nets.Find(e)
-		if root == e {
+		netOf[e] = 0
+		if b.nets.Find(e) == e {
 			netOf[e] = -1 // filled below
 		}
 	}
+	nl.Nets = make([]netlist.Net, 0, b.nets.Sets())
 	for e := int32(0); e < int32(len(netOf)); e++ {
 		root := b.nets.Find(e)
 		if netOf[root] < 0 {
@@ -399,8 +455,9 @@ func (b *Builder) Finish() (*netlist.Netlist, FinishStats) {
 	}
 
 	// Device classes → output indices, in first-element order.
-	devOf := make([]int32, b.devs.Len())
-	roots := make([]int32, 0, b.devs.Sets())
+	devOf := grow32(b.fin.devOf, b.devs.Len())
+	b.fin.devOf = devOf
+	roots := b.fin.roots[:0]
 	for e := int32(0); e < int32(len(devOf)); e++ {
 		devOf[e] = -1
 	}
@@ -412,6 +469,7 @@ func (b *Builder) Finish() (*netlist.Netlist, FinishStats) {
 		}
 		devOf[e] = devOf[root]
 	}
+	b.fin.roots = roots
 
 	nl.Devices = make([]netlist.Device, len(roots))
 	for i, root := range roots {
@@ -426,7 +484,13 @@ func (b *Builder) Finish() (*netlist.Netlist, FinishStats) {
 
 	// Gates: first distinct net wins; any further distinct net is an
 	// anomaly. Resolved after all unions, so late merges are benign.
-	anomalous := make([]bool, len(roots))
+	if cap(b.fin.anomalous) < len(roots) {
+		b.fin.anomalous = make([]bool, len(roots))
+	}
+	anomalous := b.fin.anomalous[:len(roots)]
+	for i := range anomalous {
+		anomalous[i] = false
+	}
 	for _, g := range b.gates {
 		di := devOf[g.dev]
 		net := int(netOf[g.net])
@@ -459,7 +523,12 @@ func (b *Builder) resolveNames(nl *netlist.Netlist, netOf []int32) {
 	if len(b.names) == 0 {
 		return
 	}
-	claimed := make(map[string]int32, len(b.names))
+	if b.fin.claimed == nil {
+		b.fin.claimed = make(map[string]int32, len(b.names))
+	} else {
+		clear(b.fin.claimed)
+	}
+	claimed := b.fin.claimed
 	for _, nr := range b.names {
 		ni := netOf[nr.net]
 		if prev, ok := claimed[nr.name]; ok {
@@ -488,26 +557,34 @@ func (b *Builder) resolveTerminals(nl *netlist.Netlist, netOf, devOf []int32) {
 	}
 	// Bucket terms by output device with a counting sort: the arena is
 	// in discovery order, which interleaves devices.
-	counts := make([]int32, len(nl.Devices)+1)
+	counts := grow32(b.fin.counts, len(nl.Devices)+1)
+	b.fin.counts = counts
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, t := range b.terms {
 		counts[devOf[t.dev]+1]++
 	}
 	for i := 1; i < len(counts); i++ {
 		counts[i] += counts[i-1]
 	}
-	type flatTerm struct {
-		net  int32
-		edge int64
+	if cap(b.fin.flat) < len(b.terms) {
+		b.fin.flat = make([]flatTerm, len(b.terms))
 	}
-	flat := make([]flatTerm, len(b.terms))
+	flat := b.fin.flat[:len(b.terms)]
 	next := counts[:len(nl.Devices)]
-	pos := make([]int32, len(next))
+	pos := grow32(b.fin.pos, len(next))
+	b.fin.pos = pos
 	copy(pos, next)
 	for _, t := range b.terms {
 		di := devOf[t.dev]
 		flat[pos[di]] = flatTerm{net: netOf[t.net], edge: t.edge}
 		pos[di]++
 	}
+	// All devices' terminals come out of one backing array (merging
+	// only shrinks buckets, so len(flat) bounds the total): one output
+	// allocation instead of one per device.
+	backing := make([]netlist.Terminal, 0, len(flat))
 	for i := range nl.Devices {
 		lo, hi := counts[i], counts[i+1]
 		if lo == hi {
@@ -532,17 +609,31 @@ func (b *Builder) resolveTerminals(nl *netlist.Netlist, netOf, devOf []int32) {
 			}
 		}
 		bucket = bucket[:w]
-		sort.SliceStable(bucket, func(a, c int) bool {
-			if bucket[a].edge != bucket[c].edge {
-				return bucket[a].edge > bucket[c].edge
-			}
-			return bucket[a].net < bucket[c].net
-		})
-		terms := make([]netlist.Terminal, len(bucket))
-		for k, t := range bucket {
-			terms[k] = netlist.Terminal{Net: int(t.net), Edge: t.edge}
+		sortFlatTerms(bucket)
+		start := len(backing)
+		for _, t := range bucket {
+			backing = append(backing, netlist.Terminal{Net: int(t.net), Edge: t.edge})
 		}
-		nl.Devices[i].Terminals = terms
+		nl.Devices[i].Terminals = backing[start:len(backing):len(backing)]
+	}
+}
+
+// sortFlatTerms orders one device's terminals by descending contact
+// edge, ties broken by ascending net index — the same total order the
+// stdlib stable sort produced, without its per-call reflection
+// allocations (reflectlite.Swapper was the steady-state loop's single
+// hottest allocation site). Buckets hold a handful of terminals, so
+// insertion sort is also the fastest choice; it is stable, keeping
+// duplicate (edge, net) pairs in discovery order.
+func sortFlatTerms(bucket []flatTerm) {
+	for i := 1; i < len(bucket); i++ {
+		t := bucket[i]
+		j := i - 1
+		for j >= 0 && (bucket[j].edge < t.edge || (bucket[j].edge == t.edge && bucket[j].net > t.net)) {
+			bucket[j+1] = bucket[j]
+			j--
+		}
+		bucket[j+1] = t
 	}
 }
 

@@ -1,0 +1,74 @@
+package cif
+
+import "ace/internal/geom"
+
+// Arena owns the parser's reusable allocation state: the item and
+// vertex arenas, the Symbol blocks, the symbol table and the intern
+// table. A long-lived caller (extract.Engine) hands the same Arena to
+// parse after parse via ParseOptions.Arena; once the workload shape
+// stabilises, parsing allocates nothing.
+//
+// The contract is strict: starting a new parse with an Arena reuses
+// the memory backing every *File a previous parse with that Arena
+// returned, invalidating those Files wholesale. Callers must be done
+// with the previous File (extraction Results copy everything they
+// keep, so a Result outlives its File safely). An Arena is not safe
+// for concurrent use; pool whole Arenas instead.
+type Arena struct {
+	items     []Item
+	pts       []geom.Point
+	top       []Item
+	blocks    [][]Symbol
+	nextBlock int
+	interned  map[string]string
+	syms      map[int]*Symbol
+}
+
+// NewArena returns an empty Arena ready for ParseOptions.Arena.
+func NewArena() *Arena { return &Arena{} }
+
+// begin points a fresh parser's arenas at the reusable state.
+func (a *Arena) begin(p *parser) {
+	p.arena = a
+	p.itemArena = a.items[:0]
+	p.ptArena = a.pts[:0]
+	a.nextBlock = 0
+	p.symBlock = a.block()
+	if a.syms == nil {
+		a.syms = make(map[int]*Symbol)
+	} else {
+		clear(a.syms)
+	}
+	if a.interned == nil {
+		a.interned = make(map[string]string, 16)
+	}
+	p.interned = a.interned
+	p.file.Symbols = a.syms
+	p.file.Top = a.top[:0]
+}
+
+// block hands out the next reusable Symbol block, allocating (and
+// registering) a new one when the arena has no spare. Entries are
+// fully overwritten by newSymbol before use, so stale contents from a
+// previous parse are harmless.
+func (a *Arena) block() []Symbol {
+	if a.nextBlock < len(a.blocks) {
+		b := a.blocks[a.nextBlock][:0]
+		a.nextBlock++
+		return b
+	}
+	b := make([]Symbol, 0, symBlockSize)
+	a.blocks = append(a.blocks, b)
+	a.nextBlock = len(a.blocks)
+	return b
+}
+
+// end harvests the (possibly grown) arenas back from the parser and
+// caps File.Top so a caller appending to the returned File cannot
+// write into the arena's next parse.
+func (a *Arena) end(p *parser) {
+	a.items = p.itemArena
+	a.pts = p.ptArena
+	a.top = p.file.Top
+	p.file.Top = p.file.Top[:len(p.file.Top):len(p.file.Top)]
+}

@@ -37,6 +37,11 @@ type ParseOptions struct {
 	// Diag caps the diagnostics recorded per parse; the zero value
 	// applies diag.DefaultMaxDiagnostics.
 	Diag diag.Limits
+
+	// Arena, when non-nil, supplies the parser's reusable allocation
+	// state. Starting a parse with an Arena invalidates every File a
+	// previous parse with the same Arena returned; see Arena.
+	Arena *Arena
 }
 
 // Error is a located parse error with a stable diagnostic code. Its
@@ -98,7 +103,13 @@ func ParseBytesOpts(data []byte, opt ParseOptions) (f *File, err error) {
 		src:     data,
 		limits:  opt.Limits,
 		lenient: opt.Lenient,
-		file:    &File{Symbols: map[int]*Symbol{}},
+		file:    &File{},
+	}
+	if a := opt.Arena; a != nil {
+		a.begin(p)
+		defer a.end(p)
+	} else {
+		p.file.Symbols = map[int]*Symbol{}
 	}
 	p.file.Diagnostics.SetLimits(opt.Diag)
 	if err := p.run(); err != nil {
@@ -144,6 +155,7 @@ type parser struct {
 	ptArena   []geom.Point
 	symBlock  []Symbol
 	interned  map[string]string
+	arena     *Arena // reusable arena source (nil: allocate fresh)
 }
 
 // Allocation discipline. The parser is the first stage of the ingest
@@ -167,7 +179,11 @@ const symBlockSize = 64
 
 func (p *parser) newSymbol(id int) *Symbol {
 	if len(p.symBlock) == cap(p.symBlock) {
-		p.symBlock = make([]Symbol, 0, symBlockSize)
+		if p.arena != nil {
+			p.symBlock = p.arena.block()
+		} else {
+			p.symBlock = make([]Symbol, 0, symBlockSize)
+		}
 	}
 	p.symBlock = append(p.symBlock, Symbol{ID: id})
 	return &p.symBlock[len(p.symBlock)-1]

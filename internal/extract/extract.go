@@ -131,21 +131,8 @@ func Reader(r io.Reader, opt Options) (*Result, error) {
 // work per stage (a scanline stop, a stamped instance) and returns a
 // stage-attributed error wrapping ctx.Err(). A nil ctx never cancels.
 func ReaderContext(ctx context.Context, r io.Reader, opt Options) (*Result, error) {
-	t0 := time.Now()
-	f, err := cif.ParseReaderOpts(r, cif.ParseOptions{
-		Limits: opt.Limits, Lenient: opt.Lenient, Diag: opt.Diag,
-	})
-	if err != nil {
-		return nil, err
-	}
-	parse := time.Since(t0)
-	res, err := FileContext(ctx, f, opt)
-	if err != nil {
-		return nil, err
-	}
-	res.Phases.Parse = parse
-	res.Phases.Total += parse
-	return res, nil
+	var e *Engine
+	return e.ReaderContext(ctx, r, opt)
 }
 
 // String extracts a CIF design from source text.
@@ -156,21 +143,8 @@ func String(src string, opt Options) (*Result, error) {
 // StringContext is String with cooperative cancellation (see
 // ReaderContext).
 func StringContext(ctx context.Context, src string, opt Options) (*Result, error) {
-	t0 := time.Now()
-	f, err := cif.ParseBytesOpts([]byte(src), cif.ParseOptions{
-		Limits: opt.Limits, Lenient: opt.Lenient, Diag: opt.Diag,
-	})
-	if err != nil {
-		return nil, err
-	}
-	parse := time.Since(t0)
-	res, err := FileContext(ctx, f, opt)
-	if err != nil {
-		return nil, err
-	}
-	res.Phases.Parse = parse
-	res.Phases.Total += parse
-	return res, nil
+	var e *Engine
+	return e.StringContext(ctx, src, opt)
 }
 
 // File extracts an already-parsed design.
@@ -182,14 +156,20 @@ func File(f *cif.File, opt Options) (*Result, error) {
 // ReaderContext). It is panic-isolated end to end: a panic in any
 // pipeline stage — including worker goroutines — surfaces as a
 // *guard.PanicError naming the stage, never as a process crash.
-func FileContext(ctx context.Context, f *cif.File, opt Options) (res *Result, err error) {
+func FileContext(ctx context.Context, f *cif.File, opt Options) (*Result, error) {
+	return fileContext(nil, ctx, f, opt)
+}
+
+// fileContext is the shared body of FileContext and Engine.FileContext;
+// a nil engine means no pooling.
+func fileContext(e *Engine, ctx context.Context, f *cif.File, opt Options) (res *Result, err error) {
 	defer guard.Recover(guard.StageExtract, &err)
 	if err := guard.Inject(guard.StageExtract); err != nil {
 		return nil, err
 	}
 	var ds diag.Set
 	ds.SetLimits(opt.Diag)
-	res, err = fileCtx(ctx, f, opt, &ds)
+	res, err = fileCtx(e, ctx, f, opt, &ds)
 	if err != nil {
 		return nil, err
 	}
@@ -202,20 +182,21 @@ func FileContext(ctx context.Context, f *cif.File, opt Options) (res *Result, er
 	return res, nil
 }
 
-func fileCtx(ctx context.Context, f *cif.File, opt Options, ds *diag.Set) (*Result, error) {
+func fileCtx(e *Engine, ctx context.Context, f *cif.File, opt Options, ds *diag.Set) (*Result, error) {
 	t0 := time.Now()
 	stream, err := frontend.New(f, frontend.Options{
 		Grid: opt.Grid, Limits: opt.Limits, Lenient: opt.Lenient, Diags: ds,
+		Arena: e.feArena(),
 	})
 	if err != nil {
 		return nil, err
 	}
 
 	if opt.FlattenWorkers > 0 {
-		return flattenFile(ctx, f, stream, opt, t0)
+		return flattenFile(e, ctx, f, stream, opt, t0)
 	}
 	if opt.Workers > 1 {
-		return parallelFile(ctx, f, stream, opt, t0)
+		return parallelFile(e, ctx, f, stream, opt, t0)
 	}
 
 	var src scan.Source = stream
@@ -235,6 +216,7 @@ func fileCtx(ctx context.Context, f *cif.File, opt Options, ds *diag.Set) (*Resu
 		InsertionSort: opt.InsertionSort,
 		Ctx:           ctx,
 		Limits:        opt.Limits,
+		Pool:          e.scanPool(),
 	})
 	if err != nil {
 		return nil, err
@@ -246,6 +228,9 @@ func fileCtx(ctx context.Context, f *cif.File, opt Options, ds *diag.Set) (*Resu
 		Frontend: stream.Stats(),
 		Warnings: append(f.Warnings, sres.Warnings...),
 	}
+	// The stream is fully drained and everything kept is copied; its
+	// heap and label capacity can serve the next extraction.
+	e.feArena().PutStream(stream)
 	out.Phases.Total = time.Since(t0)
 	if opt.Profile {
 		fe := timed.spent
@@ -265,7 +250,7 @@ func fileCtx(ctx context.Context, f *cif.File, opt Options, ds *diag.Set) (*Resu
 // parallelFile is the Workers > 1 path of File: it materialises the
 // instantiated design (the band partitioner needs the full box list)
 // and runs the band-sharded sweep.
-func parallelFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
+func parallelFile(e *Engine, ctx context.Context, f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
 	tFE := time.Now()
 	// Labels are forced before the drain so their order matches the
 	// serial path (and the streamed flatten path, which reuses the
@@ -273,7 +258,8 @@ func parallelFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt
 	// expands only label-bearing subtrees in a fixed order, whereas
 	// labels collected during a full drain surface in heap-pop order.
 	labels := stream.Labels()
-	boxes, err := drainLimited(ctx, stream, opt.Limits)
+	pool := e.scanPool()
+	boxes, err := drainLimited(ctx, stream, opt.Limits, pool.GetBoxBuf())
 	if err != nil {
 		return nil, err
 	}
@@ -285,6 +271,7 @@ func parallelFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt
 		InsertionSort: opt.InsertionSort,
 		Ctx:           ctx,
 		Limits:        opt.Limits,
+		Pool:          pool,
 	}, opt.Workers)
 	if err != nil {
 		return nil, err
@@ -296,6 +283,10 @@ func parallelFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt
 		Frontend: stream.Stats(),
 		Warnings: append(f.Warnings, res.Warnings...),
 	}
+	// The materialised box list and the drained stream are dead once
+	// the sweep has finished (the Result copies what it keeps).
+	pool.PutBoxBuf(boxes)
+	e.feArena().PutStream(stream)
 	out.Phases.Total = time.Since(t0)
 	if opt.Profile {
 		out.Phases.FrontEnd = fe
@@ -314,7 +305,7 @@ func parallelFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt
 // — consumes boxes while stamping is still in flight. Labels come from
 // the legacy stream (cheap: only label-bearing subtrees expand) so
 // their order is bit-for-bit the heap path's.
-func flattenFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
+func flattenFile(e *Engine, ctx context.Context, f *cif.File, stream *frontend.Stream, opt Options, t0 time.Time) (*Result, error) {
 	labels := stream.Labels()
 	fw := opt.FlattenWorkers
 
@@ -334,6 +325,7 @@ func flattenFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt 
 	// decisions, which are deterministic.
 	fl, err := frontend.Flatten(ctx, f, frontend.Options{
 		Grid: opt.Grid, Limits: opt.Limits, Lenient: opt.Lenient,
+		Arena: e.feArena(),
 	})
 	if err != nil {
 		return nil, err
@@ -346,6 +338,7 @@ func flattenFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt 
 		InsertionSort: opt.InsertionSort,
 		Ctx:           ctx,
 		Limits:        opt.Limits,
+		Pool:          e.scanPool(),
 	}
 
 	var res *scan.Result
@@ -404,6 +397,10 @@ func flattenFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt 
 		Frontend: fl.Stats(),
 		Warnings: append(f.Warnings, res.Warnings...),
 	}
+	// Every stream is drained and the Result owns its data; the stamped
+	// runs and the label stream go back to the arena.
+	fl.Release()
+	e.feArena().PutStream(stream)
 	out.Phases.Total = time.Since(t0)
 	if opt.Profile {
 		flatten, _, sortRuns := fl.Timing()
@@ -429,9 +426,9 @@ func flattenFile(ctx context.Context, f *cif.File, stream *frontend.Stream, opt 
 // re-checks cancellation and the box/memory budgets every chunk so a
 // runaway instantiation fails fast instead of exhausting memory before
 // the sweep ever runs.
-func drainLimited(ctx context.Context, stream *frontend.Stream, limits guard.Limits) ([]frontend.Box, error) {
+func drainLimited(ctx context.Context, stream *frontend.Stream, limits guard.Limits, buf []frontend.Box) ([]frontend.Box, error) {
 	const chunk = 4096
-	var out []frontend.Box
+	out := buf[:0]
 	for {
 		b, ok := stream.Next()
 		if !ok {

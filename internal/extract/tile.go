@@ -33,7 +33,11 @@ func Tiles(r *tile.Reader, opt Options) (*Result, error) {
 }
 
 // TilesContext is Tiles with cooperative cancellation.
-func TilesContext(ctx context.Context, r *tile.Reader, opt Options) (res *Result, err error) {
+func TilesContext(ctx context.Context, r *tile.Reader, opt Options) (*Result, error) {
+	return tilesContext(nil, ctx, r, opt)
+}
+
+func tilesContext(e *Engine, ctx context.Context, r *tile.Reader, opt Options) (res *Result, err error) {
 	defer guard.Recover(guard.StageExtract, &err)
 	if err := guard.Inject(guard.StageExtract); err != nil {
 		return nil, err
@@ -51,6 +55,7 @@ func TilesContext(ctx context.Context, r *tile.Reader, opt Options) (res *Result
 		InsertionSort: opt.InsertionSort,
 		Ctx:           ctx,
 		Limits:        opt.Limits,
+		Pool:          e.scanPool(),
 	}
 
 	var sres *scan.Result
@@ -139,7 +144,11 @@ func TilesContext(ctx context.Context, r *tile.Reader, opt Options) (res *Result
 // and — the point of the format — only tiles whose index bbox
 // intersects the window are read or decoded. Result.Tile records the
 // I/O so callers can verify the O(window) claim.
-func TileWindow(ctx context.Context, r *tile.Reader, rect geom.Rect, opt Options) (res *Result, err error) {
+func TileWindow(ctx context.Context, r *tile.Reader, rect geom.Rect, opt Options) (*Result, error) {
+	return tileWindow(nil, ctx, r, rect, opt)
+}
+
+func tileWindow(e *Engine, ctx context.Context, r *tile.Reader, rect geom.Rect, opt Options) (res *Result, err error) {
 	defer guard.Recover(guard.StageExtract, &err)
 	if err := guard.Inject(guard.StageExtract); err != nil {
 		return nil, err
@@ -154,6 +163,7 @@ func TileWindow(ctx context.Context, r *tile.Reader, rect geom.Rect, opt Options
 		InsertionSort: opt.InsertionSort,
 		Ctx:           ctx,
 		Limits:        opt.Limits,
+		Pool:          e.scanPool(),
 	})
 	if ierr := it.Err(); ierr != nil {
 		return nil, ierr

@@ -60,6 +60,7 @@ type Flat struct {
 	arenas map[int]*symArena
 	insts  []flatInstance
 	banned map[int]bool // lenient-mode dropped symbols (see guard.go)
+	pool   *Arena       // pooled run buffers; nil means plain allocation
 
 	prepassed bool // instance impure boxes materialised
 
@@ -192,6 +193,7 @@ func FlattenItems(ctx context.Context, items []cif.Item, syms map[int]*cif.Symbo
 		bboxes: map[int]geom.Rect{},
 		arenas: map[int]*symArena{},
 		banned: banned,
+		pool:   opts.Arena,
 		ctx:    ctx,
 		limits: opts.Limits,
 	}
@@ -454,20 +456,20 @@ func (fl *Flat) appendImpure(out []Box, im impureItem, inst geom.Transform) []Bo
 		}
 		out = append(out, Box{Layer: l, Rect: r})
 	}
+	// Instances materialise concurrently, so each call draws its own
+	// decomposition scratch from the pool; emit copies every rect out
+	// before the scratch goes back.
+	sc := fl.pool.GetBoxScratch()
 	if im.isWire {
-		w := im.wire
-		tw := geom.Wire{Width: w.Width, Path: make([]geom.Point, len(w.Path))}
-		for i, p := range w.Path {
-			tw.Path[i] = full.Apply(p)
-		}
-		for _, r := range tw.Boxes(fl.grid) {
+		for _, r := range im.wire.ApplyBoxes(sc, full, fl.grid) {
 			emit(im.layer, r)
 		}
-		return out
+	} else {
+		for _, r := range im.poly.ApplyManhattanize(sc, full, fl.grid) {
+			emit(im.layer, r)
+		}
 	}
-	for _, r := range im.poly.Apply(full).Manhattanize(fl.grid) {
-		emit(im.layer, r)
-	}
+	fl.pool.PutBoxScratch(sc)
 	return out
 }
 
@@ -585,11 +587,13 @@ func (fl *Flat) forEachInstance(workers int, f func(int)) error {
 func (fl *Flat) stampRun(in *flatInstance) []Box {
 	t0 := time.Now()
 	fl.materialiseImpure(in)
-	var run []Box
+	run := fl.pool.GetBoxBuf()
 	needSort := true
 	if in.sym >= 0 {
 		a := fl.arenas[in.sym]
-		run = make([]Box, 0, len(a.boxes)+len(in.impBoxes))
+		if run == nil {
+			run = make([]Box, 0, len(a.boxes)+len(in.impBoxes))
+		}
 		for _, b := range a.boxes {
 			run = append(run, Box{Layer: b.Layer, Rect: in.tr.ApplyRect(b.Rect)})
 		}
@@ -597,7 +601,9 @@ func (fl *Flat) stampRun(in *flatInstance) []Box {
 		// the arena's descending-top order survives the transform.
 		needSort = !(in.tr.D == 0 && in.tr.E == 1) || len(in.impBoxes) > 0
 	} else {
-		run = make([]Box, 0, len(in.items)+len(in.impBoxes))
+		if run == nil {
+			run = make([]Box, 0, len(in.items)+len(in.impBoxes))
+		}
 		for _, it := range in.items {
 			if it.Kind != cif.ItemBox {
 				continue
@@ -739,12 +745,14 @@ func (fl *Flat) start(workers int, streams []*FlatStream, cuts []int64) {
 			}
 			routeRun(run, cuts, bands)
 			for k, s := range streams {
-				out := make([]Box, len(bands[k]))
-				copy(out, bands[k])
+				out := append(fl.pool.GetBoxBuf(), bands[k]...)
 				if s.publish(i, out) && k == len(streams)-1 {
 					fl.doneAt.Store(time.Now().UnixNano())
 				}
 			}
+			// The un-routed run dies here; its per-band copies live on
+			// in the streams until Release.
+			fl.pool.PutBoxBuf(run)
 		}
 	}
 	for w := 0; w < workers; w++ {
@@ -786,6 +794,37 @@ func routeRun(run []Box, cuts []int64, out [][]Box) {
 				break
 			}
 		}
+	}
+}
+
+// Release returns the published runs' backing buffers to the arena the
+// Flat was built with. Call it only after every stream is fully
+// consumed and the pipeline succeeded — the extraction Result has
+// copied everything it keeps by then. On a failed or still-stamping
+// pipeline Release is a no-op: a worker could still publish into a
+// buffer we just reissued.
+func (fl *Flat) Release() {
+	if fl.pool == nil {
+		return
+	}
+	fl.failMu.Lock()
+	streams := fl.streams
+	failed := fl.err != nil
+	fl.failMu.Unlock()
+	if failed {
+		return
+	}
+	for _, s := range streams {
+		s.mu.Lock()
+		if s.pending != 0 || s.failed {
+			s.mu.Unlock()
+			return
+		}
+		for i := range s.runs {
+			fl.pool.PutBoxBuf(s.runs[i].boxes)
+			s.runs[i].boxes = nil
+		}
+		s.mu.Unlock()
 	}
 }
 

@@ -64,6 +64,11 @@ type Options struct {
 	// Diags receives the front end's diagnostics in lenient mode. Nil
 	// is allowed; findings are then silently dropped.
 	Diags *diag.Set
+
+	// Arena, when non-nil, supplies pooled Streams and box buffers so
+	// repeated instantiation stops allocating. Output is identical with
+	// and without it.
+	Arena *Arena
 }
 
 // Stats reports front-end work counters.
@@ -99,6 +104,10 @@ type Stream struct {
 	// banned holds symbols whose calls lenient hierarchy validation
 	// dropped (cycles, excess depth); nil in strict mode.
 	banned map[int]bool
+
+	// geo is the polygon/wire decomposition scratch; a Stream is
+	// single-goroutine, and pooled Streams keep its grown capacity.
+	geo geom.BoxScratch
 }
 
 type entryKind int8
@@ -141,13 +150,11 @@ func NewItems(items []cif.Item, syms map[int]*cif.Symbol, opts Options) (s *Stre
 	if grid <= 0 {
 		grid = 10
 	}
-	s = &Stream{
-		syms:   syms,
-		bboxes: map[int]geom.Rect{},
-		grid:   grid,
-		keepNG: opts.KeepGlass,
-		banned: banned,
-	}
+	s = opts.Arena.getStream()
+	s.syms = syms
+	s.grid = grid
+	s.keepNG = opts.KeepGlass
+	s.banned = banned
 	s.pushItems(items, geom.Identity)
 	if len(s.heap) == 0 && len(s.labels) == 0 {
 		if !opts.Lenient {
@@ -317,17 +324,13 @@ func (s *Stream) pushItems(items []cif.Item, tr geom.Transform) {
 			s.pushBox(it.Layer, tr.ApplyRect(it.Box))
 		case cif.ItemPolygon:
 			s.stats.NonManhattan++
-			for _, r := range it.Poly.Apply(tr).Manhattanize(s.grid) {
+			// pushBox copies each rect out before the scratch's next use.
+			for _, r := range it.Poly.ApplyManhattanize(&s.geo, tr, s.grid) {
 				s.pushBox(it.Layer, r)
 			}
 		case cif.ItemWire:
 			s.stats.NonManhattan++
-			w := it.Wire
-			tw := geom.Wire{Width: w.Width, Path: make([]geom.Point, len(w.Path))}
-			for i, p := range w.Path {
-				tw.Path[i] = tr.Apply(p)
-			}
-			for _, r := range tw.Boxes(s.grid) {
+			for _, r := range it.Wire.ApplyBoxes(&s.geo, tr, s.grid) {
 				s.pushBox(it.Layer, r)
 			}
 		case cif.ItemCall:

@@ -1,6 +1,9 @@
 package geom
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Canonicalize converts an arbitrary set of (possibly overlapping)
 // rectangles into the canonical maximal-horizontal-strip form of their
@@ -10,35 +13,45 @@ import "sort"
 // if their canonical forms are equal, which makes this the basis for
 // geometry comparison throughout the extractor.
 func Canonicalize(rects []Rect) []Rect {
-	in := make([]Rect, 0, len(rects))
+	var sc BoxScratch
+	return canonicalizeInto(&sc, rects)
+}
+
+// canonicalizeInto is Canonicalize drawing every buffer from sc; the
+// result aliases sc.done and is valid until the scratch's next use.
+func canonicalizeInto(sc *BoxScratch, rects []Rect) []Rect {
+	in := sc.in[:0]
 	for _, r := range rects {
 		if !r.Empty() {
 			in = append(in, r)
 		}
 	}
+	sc.in = in
 	if len(in) == 0 {
 		return nil
 	}
 
 	// Collect the y coordinates where the union's cross-section can
 	// change, then sweep band by band.
-	ys := make([]int64, 0, 2*len(in))
+	ys := sc.ys[:0]
 	for _, r := range in {
 		ys = append(ys, r.YMin, r.YMax)
 	}
-	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	slices.Sort(ys)
 	ys = dedup64(ys)
+	sc.ys = ys
 
-	sort.Slice(in, func(i, j int) bool { return in[i].YMin < in[j].YMin })
+	slices.SortFunc(in, func(a, b Rect) int { return cmp.Compare(a.YMin, b.YMin) })
 
-	type strip struct {
-		x0, x1 int64
-		y0, y1 int64
-	}
-	var open []strip // strips still extendable downward... (we sweep upward)
-	var done []Rect
+	open, stillBuf := sc.open[:0], sc.still[:0] // double-buffered across bands
+	done := sc.done[:0]
 
-	active := make([]Rect, 0, 16)
+	// Per-band scratch, reused across the sweep: Manhattanize calls this
+	// once per polygon with one band per grid line, so per-band
+	// allocations here multiply into the front end's hottest site.
+	active := sc.active[:0]
+	ivals := sc.ivals
+	used := sc.used
 	next := 0
 	for bi := 0; bi+1 < len(ys); bi++ {
 		y0, y1 := ys[bi], ys[bi+1]
@@ -55,17 +68,20 @@ func Canonicalize(rects []Rect) []Rect {
 		}
 		active = w
 
-		ivals := bandIntervals(active)
+		ivals = appendBandIntervals(ivals[:0], active)
 
 		// Merge with open strips from the previous band.
-		var still []strip
-		used := make([]bool, len(ivals))
+		still := stillBuf[:0]
+		used = used[:0]
+		for range ivals {
+			used = append(used, false)
+		}
 		for _, s := range open {
 			matched := false
 			if s.y1 == y0 {
 				for i, iv := range ivals {
 					if !used[i] && iv[0] == s.x0 && iv[1] == s.x1 {
-						still = append(still, strip{s.x0, s.x1, s.y0, y1})
+						still = append(still, canonStrip{s.x0, s.x1, s.y0, y1})
 						used[i] = true
 						matched = true
 						break
@@ -78,37 +94,40 @@ func Canonicalize(rects []Rect) []Rect {
 		}
 		for i, iv := range ivals {
 			if !used[i] {
-				still = append(still, strip{iv[0], iv[1], y0, y1})
+				still = append(still, canonStrip{iv[0], iv[1], y0, y1})
 			}
 		}
-		open = still
+		open, stillBuf = still, open
 	}
 	for _, s := range open {
 		done = append(done, Rect{s.x0, s.y0, s.x1, s.y1})
 	}
 
-	sort.Slice(done, func(i, j int) bool {
-		if done[i].YMin != done[j].YMin {
-			return done[i].YMin < done[j].YMin
+	slices.SortFunc(done, func(a, b Rect) int {
+		if a.YMin != b.YMin {
+			return cmp.Compare(a.YMin, b.YMin)
 		}
-		return done[i].XMin < done[j].XMin
+		return cmp.Compare(a.XMin, b.XMin)
 	})
+	sc.active, sc.ivals, sc.used = active, ivals, used
+	sc.open, sc.still, sc.done = open, stillBuf, done
 	return done
 }
 
-// bandIntervals returns the merged x intervals covered by the given
-// rectangles (all assumed to span the current band).
-func bandIntervals(active []Rect) [][2]int64 {
+// appendBandIntervals appends the merged x intervals covered by the
+// given rectangles (all assumed to span the current band) onto dst,
+// which must be an empty — possibly pre-allocated — scratch slice, and
+// returns the merged prefix.
+func appendBandIntervals(dst [][2]int64, active []Rect) [][2]int64 {
 	if len(active) == 0 {
-		return nil
+		return dst
 	}
-	xs := make([][2]int64, len(active))
-	for i, r := range active {
-		xs[i] = [2]int64{r.XMin, r.XMax}
+	for _, r := range active {
+		dst = append(dst, [2]int64{r.XMin, r.XMax})
 	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i][0] < xs[j][0] })
-	out := xs[:1]
-	for _, iv := range xs[1:] {
+	slices.SortFunc(dst, func(a, b [2]int64) int { return cmp.Compare(a[0], b[0]) })
+	out := dst[:1]
+	for _, iv := range dst[1:] {
 		last := &out[len(out)-1]
 		if iv[0] <= last[1] {
 			if iv[1] > last[1] {

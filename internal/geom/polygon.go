@@ -2,7 +2,7 @@ package geom
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Polygon is a simple closed polygon described by its vertices in
@@ -70,12 +70,12 @@ func (pg Polygon) IsRect() (Rect, bool) {
 		}
 	}
 	// The four corners must all be distinct for a true rectangle.
-	seen := map[Point]bool{}
-	for _, p := range pg {
-		if seen[p] {
-			return Rect{}, false
+	for i := range pg {
+		for j := i + 1; j < len(pg); j++ {
+			if pg[i] == pg[j] {
+				return Rect{}, false
+			}
 		}
-		seen[p] = true
 	}
 	return bb, !bb.Empty()
 }
@@ -90,6 +90,29 @@ func (pg Polygon) IsRect() (Rect, bool) {
 // into a number of small aligned boxes that approximate the original
 // object" (ACE §3).
 func (pg Polygon) Manhattanize(grid int64) []Rect {
+	var sc BoxScratch
+	return pg.manhattanizeInto(&sc, grid)
+}
+
+// ApplyManhattanize maps the polygon through t and manhattanises it,
+// drawing every intermediate buffer from sc (nil: allocate per call).
+// The result aliases sc and is valid until the scratch's next use.
+func (pg Polygon) ApplyManhattanize(sc *BoxScratch, t Transform, grid int64) []Rect {
+	if sc == nil {
+		sc = &BoxScratch{}
+	}
+	tp := sc.poly[:0]
+	for _, p := range pg {
+		tp = append(tp, t.Apply(p))
+	}
+	sc.poly = tp
+	return tp.manhattanizeInto(sc, grid)
+}
+
+// manhattanizeInto is Manhattanize drawing scratch from sc. The
+// receiver may alias sc.poly; only sc.xs, sc.out and the
+// canonicalisation buffers are touched.
+func (pg Polygon) manhattanizeInto(sc *BoxScratch, grid int64) []Rect {
 	if grid <= 0 {
 		grid = 1
 	}
@@ -97,19 +120,21 @@ func (pg Polygon) Manhattanize(grid int64) []Rect {
 		return nil
 	}
 	if r, ok := pg.IsRect(); ok {
-		return []Rect{r}
+		sc.out = append(sc.out[:0], r)
+		return sc.out
 	}
 
 	bb := pg.BBox()
 	yLo := floorDiv(bb.YMin, grid) * grid
 	yHi := ceilDiv(bb.YMax, grid) * grid
 
-	var out []Rect
+	out := sc.out[:0]
+	xs := sc.xs
 	for y := yLo; y < yHi; y += grid {
 		// Sample the fill at the band's vertical midpoint. Midpoints
 		// are half-integral in general; scale by 2 to stay integral.
 		ymid2 := 2*y + grid // == 2*(y + grid/2)
-		xs := pg.crossings2(ymid2)
+		xs = pg.appendCrossings2(xs[:0], ymid2)
 		for i := 0; i+1 < len(xs); i += 2 {
 			x0 := roundToGrid2(xs[i], grid)
 			x1 := roundToGrid2(xs[i+1], grid)
@@ -118,17 +143,18 @@ func (pg Polygon) Manhattanize(grid int64) []Rect {
 			}
 		}
 	}
-	return Canonicalize(out)
+	sc.out, sc.xs = out, xs
+	return canonicalizeInto(sc, out)
 }
 
-// crossings2 returns the sorted doubled x coordinates where the
-// polygon's edges cross the horizontal line 2*y = ymid2. All
-// arithmetic is in doubled coordinates so the half-integral sampling
-// line stays exact; because the line sits strictly between integer
-// grid lines it can never pass through a vertex, so each crossing is a
-// clean transversal.
-func (pg Polygon) crossings2(ymid2 int64) []int64 {
-	var xs []int64
+// appendCrossings2 appends onto xs the sorted doubled x coordinates
+// where the polygon's edges cross the horizontal line 2*y = ymid2, and
+// returns the extended slice (a scratch buffer the band loop reuses).
+// All arithmetic is in doubled coordinates so the half-integral
+// sampling line stays exact; because the line sits strictly between
+// integer grid lines it can never pass through a vertex, so each
+// crossing is a clean transversal.
+func (pg Polygon) appendCrossings2(xs []int64, ymid2 int64) []int64 {
 	n := len(pg)
 	for i := 0; i < n; i++ {
 		a, b := pg[i], pg[(i+1)%n]
@@ -141,7 +167,7 @@ func (pg Polygon) crossings2(ymid2 int64) []int64 {
 		den := by2 - ay2
 		xs = append(xs, 2*a.X+divRound(num, den))
 	}
-	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	slices.Sort(xs)
 	return xs
 }
 
@@ -191,15 +217,39 @@ type Wire struct {
 // Axis-aligned segments convert exactly; diagonal segments are
 // approximated via polygon manhattanisation.
 func (w Wire) Boxes(grid int64) []Rect {
+	var sc BoxScratch
+	return w.boxesInto(&sc, grid)
+}
+
+// ApplyBoxes maps the wire's path through t and converts it to boxes,
+// drawing every intermediate buffer from sc (nil: allocate per call).
+// The result aliases sc and is valid until the scratch's next use.
+func (w Wire) ApplyBoxes(sc *BoxScratch, t Transform, grid int64) []Rect {
+	if sc == nil {
+		sc = &BoxScratch{}
+	}
+	path := sc.path[:0]
+	for _, p := range w.Path {
+		path = append(path, t.Apply(p))
+	}
+	sc.path = path
+	return Wire{Width: w.Width, Path: path}.boxesInto(sc, grid)
+}
+
+// boxesInto is Boxes drawing scratch from sc. The path may alias
+// sc.path; segments accumulate in sc.wire (kept separate from sc.out,
+// which diagonal-segment manhattanisation consumes mid-loop).
+func (w Wire) boxesInto(sc *BoxScratch, grid int64) []Rect {
 	if len(w.Path) == 0 || w.Width <= 0 {
 		return nil
 	}
 	h := w.Width / 2
 	h2 := w.Width - h // handles odd widths
-	var out []Rect
+	out := sc.wire[:0]
 	if len(w.Path) == 1 {
 		p := w.Path[0]
-		return []Rect{{p.X - h, p.Y - h, p.X + h2, p.Y + h2}}
+		sc.wire = append(out, Rect{p.X - h, p.Y - h, p.X + h2, p.Y + h2})
+		return sc.wire
 	}
 	for i := 0; i+1 < len(w.Path); i++ {
 		a, b := w.Path[i], w.Path[i+1]
@@ -211,19 +261,21 @@ func (w Wire) Boxes(grid int64) []Rect {
 			y0, y1 := min64(a.Y, b.Y), max64(a.Y, b.Y)
 			out = append(out, Rect{a.X - h, y0 - h, a.X + h2, y1 + h2})
 		default: // diagonal: build the segment quad and manhattanise
-			out = append(out, diagonalSegment(a, b, w.Width, grid)...)
+			out = append(out, diagonalSegment(sc, a, b, w.Width, grid)...)
 			// Square joints keep connectivity through the corner.
 			out = append(out,
 				Rect{a.X - h, a.Y - h, a.X + h2, a.Y + h2},
 				Rect{b.X - h, b.Y - h, b.X + h2, b.Y + h2})
 		}
 	}
-	return Canonicalize(out)
+	sc.wire = out
+	return canonicalizeInto(sc, out)
 }
 
 // diagonalSegment approximates a diagonal wire segment of the given
-// width with grid-aligned boxes.
-func diagonalSegment(a, b Point, width, grid int64) []Rect {
+// width with grid-aligned boxes. The result is valid until the
+// scratch's next use; the caller copies it out immediately.
+func diagonalSegment(sc *BoxScratch, a, b Point, width, grid int64) []Rect {
 	// Perpendicular offset: scale the perpendicular of (dx,dy) so its
 	// longer component is width/2. This slightly over- or under-sizes
 	// skewed segments, which is acceptable for an approximation the
@@ -242,13 +294,13 @@ func diagonalSegment(a, b Point, width, grid int64) []Rect {
 	}
 	px := -dy * (width / 2) / m
 	py := dx * (width / 2) / m
-	quad := Polygon{
+	sc.quad = [4]Point{
 		{a.X + px, a.Y + py},
 		{b.X + px, b.Y + py},
 		{b.X - px, b.Y - py},
 		{a.X - px, a.Y - py},
 	}
-	return quad.Manhattanize(grid)
+	return Polygon(sc.quad[:]).manhattanizeInto(sc, grid)
 }
 
 // Octagon returns the octagon inscribed in the circle of the given

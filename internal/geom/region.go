@@ -57,6 +57,7 @@ func regionOp(a, b []Rect, keep func(inA, inB bool) bool) []Rect {
 
 	var out []Rect
 	var activeA, activeB []Rect
+	var ia, ib [][2]int64 // per-band scratch, reused across bands
 	next := 0
 	for bi := 0; bi+1 < len(ys); bi++ {
 		y0, y1 := ys[bi], ys[bi+1]
@@ -71,8 +72,8 @@ func regionOp(a, b []Rect, keep func(inA, inB bool) bool) []Rect {
 		activeA = pruneEnded(activeA, y0)
 		activeB = pruneEnded(activeB, y0)
 
-		ia := bandIntervals(activeA)
-		ib := bandIntervals(activeB)
+		ia = appendBandIntervals(ia[:0], activeA)
+		ib = appendBandIntervals(ib[:0], activeB)
 		for _, iv := range combineIntervals(ia, ib, keep) {
 			out = append(out, Rect{iv[0], y0, iv[1], y1})
 		}

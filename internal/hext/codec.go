@@ -269,9 +269,15 @@ func decodeNetlist(d *decBuf) *netlist.Netlist {
 // --- leaf-sweep entries (the disk tier under the content cache) ---
 
 // encodeSweep serialises one content-addressed leaf sweep: the
-// anchored netlist, the sweep warnings and the geometry count.
-func encodeSweep(nl *netlist.Netlist, warnings []string, boxes int) []byte {
-	e := &encBuf{b: make([]byte, 0, 256)}
+// anchored netlist, the sweep warnings and the geometry count. The
+// encoding is appended to dst[:0] (which may be nil), so a caller in a
+// loop reuses one buffer; the returned slice is valid until that
+// buffer's next use.
+func encodeSweep(dst []byte, nl *netlist.Netlist, warnings []string, boxes int) []byte {
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, 256)
+	}
+	e := &encBuf{b: dst[:0]}
 	e.u8(sweepPayloadVersion)
 	encodeNetlist(e, nl)
 	e.uvarint(uint64(len(warnings)))
@@ -317,7 +323,10 @@ const (
 // the node's window memo key (when known), so a decoder holding some
 // of the windows in memory already can graft the stored tree onto its
 // memo instead of duplicating shared subtrees.
-func encodeWinTree(root *winResult, keyOf func(*winResult) string) []byte {
+//
+// Like encodeSweep, the record list is appended to dst[:0]; the
+// returned slice is valid until that buffer's next use.
+func encodeWinTree(dst []byte, root *winResult, keyOf func(*winResult) string) []byte {
 	var order []*winResult
 	index := map[*winResult]int{}
 	var walk func(r *winResult)
@@ -334,7 +343,10 @@ func encodeWinTree(root *winResult, keyOf func(*winResult) string) []byte {
 	}
 	walk(root)
 
-	e := &encBuf{b: make([]byte, 0, 1024)}
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, 1024)
+	}
+	e := &encBuf{b: dst[:0]}
 	e.u8(winPayloadVersion)
 	e.uvarint(uint64(len(order)))
 	encodeRef := func(rf ref) {

@@ -30,7 +30,7 @@ func TestSweepCodecRoundTrip(t *testing.T) {
 		},
 	}
 	warns := []string{"w1", ""}
-	payload := encodeSweep(nl, warns, 42)
+	payload := encodeSweep(nil, nl, warns, 42)
 	gotNl, gotWarns, gotBoxes, err := decodeSweep(payload)
 	if err != nil {
 		t.Fatal(err)
@@ -50,7 +50,7 @@ func TestSweepCodecRoundTrip(t *testing.T) {
 func TestSweepCodecRejectsDamage(t *testing.T) {
 	nl := &netlist.Netlist{Name: "x", Nets: []netlist.Net{{Names: []string{"n"}}},
 		Devices: []netlist.Device{{Terminals: []netlist.Terminal{{Net: 0, Edge: 1}}}}}
-	payload := encodeSweep(nl, []string{"warn"}, 3)
+	payload := encodeSweep(nil, nl, []string{"warn"}, 3)
 	for cut := 0; cut < len(payload); cut++ {
 		if _, _, _, err := decodeSweep(payload[:cut]); err == nil {
 			t.Fatalf("truncation at %d accepted", cut)
@@ -86,7 +86,7 @@ func TestWinTreeCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := encodeWinTree(res.top, nil)
+	payload := encodeWinTree(nil, res.top, nil)
 
 	ids := 0
 	nextID := func() int { ids++; return ids }
@@ -97,7 +97,7 @@ func TestWinTreeCodecRoundTrip(t *testing.T) {
 	if root.id != ids {
 		t.Fatalf("root id %d, want last-assigned %d", root.id, ids)
 	}
-	again := encodeWinTree(root, nil)
+	again := encodeWinTree(nil, root, nil)
 	if !bytes.Equal(payload, again) {
 		t.Fatal("decoded tree re-encodes differently")
 	}
@@ -130,7 +130,7 @@ func TestWinTreeCodecRejectsDamage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := encodeWinTree(res.top, nil)
+	payload := encodeWinTree(nil, res.top, nil)
 	nextID := func() func() int {
 		ids := 0
 		return func() int { ids++; return ids }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ace/internal/guard"
+	"ace/internal/scan"
 	"ace/internal/store"
 )
 
@@ -51,6 +52,9 @@ const (
 type execCtx struct {
 	cache    *leafCache
 	disk     *store.Store
+	pool     *scan.Pool // session sweep scratch; shared, mutex-guarded
+	readBuf  []byte     // store read scratch (decodeSweep copies out)
+	encBuf   []byte     // encodeSweep scratch (Put copies to disk)
 	counters Counters
 	flat     time.Duration
 	comp     time.Duration
@@ -110,7 +114,7 @@ func (e *env) execute(workers int) error {
 		workers = len(nodes)
 	}
 	if workers <= 1 {
-		x := execCtx{cache: e.cache, disk: e.disk}
+		x := execCtx{cache: e.cache, disk: e.disk, pool: e.pool}
 		for _, n := range nodes {
 			if err := x.runGuarded(e, n); err != nil {
 				e.mergeExec(&x)
@@ -154,6 +158,7 @@ func (e *env) execute(workers int) error {
 	for i := range ctxs {
 		ctxs[i].cache = e.cache
 		ctxs[i].disk = e.disk
+		ctxs[i].pool = e.pool
 		wg.Add(1)
 		go func(x *execCtx) {
 			defer wg.Done()

@@ -16,6 +16,7 @@ import (
 	"ace/internal/geom"
 	"ace/internal/guard"
 	"ace/internal/netlist"
+	"ace/internal/scan"
 	"ace/internal/store"
 )
 
@@ -235,13 +236,25 @@ type Session struct {
 	disk     *store.Store
 	diskWarn string
 
+	// pool keeps sweeper and builder scratch alive across Extract
+	// calls — the hierarchical engine's half of the warm loop
+	// extract.Engine provides for the flat pipelines. readBuf and
+	// encBuf are the serial-phase store codec buffers (window-tree
+	// reads and encodes); the parallel leaf workers carry their own in
+	// execCtx. Results are byte-identical with and without reuse:
+	// Builder.Finish and the win-tree decoder copy everything they
+	// emit out of the scratch they ran in.
+	pool    *scan.Pool
+	readBuf []byte
+	encBuf  []byte
+
 	// last is the most recently extracted design, the base Apply edits.
 	last *cif.File
 }
 
 // NewSession creates an incremental extraction session.
 func NewSession(opt Options) *Session {
-	s := &Session{opt: opt, memo: map[string]*winResult{}}
+	s := &Session{opt: opt, memo: map[string]*winResult{}, pool: scan.NewPool()}
 	if !opt.DisableMemo && opt.CacheSize >= 0 {
 		s.cache = newLeafCache(opt.CacheSize)
 	}
@@ -304,6 +317,7 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 		fracture:  opt.Fracture,
 		cache:     s.cache,
 		disk:      s.disk,
+		pool:      s.pool,
 	}
 	e.warnings = append(e.warnings, f.Warnings...)
 	if s.diskWarn != "" {
@@ -331,8 +345,9 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 		diags.Add(diag.New(diag.Warning, guard.StageHextPlan,
 			"no-geometry", "design contains no geometry"))
 		diags.Sort()
-		b := &build.Builder{}
+		b := s.pool.GetBuilder()
 		nl, _ := b.Finish()
+		s.pool.PutBuilder(b)
 		s.last = f
 		return &Result{Netlist: nl, Warnings: e.warnings, Diagnostics: diags}, nil
 	}
@@ -379,7 +394,7 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 	e.persistResults()
 
 	t1 := time.Now()
-	b := &build.Builder{}
+	b := e.pool.GetBuilder()
 	var nl *netlist.Netlist
 	ferr := guard.Run(guard.StageHextFlatten, func() error {
 		if err := guard.Inject(guard.StageHextFlatten); err != nil {
@@ -411,6 +426,9 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 	}
 	warnings := append(e.warnings, b.Warnings()...)
 	e.persistFlat(root, nl, warnings[preWarn:])
+	// Finish copied everything into nl and the warnings were appended
+	// above, so the builder's arenas are free for the next Extract.
+	e.pool.PutBuilder(b)
 	s.last = f
 
 	diags.Sort()
@@ -441,6 +459,7 @@ type env struct {
 	fracture  Fracture
 	cache     *leafCache
 	disk      *store.Store
+	pool      *scan.Pool
 	overlay   []*overlayLabel
 
 	// rootKey is the top window's memo key (the content address of the
@@ -609,6 +628,9 @@ func (e *env) probeFlat(k string) bool {
 	if e.disk == nil {
 		return false
 	}
+	// Plain Get, never GetBuf: flatHier retains the tree section —
+	// a sub-slice of this payload — for lazy hierarchical emission, so
+	// the bytes must not be recycled by a later read.
 	payload, ok := e.disk.Get(flatKey(k))
 	if !ok {
 		e.counters.DiskMisses++
@@ -663,9 +685,12 @@ func (e *env) persistFlat(root *dagNode, nl *netlist.Netlist, warns []string) {
 				rev[n.res] = k
 			}
 		}
-		tree = encodeWinTree(root.res, func(r *winResult) string { return rev[r] })
+		tree = encodeWinTree(nil, root.res, func(r *winResult) string { return rev[r] })
 	}
-	payload := encodeFlat(encodeSweep(nl, warns, 0), tree)
+	// The sweep section is encoded into the session scratch buffer;
+	// encodeFlat copies it into the framed payload.
+	e.session.encBuf = encodeSweep(e.session.encBuf, nl, warns, 0)
+	payload := encodeFlat(e.session.encBuf, tree)
 	if e.disk.Put(fk, payload) == nil {
 		e.counters.DiskBytes += int64(len(payload))
 	}
@@ -681,7 +706,9 @@ func (e *env) probeDisk(k string) (*dagNode, bool) {
 	if e.disk == nil {
 		return nil, false
 	}
-	payload, ok := e.disk.Get(winTreeKey(k))
+	// decodeWinTree copies everything it keeps, so the session read
+	// buffer can host the payload and be reused by the next probe.
+	payload, ok := e.disk.GetBuf(winTreeKey(k), &e.session.readBuf)
 	if !ok {
 		e.counters.DiskMisses++
 		return nil, false
@@ -752,9 +779,9 @@ func (e *env) persistResults() {
 		if e.disk.Has(dk) {
 			continue
 		}
-		payload := encodeWinTree(n.res, keyOf)
-		if e.disk.Put(dk, payload) == nil {
-			e.counters.DiskBytes += int64(len(payload))
+		e.session.encBuf = encodeWinTree(e.session.encBuf, n.res, keyOf)
+		if e.disk.Put(dk, e.session.encBuf) == nil {
+			e.counters.DiskBytes += int64(len(e.session.encBuf))
 		}
 	}
 }
@@ -799,7 +826,7 @@ func (e *env) flatten(r *winResult, off geom.Point, seq int64, b *build.Builder,
 	var kn, kp [2][]int32
 	if workers > 1 && r.insts >= parallelFlattenMin {
 		half := workers / 2
-		b1 := &build.Builder{}
+		b1 := e.pool.GetBuilder()
 		var cands1 []overlayCand
 		var wg sync.WaitGroup
 		wg.Add(1)
@@ -834,6 +861,8 @@ func (e *env) flatten(r *winResult, off geom.Point, seq int64, b *build.Builder,
 			cands1[i].net += netOff
 		}
 		*cands = append(*cands, cands1...)
+		// Absorb copied (not aliased) every arena out of b1.
+		e.pool.PutBuilder(b1)
 	} else {
 		kn[0], kp[0] = e.flatten(c.kids[0], off.Add(c.at[0]), seq, b, 1, cands)
 		kn[1], kp[1] = e.flatten(c.kids[1], off.Add(c.at[1]), seq+c.kids[0].insts, b, 1, cands)

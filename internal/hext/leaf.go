@@ -41,7 +41,7 @@ func (x *execCtx) extractLeaf(n *dagNode) (*winResult, []string) {
 			snl, swarns, sboxes, ok := x.diskSweep(ck)
 			if !ok {
 				x.counters.LeafSweeps++
-				snl, swarns = runLeafSweep(boxes, labels, anchor)
+				snl, swarns = runLeafSweep(boxes, labels, anchor, x.pool)
 				sboxes = len(boxes)
 				x.putSweep(ck, snl, swarns, sboxes)
 			}
@@ -56,13 +56,13 @@ func (x *execCtx) extractLeaf(n *dagNode) (*winResult, []string) {
 		var ok bool
 		if nl, warns, nboxes, ok = x.diskSweep(ck); !ok {
 			x.counters.LeafSweeps++
-			nl, warns = runLeafSweep(boxes, labels, anchor)
+			nl, warns = runLeafSweep(boxes, labels, anchor, x.pool)
 			nboxes = len(boxes)
 			x.putSweep(ck, nl, warns, nboxes)
 		}
 	} else {
 		x.counters.LeafSweeps++
-		nl, warns = runLeafSweep(boxes, labels, anchor)
+		nl, warns = runLeafSweep(boxes, labels, anchor, x.pool)
 		nboxes = len(boxes)
 	}
 	return buildLeafResult(n.id, n.win, nl, anchor, nboxes), warns
@@ -75,7 +75,9 @@ func (x *execCtx) diskSweep(ck string) (*netlist.Netlist, []string, int, bool) {
 	if x.disk == nil {
 		return nil, nil, 0, false
 	}
-	payload, ok := x.disk.Get(sweepKey(ck))
+	// decodeSweep copies everything it keeps, so the worker's read
+	// buffer can host the payload and be reused by the next probe.
+	payload, ok := x.disk.GetBuf(sweepKey(ck), &x.readBuf)
 	if !ok {
 		x.counters.DiskMisses++
 		return nil, nil, 0, false
@@ -96,9 +98,9 @@ func (x *execCtx) putSweep(ck string, nl *netlist.Netlist, warns []string, boxes
 	if x.disk == nil {
 		return
 	}
-	payload := encodeSweep(nl, warns, boxes)
-	if x.disk.Put(sweepKey(ck), payload) == nil {
-		x.counters.DiskBytes += int64(len(payload))
+	x.encBuf = encodeSweep(x.encBuf, nl, warns, boxes)
+	if x.disk.Put(sweepKey(ck), x.encBuf) == nil {
+		x.counters.DiskBytes += int64(len(x.encBuf))
 	}
 }
 
@@ -182,11 +184,11 @@ func contentKey(boxes []frontend.Box, labels []frontend.Label, anchor geom.Point
 // output depends only on the content multiset — required for cached
 // results to be interchangeable with fresh ones regardless of the
 // order the window assembled its items in.
-func runLeafSweep(boxes []frontend.Box, labels []frontend.Label, anchor geom.Point) (*netlist.Netlist, []string) {
+func runLeafSweep(boxes []frontend.Box, labels []frontend.Label, anchor geom.Point, pool *scan.Pool) (*netlist.Netlist, []string) {
 	shift := geom.Pt(-anchor.X, -anchor.Y)
-	ab := make([]frontend.Box, len(boxes))
-	for i, bx := range boxes {
-		ab[i] = frontend.Box{Layer: bx.Layer, Rect: bx.Rect.Translate(shift)}
+	ab := pool.GetBoxBuf()
+	for _, bx := range boxes {
+		ab = append(ab, frontend.Box{Layer: bx.Layer, Rect: bx.Rect.Translate(shift)})
 	}
 	scan.SortTopDown(ab)
 	al := make([]frontend.Label, len(labels))
@@ -197,12 +199,18 @@ func runLeafSweep(boxes []frontend.Box, labels []frontend.Label, anchor geom.Poi
 	res, err := scan.Sweep(scan.NewBoxSource(ab), scan.Options{
 		KeepGeometry: true,
 		Labels:       al,
+		Pool:         pool,
 	})
 	if err != nil {
 		// The sweep only fails on internal invariant violations;
-		// surface it as an empty window plus a warning.
+		// surface it as an empty window plus a warning. The failed
+		// sweeper (and the box buffer it references) is dropped, not
+		// repooled.
 		return &netlist.Netlist{}, []string{err.Error()}
 	}
+	// Finish copied the geometry it kept, so the anchored input run is
+	// free again.
+	pool.PutBoxBuf(ab)
 	return res.Netlist, res.Warnings
 }
 

@@ -2,8 +2,10 @@ package prof
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"time"
 )
@@ -11,7 +13,9 @@ import (
 // Env records the machine and toolchain a measurement came from;
 // baselines are only comparable against the same environment. Both
 // bench commands embed it in their reports so the fields (and any new
-// ones, like peak RSS) land once.
+// ones, like peak RSS) land once. GOMEMLIMIT is the soft memory limit
+// in bytes, or -1 when none is set — allocation benchmarks behave very
+// differently under a limit, so reports must carry it.
 type Env struct {
 	Date       string `json:"date"`
 	GoVersion  string `json:"go"`
@@ -19,10 +23,15 @@ type Env struct {
 	Arch       string `json:"arch"`
 	NumCPU     int    `json:"num_cpu"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	GOMEMLIMIT int64  `json:"gomemlimit"`
 }
 
 // CaptureEnv snapshots the current environment.
 func CaptureEnv() Env {
+	limit := debug.SetMemoryLimit(-1) // negative input only reads
+	if limit == math.MaxInt64 {
+		limit = -1
+	}
 	return Env{
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
@@ -30,6 +39,41 @@ func CaptureEnv() Env {
 		Arch:       runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMEMLIMIT: limit,
+	}
+}
+
+// GCStats is a snapshot of the collector counters a warm loop cares
+// about: completed cycles, cumulative stop-the-world pause, cumulative
+// bytes allocated and the heap currently in use.
+type GCStats struct {
+	NumGC        uint32 `json:"num_gc"`
+	PauseTotalNs uint64 `json:"pause_total_ns"`
+	TotalAlloc   uint64 `json:"total_alloc_bytes"`
+	HeapInuse    uint64 `json:"heap_inuse_bytes"`
+}
+
+// CaptureGC snapshots the collector counters (runtime.ReadMemStats).
+func CaptureGC() GCStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return GCStats{
+		NumGC:        ms.NumGC,
+		PauseTotalNs: ms.PauseTotalNs,
+		TotalAlloc:   ms.TotalAlloc,
+		HeapInuse:    ms.HeapInuse,
+	}
+}
+
+// Delta reports the collector activity since an earlier snapshot. The
+// cumulative counters are differenced; HeapInuse keeps the endpoint
+// value (a level, not a rate).
+func (g GCStats) Delta(since GCStats) GCStats {
+	return GCStats{
+		NumGC:        g.NumGC - since.NumGC,
+		PauseTotalNs: g.PauseTotalNs - since.PauseTotalNs,
+		TotalAlloc:   g.TotalAlloc - since.TotalAlloc,
+		HeapInuse:    g.HeapInuse,
 	}
 }
 

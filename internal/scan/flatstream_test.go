@@ -80,7 +80,7 @@ func TestBandStreamsMatchPartition(t *testing.T) {
 		boxes := stream.Drain()
 		for _, bands := range []int{2, 3, 4} {
 			cuts := chooseCuts(boxes, bands)
-			want := partitionBoxes(boxes, cuts)
+			want := partitionBoxes(boxes, cuts, nil)
 			for _, fw := range []int{1, 3} {
 				fl, err := frontend.Flatten(nil, w.File, frontend.Options{})
 				if err != nil {

@@ -47,13 +47,9 @@ func ParallelSweep(boxes []frontend.Box, opt Options, workers int) (*Result, err
 	if workers < 2 {
 		return Sweep(&boxSource{boxes: boxes}, opt)
 	}
-	for i := 1; i < len(boxes); i++ {
-		if boxes[i].Rect.YMax > boxes[i-1].Rect.YMax {
-			sort.SliceStable(boxes, func(a, c int) bool {
-				return boxes[a].Rect.YMax > boxes[c].Rect.YMax
-			})
-			break
-		}
+	if !TopsSorted(boxes) {
+		scratch := sortTopsStable(boxes, opt.Pool.GetBoxBuf())
+		opt.Pool.PutBoxBuf(scratch)
 	}
 
 	cuts := chooseCuts(boxes, workers)
@@ -61,12 +57,18 @@ func ParallelSweep(boxes []frontend.Box, opt Options, workers int) (*Result, err
 		return Sweep(&boxSource{boxes: boxes}, opt)
 	}
 
-	bandBoxes := partitionBoxes(boxes, cuts)
+	bandBoxes := partitionBoxes(boxes, cuts, opt.Pool)
 	srcs := make([]Source, len(bandBoxes))
 	for k := range bandBoxes {
 		srcs[k] = &boxSource{boxes: bandBoxes[k]}
 	}
-	return sweepBands(srcs, cuts, len(boxes), opt)
+	res, err := sweepBands(srcs, cuts, len(boxes), opt)
+	// The band-clipped copies are dead once the sweep returns (Results
+	// copy what they keep), so their capacity goes back to the pool.
+	for _, bb := range bandBoxes {
+		opt.Pool.PutBoxBuf(bb)
+	}
+	return res, err
 }
 
 // ParallelSweepSources is ParallelSweep for callers that produce the
@@ -111,7 +113,7 @@ func sweepBands(srcs []Source, cuts []int64, boxesIn int, opt Options) (res *Res
 		bopt.Labels = bandLabels[k]
 		bopt.Ctx = bctx
 		bopt.stage = guard.StageBand
-		s := newSweeper(srcs[k], bopt)
+		s := opt.Pool.getSweeper(srcs[k], bopt)
 		if k > 0 {
 			s.band.hasTop, s.band.top = true, cuts[k-1]
 		}
@@ -157,7 +159,8 @@ func sweepBands(srcs []Source, cuts []int64, boxesIn int, opt Options) (res *Res
 
 	// Stitch: absorb the band builders in top-to-bottom order, then
 	// union and contact across each seam.
-	master := &build.Builder{KeepGeometry: opt.KeepGeometry}
+	master := opt.Pool.GetBuilder()
+	master.KeepGeometry = opt.KeepGeometry
 	res = &Result{}
 	type offsets struct{ net, dev int32 }
 	offs := make([]offsets, nBands)
@@ -196,6 +199,12 @@ func sweepBands(srcs []Source, cuts []int64, boxesIn int, opt Options) (res *Res
 	res.Counters.NetElems = master.NetElems()
 	res.Counters.DevElems = master.DevElems()
 	res.Warnings = append(res.Warnings, master.Warnings()...)
+	// Repool only after the seam loop above: stitching reads the band
+	// sweepers' faces, and Finish is done with the master's arenas.
+	for _, s := range sweepers {
+		opt.Pool.putSweeper(s)
+	}
+	opt.Pool.PutBuilder(master)
 	return res, nil
 }
 
@@ -320,11 +329,15 @@ func EffectiveBands(n, workers int) int {
 // hi_0 = +inf and lo_last = -inf; a box whose top sits exactly on a
 // cut belongs to the band below, mirroring the serial sweep where the
 // strip below a stop carries the incoming geometry.
-func partitionBoxes(boxes []frontend.Box, cuts []int64) [][]frontend.Box {
+func partitionBoxes(boxes []frontend.Box, cuts []int64, pool *Pool) [][]frontend.Box {
 	nBands := len(cuts) + 1
 	out := make([][]frontend.Box, nBands)
-	// Pre-size: most boxes land in exactly one band.
 	for i := range out {
+		if b := pool.GetBoxBuf(); b != nil {
+			out[i] = b
+			continue
+		}
+		// Pre-size: most boxes land in exactly one band.
 		out[i] = make([]frontend.Box, 0, len(boxes)/nBands+1)
 	}
 	for _, b := range boxes {

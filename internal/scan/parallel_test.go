@@ -137,7 +137,7 @@ func TestPartitionBoxes(t *testing.T) {
 		box(tech.Metal, 0, 0, 10, 50),     // top at cut 50 → below it
 	}
 	cuts := []int64{50, 0}
-	bands := partitionBoxes(boxes, cuts)
+	bands := partitionBoxes(boxes, cuts, nil)
 	if len(bands) != 3 {
 		t.Fatalf("bands = %d", len(bands))
 	}

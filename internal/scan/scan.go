@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"ace/internal/build"
@@ -68,6 +69,11 @@ type Options struct {
 	// Limits bounds the sweep: MaxBoxes caps boxes received from the
 	// front end, MaxMemBytes caps the estimated active-list footprint.
 	Limits guard.Limits
+
+	// Pool, when non-nil, supplies and reclaims sweepers, builders and
+	// sort scratch so repeated sweeps stop allocating. Results are
+	// byte-identical with and without it.
+	Pool *Pool
 
 	// stage attributes this sweep's errors and fault-injection points;
 	// the parallel sweep sets it per band. Empty means guard.StageSweep.
@@ -119,7 +125,7 @@ func Sweep(src Source, opt Options) (res *Result, err error) {
 	if err := guard.Inject(opt.stageName()); err != nil {
 		return nil, err
 	}
-	s := newSweeper(src, opt)
+	s := opt.Pool.getSweeper(src, opt)
 	if err := s.run(); err != nil {
 		return nil, err
 	}
@@ -129,12 +135,14 @@ func Sweep(src Source, opt Options) (res *Result, err error) {
 	s.counters.GateAnomaly = fs.GateAnomalies
 	s.counters.NetElems = s.b.NetElems()
 	s.counters.DevElems = s.b.DevElems()
-	return &Result{
+	res = &Result{
 		Netlist:  nl,
 		Counters: s.counters,
 		Timing:   s.timing,
 		Warnings: append(s.warnings, s.b.Warnings()...),
-	}, nil
+	}
+	opt.Pool.putSweeper(s)
+	return res, nil
 }
 
 // abox is one active box: geometry currently intersecting the
@@ -179,6 +187,7 @@ type sweeper struct {
 	counters Counters
 	timing   Timing
 	warnings []string
+	warnBuf  []byte // scratch for warnLabelMiss; retained across pooled reuse
 }
 
 // bandLimits bounds a sweeper to one horizontal band of the design.
@@ -203,14 +212,43 @@ func newSweeper(src Source, opt Options) *sweeper {
 		b:   &build.Builder{KeepGeometry: opt.KeepGeometry},
 	}
 	s.labels = append(s.labels, opt.Labels...)
-	sort.SliceStable(s.labels, func(i, j int) bool {
-		return s.labels[i].At.Y > s.labels[j].At.Y
-	})
+	sortLabelsByY(s.labels)
 	return s
 }
 
-func (s *sweeper) warnf(format string, args ...any) {
-	s.warnings = append(s.warnings, fmt.Sprintf(format, args...))
+// sortLabelsByY stable-sorts labels by descending Y. Shifting only on
+// strictly-greater keys keeps equal-Y labels in input order, so the
+// sweep binds labels — and emits miss warnings — in exactly the order
+// sort.SliceStable produced, without that call's per-run closure and
+// reflect-based swapper allocations.
+func sortLabelsByY(lbs []frontend.Label) {
+	for i := 1; i < len(lbs); i++ {
+		lb := lbs[i]
+		j := i - 1
+		for j >= 0 && lbs[j].At.Y < lb.At.Y {
+			lbs[j+1] = lbs[j]
+			j--
+		}
+		lbs[j+1] = lb
+	}
+}
+
+// warnLabelMiss records "label <quoted name> at (X,Y) <why>". The
+// message is assembled with strconv appends into per-sweeper scratch
+// so a warm sweep pays exactly one allocation per warning — the string
+// handed to the caller — rather than the nested fmt.Sprintf calls
+// (%q, %v via Point.String) the obvious formulation costs.
+func (s *sweeper) warnLabelMiss(lb frontend.Label, why string) {
+	b := append(s.warnBuf[:0], "label "...)
+	b = strconv.AppendQuote(b, lb.Name)
+	b = append(b, " at ("...)
+	b = strconv.AppendInt(b, lb.At.X, 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, lb.At.Y, 10)
+	b = append(b, ") "...)
+	b = append(b, why...)
+	s.warnBuf = b
+	s.warnings = append(s.warnings, string(b))
 }
 
 func (s *sweeper) run() error {
@@ -307,7 +345,7 @@ func (s *sweeper) run() error {
 	// Any labels below the last geometry can never match.
 	for s.nextLb < len(s.labels) {
 		s.counters.LabelMisses++
-		s.warnf("label %q at %v matches no geometry", s.labels[s.nextLb].Name, s.labels[s.nextLb].At)
+		s.warnLabelMiss(s.labels[s.nextLb], "matches no geometry")
 		s.nextLb++
 	}
 	return nil
@@ -605,7 +643,7 @@ func (s *sweeper) attachLabels(yTop, yBot int64) {
 		if lb.At.Y > yTop {
 			// Above all remaining geometry: it can never match now.
 			s.counters.LabelMisses++
-			s.warnf("label %q at %v matches no geometry", lb.Name, lb.At)
+			s.warnLabelMiss(lb, "matches no geometry")
 			s.nextLb++
 			continue
 		}
@@ -622,7 +660,7 @@ func (s *sweeper) attachLabels(yTop, yBot int64) {
 			return
 		}
 		s.counters.LabelMisses++
-		s.warnf("label %q at %v matches no conducting geometry", lb.Name, lb.At)
+		s.warnLabelMiss(lb, "matches no conducting geometry")
 		s.nextLb++
 	}
 }

@@ -41,6 +41,8 @@ type Reader struct {
 
 	bytesRead    atomic.Int64
 	tilesDecoded atomic.Int64
+
+	pool *Arena // iterator scratch pool; nil means per-iterator allocation
 }
 
 // Counters is a snapshot of a Reader's I/O effort: how many payload,
@@ -378,10 +380,29 @@ type Iter struct {
 	arena []frontend.Box
 	buf   []byte
 	i     int
+
+	pool     *Arena // where the scratch returns on clean exhaustion
+	released bool
 }
 
 func (r *Reader) newIter(b Band, rect geom.Rect, windowed bool) *Iter {
-	return &Iter{r: r, band: b, rect: rect, wind: windowed}
+	it := &Iter{r: r, band: b, rect: rect, wind: windowed, pool: r.pool}
+	if it.pool != nil {
+		s := it.pool.get()
+		it.arena, it.span, it.buf = s.arena, s.span, s.buf
+	}
+	return it
+}
+
+// release hands the iterator's scratch back to the pool once, on clean
+// exhaustion only: a failed iterator keeps (drops) its buffers.
+func (it *Iter) release() {
+	if it.pool == nil || it.released || it.err != nil {
+		return
+	}
+	it.released = true
+	it.pool.put(iterScratch{arena: it.arena, span: it.span, buf: it.buf})
+	it.arena, it.span, it.buf = nil, nil, nil
 }
 
 // Err returns the first decode error the iterator hit, if any. An
@@ -546,6 +567,7 @@ func (it *Iter) NextTop() (int64, bool) {
 	for it.i >= len(it.arena) {
 		if !it.loadRow() {
 			it.done = true
+			it.release()
 			return 0, false
 		}
 	}
@@ -560,8 +582,8 @@ func (it *Iter) Next() (frontend.Box, bool) {
 	if it.spanI < len(it.span) {
 		b := it.span[it.spanI]
 		it.spanI++
-		if it.spanI == len(it.span) {
-			it.span = nil
+		if it.spanI == len(it.span) && it.pool == nil {
+			it.span = nil // free early; pooled scratch waits for release
 		}
 		return b, true
 	}

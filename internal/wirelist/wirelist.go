@@ -10,6 +10,7 @@
 package wirelist
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"strings"
@@ -87,6 +88,16 @@ func Format(nl *netlist.Netlist, opt Options) string {
 	var sb strings.Builder
 	_ = Write(&sb, nl, opt)
 	return sb.String()
+}
+
+// AppendTo renders a netlist onto dst, reusing its capacity — the
+// warm-loop form of Format: an extract.Engine output buffer (or any
+// caller-kept slice) absorbs the rendering instead of a fresh string
+// per run. The bytes are identical to Write's.
+func AppendTo(dst []byte, nl *netlist.Netlist, opt Options) ([]byte, error) {
+	buf := bytes.NewBuffer(dst)
+	err := Write(buf, nl, opt)
+	return buf.Bytes(), err
 }
 
 type errWriter struct {
