@@ -24,6 +24,7 @@ import (
 	"ace/internal/guard"
 	"ace/internal/hext"
 	"ace/internal/prof"
+	"ace/internal/store"
 	"ace/internal/wirelist"
 )
 
@@ -99,6 +100,7 @@ func main() {
 	flag.BoolVar(&flagDiagJSON, "diag-json", false, "emit diagnostics as a JSON report on stdout (the wirelist then requires -o)")
 	flag.Int64Var(&flagMaxBoxes, "max-boxes", 0, "fail the extraction after this many geometry items (0: unlimited)")
 	flag.IntVar(&flagRepeat, "repeat", 1, "extract the design this many times through one warm Session, printing per-iteration timings to stderr")
+	cacheVerify := flag.Bool("cache-verify", false, "verify every entry in the -cache-dir store (quarantining damage) and exit 5 if any is corrupt")
 	flag.Parse()
 	gcStart = prof.CaptureGC()
 
@@ -109,6 +111,8 @@ func main() {
 	defer stop()
 
 	switch {
+	case *cacheVerify:
+		runCacheVerify(flagCacheDir)
 	case *bench != "":
 		runBenchJSON(*bench)
 	case *table41:
@@ -124,6 +128,33 @@ func main() {
 
 func fatal(err error) {
 	cli.Fatal("hext", err)
+}
+
+// runCacheVerify scans a persistent cache directory: every entry is
+// read and verified (header, embedded key, checksum, file-name
+// binding), damage is quarantined, and the process exits with the
+// corruption code when any entry failed — the ops-side integrity
+// check for a shared daemon cache.
+func runCacheVerify(dir string) {
+	if dir == "" {
+		fatal(fmt.Errorf("-cache-verify requires -cache-dir"))
+	}
+	s, err := store.Open(dir, store.Options{MaxBytes: flagCacheMaxBytes})
+	if err != nil {
+		fatal(err)
+	}
+	errs := s.VerifyAll()
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "hext:", e)
+	}
+	entries, bytes := s.Stats()
+	fmt.Printf("cache %s: %d entries ok, %d corrupt (quarantined), %d bytes\n",
+		dir, entries, len(errs), bytes)
+	if len(errs) > 0 {
+		// Every failure from VerifyAll is corruption or unreadable I/O;
+		// classify through the shared taxonomy off the first error.
+		os.Exit(cli.ExitCodeFor(errs[0]))
+	}
 }
 
 func runExtract(in, out string, hier, stats bool) {

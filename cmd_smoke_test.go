@@ -1,13 +1,16 @@
 package ace
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestCommandSmoke builds every CLI and drives the full shell design
@@ -196,7 +199,7 @@ func TestExitCodeTaxonomy(t *testing.T) {
 	}
 	dir := t.TempDir()
 	bins := map[string]string{}
-	for _, name := range []string{"ace", "hext", "cifgen"} {
+	for _, name := range []string{"ace", "hext", "cifgen", "cifpack"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		if b, err := cmd.CombinedOutput(); err != nil {
@@ -288,6 +291,67 @@ func TestExitCodeTaxonomy(t *testing.T) {
 		if code, _, errOut := runCode(prog, "-max-boxes", "1", clean); code != 4 {
 			t.Fatalf("%s max-boxes: code %d\n%s", prog, code, errOut)
 		}
+	}
+
+	// 5: corrupt on-disk artifacts. A damaged packed tile file and a
+	// damaged persistent-cache entry are data corruption, not input
+	// findings, and get their own code.
+	actb := filepath.Join(dir, "chain.actb")
+	if code, _, errOut := runCode("cifpack", "-o", actb, clean); code != 0 {
+		t.Fatalf("cifpack: code %d\n%s", code, errOut)
+	}
+	packed, err := os.ReadFile(actb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed[len(packed)/2] ^= 0x20
+	badTiles := filepath.Join(dir, "bad.actb")
+	if err := os.WriteFile(badTiles, packed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errOut := runCode("ace", "-tiles", badTiles); code != 5 {
+		t.Fatalf("ace -tiles corrupt: code %d, want 5\n%s", code, errOut)
+	}
+
+	cache := filepath.Join(dir, "cache")
+	if code, _, errOut := runCode("hext", "-cache-dir", cache, clean); code != 0 {
+		t.Fatalf("hext -cache-dir: code %d\n%s", code, errOut)
+	}
+	if code, out, errOut := runCode("hext", "-cache-verify", "-cache-dir", cache); code != 0 ||
+		!strings.Contains(out, "0 corrupt") {
+		t.Fatalf("hext -cache-verify clean: code %d\n%s%s", code, out, errOut)
+	}
+	ents, err := os.ReadDir(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, de := range ents {
+		if !strings.HasSuffix(de.Name(), ".e") {
+			continue
+		}
+		p := filepath.Join(cache, de.Name())
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x20
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted = true
+		break
+	}
+	if !corrupted {
+		t.Fatal("cache directory holds no entries to corrupt")
+	}
+	if code, _, errOut := runCode("hext", "-cache-verify", "-cache-dir", cache); code != 5 ||
+		!strings.Contains(errOut, "store:") {
+		t.Fatalf("hext -cache-verify corrupt: code %d, want 5\n%s", code, errOut)
+	}
+	// The sweep quarantined the damage, so a second verify is clean.
+	if code, _, errOut := runCode("hext", "-cache-verify", "-cache-dir", cache); code != 0 {
+		t.Fatalf("hext -cache-verify after quarantine: code %d\n%s", code, errOut)
 	}
 }
 
@@ -390,5 +454,88 @@ func TestTiledCLISmoke(t *testing.T) {
 	}
 	if strings.Contains(string(b), "panic") {
 		t.Fatalf("corrupt tile file panicked:\n%s", b)
+	}
+}
+
+// TestServeCLISmoke boots the real aced binary, attacks it with the
+// real acebomb binary, and then shuts it down gracefully: the
+// cross-process half of the service-mode contract (the in-process half
+// lives in internal/serve's tests).
+func TestServeCLISmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool unavailable")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"aced", "acebomb"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		bins[name] = out
+	}
+
+	// Boot the daemon on an ephemeral port, budgets armed so acebomb's
+	// hierarchy bombs die on limits rather than the request timeout.
+	daemon := exec.Command(bins["aced"],
+		"-addr", "127.0.0.1:0",
+		"-max-boxes", "200000", "-max-expanded-boxes", "200000",
+		"-max-body-bytes", "1048576", // matches acebomb's default -body-cap
+		"-queue-wait", "250ms",
+		"-cache-dir", filepath.Join(dir, "cache"),
+		"-drain-timeout", "30s",
+	)
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var daemonErr bytes.Buffer
+	daemon.Stderr = &daemonErr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	// The first stdout line announces the resolved address.
+	line, err := bufio.NewReader(stdout).ReadString('\n')
+	if err != nil {
+		t.Fatalf("no listen line from aced: %v (stderr: %s)", err, daemonErr.String())
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, "aced: listening on "))
+	if addr == line || addr == "" {
+		t.Fatalf("unexpected aced banner: %q", line)
+	}
+	go io.Copy(io.Discard, stdout) // keep the pipe drained
+
+	// The adversarial mix must pass every invariant, cross-process.
+	bomb := exec.Command(bins["acebomb"], "-url", "http://"+addr, "-duration", "3s", "-clients", "6")
+	out, err := bomb.CombinedOutput()
+	if err != nil {
+		t.Fatalf("acebomb failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "acebomb: PASS") {
+		t.Fatalf("acebomb did not report PASS:\n%s", out)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits cleanly.
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("aced exited dirty after SIGINT: %v (stderr: %s)", err, daemonErr.String())
+		}
+	case <-time.After(45 * time.Second):
+		t.Fatal("aced did not exit after SIGINT")
+	}
+	if !strings.Contains(daemonErr.String(), "drained cleanly") {
+		t.Fatalf("no clean-drain confirmation; stderr:\n%s", daemonErr.String())
 	}
 }

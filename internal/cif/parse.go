@@ -62,6 +62,17 @@ func (e *Error) Error() string {
 
 func (e *Error) Unwrap() error { return e.Err }
 
+// StructError is a whole-file structural defect — a call to an
+// undefined symbol, or a recursive symbol definition. It has no single
+// source line to point at, but like *Error it is a property of the
+// input rather than of the extractor, and callers that sort failures
+// into "bad input" versus "broken pipeline" (the HTTP service's
+// 422-versus-500 split) should treat both types as bad input. The
+// rendered text is exactly the historical fmt.Errorf form.
+type StructError struct{ Msg string }
+
+func (e *StructError) Error() string { return e.Msg }
+
 // Diagnostic converts the error to its diagnostic form.
 func (e *Error) Diagnostic() diag.Diagnostic {
 	d := diag.New(diag.Error, guard.StageParse, e.Code, e.Msg)
@@ -1007,7 +1018,7 @@ func checkSemantics(f *File) error {
 		check(s.Items)
 	}
 	if len(undefined) > 0 {
-		return fmt.Errorf("cif: call to undefined symbol(s) %v", undefined)
+		return &StructError{Msg: fmt.Sprintf("cif: call to undefined symbol(s) %v", undefined)}
 	}
 
 	// Cycle detection over the call graph.
@@ -1038,7 +1049,7 @@ func checkSemantics(f *File) error {
 	}
 	for id := range f.Symbols {
 		if !visit(id) {
-			return fmt.Errorf("cif: recursive symbol definition involving DS %d", cycle[0])
+			return &StructError{Msg: fmt.Sprintf("cif: recursive symbol definition involving DS %d", cycle[0])}
 		}
 	}
 	return nil

@@ -12,6 +12,8 @@ import (
 
 	"ace/internal/diag"
 	"ace/internal/guard"
+	"ace/internal/store"
+	"ace/internal/tile"
 )
 
 // Exit codes. Package flag already exits with 2 on a bad flag
@@ -35,12 +37,20 @@ const (
 
 	// ExitLimit: a guard.Limits resource budget was exceeded.
 	ExitLimit = 4
+
+	// ExitCorrupt: stored data failed integrity verification — a
+	// packed tile file (*tile.CorruptError) or a persistent-cache
+	// entry (*store.CorruptError). Distinct from ExitFindings because
+	// the input design may be fine; it is the on-disk artifact that
+	// needs re-packing or re-populating.
+	ExitCorrupt = 5
 )
 
 // ExitCodeFor classifies a pipeline error: context cancellation or
-// deadline → ExitTimeout, *guard.LimitError → ExitLimit, anything else
-// → ExitFindings. (Stage wrappers are unwrapped, so a LimitError inside
-// a *guard.StageError still classifies as ExitLimit.)
+// deadline → ExitTimeout, *guard.LimitError → ExitLimit, tile or
+// store corruption → ExitCorrupt, anything else → ExitFindings.
+// (Stage wrappers are unwrapped, so a LimitError inside a
+// *guard.StageError still classifies as ExitLimit.)
 func ExitCodeFor(err error) int {
 	if err == nil {
 		return ExitOK
@@ -51,6 +61,11 @@ func ExitCodeFor(err error) int {
 	var le *guard.LimitError
 	if errors.As(err, &le) {
 		return ExitLimit
+	}
+	var tc *tile.CorruptError
+	var sc *store.CorruptError
+	if errors.As(err, &tc) || errors.As(err, &sc) {
+		return ExitCorrupt
 	}
 	return ExitFindings
 }

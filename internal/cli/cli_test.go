@@ -9,6 +9,8 @@ import (
 
 	"ace/internal/diag"
 	"ace/internal/guard"
+	"ace/internal/store"
+	"ace/internal/tile"
 )
 
 func TestExitCodeFor(t *testing.T) {
@@ -24,6 +26,10 @@ func TestExitCodeFor(t *testing.T) {
 		{&guard.StageError{Stage: guard.StageSweep, Err: context.DeadlineExceeded}, ExitTimeout},
 		{le, ExitLimit},
 		{&guard.StageError{Stage: guard.StageParse, Err: le}, ExitLimit},
+		{&guard.LimitError{Stage: guard.StageAdmit, What: guard.WhatConcurrent, Value: 9, Limit: 8}, ExitLimit},
+		{&tile.CorruptError{Region: "footer", Msg: "checksum mismatch"}, ExitCorrupt},
+		{&store.CorruptError{Path: "x.e", Reason: "bad magic"}, ExitCorrupt},
+		{&guard.StageError{Stage: guard.StageExtract, Err: &tile.CorruptError{Region: "tile[0,0]", Msg: "truncated"}}, ExitCorrupt},
 	}
 	for _, c := range cases {
 		if got := ExitCodeFor(c.err); got != c.want {

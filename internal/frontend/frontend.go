@@ -158,7 +158,7 @@ func NewItems(items []cif.Item, syms map[int]*cif.Symbol, opts Options) (s *Stre
 	s.pushItems(items, geom.Identity)
 	if len(s.heap) == 0 && len(s.labels) == 0 {
 		if !opts.Lenient {
-			return nil, fmt.Errorf("frontend: design contains no geometry")
+			return nil, fmt.Errorf("frontend: %w", guard.ErrNoGeometry)
 		}
 		addDiag(opts.Diags, diag.New(diag.Warning, guard.StageFrontend,
 			"no-geometry", "design contains no geometry"))

@@ -25,10 +25,19 @@ package guard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"time"
 )
+
+// ErrNoGeometry is the sentinel wrapped by the strict-mode "design
+// contains no geometry" failures in the flat and hierarchical front
+// ends. It lives here, in the shared taxonomy layer, so callers that
+// sort failures into "bad input" versus "broken pipeline" — the HTTP
+// service's 422-versus-500 split — can classify it with errors.Is
+// without importing either front end.
+var ErrNoGeometry = errors.New("design contains no geometry")
 
 // Pipeline stage names used for error attribution and fault-injection
 // targeting. Every worker pool and every sequential stage reports one

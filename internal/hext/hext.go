@@ -337,7 +337,7 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 	win, origin, ok := e.newTopWindow(top)
 	if !ok {
 		if !opt.Lenient {
-			return nil, fmt.Errorf("hext: design contains no geometry")
+			return nil, fmt.Errorf("hext: %w", guard.ErrNoGeometry)
 		}
 		// Fail-soft: nothing was salvageable (or the design is truly
 		// empty); report it and return an empty netlist so the caller

@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"ace/internal/guard"
+)
+
+// Admission-layer shed reasons. They are distinct sentinel errors so
+// the problem renderer can tell "the queue is full, come back later"
+// (retryable overload) from "the server is draining" (retry against
+// another instance) from a request deadline that expired while queued.
+var (
+	errQueueFull = errors.New("serve: admission queue full")
+	errQueueWait = errors.New("serve: admission queue wait expired")
+	errDraining  = errors.New("serve: server draining")
+)
+
+// admission is the server's load front door: a guard.Gate bounding
+// in-flight extractions plus a bounded wait queue in front of it.
+// Work beyond MaxInFlight waits (at most queueWait, at most queueCap
+// waiters); anything beyond that is shed immediately with a typed
+// error — the queue can never grow without bound, so an overload melts
+// into fast 429s instead of memory growth and collapse.
+type admission struct {
+	gate      *guard.Gate
+	queueCap  int64
+	queueWait time.Duration
+	queued    atomic.Int64
+	drain     chan struct{} // closed by beginDrain: sheds the queue
+}
+
+func newAdmission(maxInFlight, queueDepth int, queueWait time.Duration) *admission {
+	return &admission{
+		gate:      guard.NewGate(maxInFlight),
+		queueCap:  int64(queueDepth),
+		queueWait: queueWait,
+		drain:     make(chan struct{}),
+	}
+}
+
+// admit blocks until the request holds an in-flight token, and returns
+// the matching release. Shedding paths: errDraining once a drain has
+// begun (including while queued), errQueueFull when the wait queue is
+// at capacity, errQueueWait when no token freed within the queue-wait
+// budget, and a stage-attributed context error when the request's own
+// deadline expired first.
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case <-a.drain:
+		return nil, errDraining
+	default:
+	}
+	if err := a.gate.TryAcquire(guard.StageAdmit); err == nil {
+		return a.gate.Release, nil
+	}
+	if a.queued.Add(1) > a.queueCap {
+		a.queued.Add(-1)
+		return nil, errQueueFull
+	}
+	defer a.queued.Add(-1)
+
+	wctx, cancel := context.WithTimeout(ctx, a.queueWait)
+	defer cancel()
+	// Fold the drain signal into the wait context so a drain sheds
+	// queued requests immediately; the watcher exits with the wait.
+	watcherDone := make(chan struct{})
+	defer close(watcherDone)
+	go func() {
+		select {
+		case <-a.drain:
+			cancel()
+		case <-watcherDone:
+		}
+	}()
+
+	aerr := a.gate.Acquire(wctx, guard.StageAdmit)
+	if aerr == nil {
+		select {
+		case <-a.drain:
+			// Drain won the race with the released token: give it back
+			// and shed, so waitIdle converges.
+			a.gate.Release()
+			return nil, errDraining
+		default:
+			return a.gate.Release, nil
+		}
+	}
+	select {
+	case <-a.drain:
+		return nil, errDraining
+	default:
+	}
+	if ctx.Err() != nil {
+		return nil, &guard.StageError{Stage: guard.StageAdmit, Err: ctx.Err()}
+	}
+	return nil, errQueueWait
+}
+
+// beginDrain stops admission: every queued waiter is shed with
+// errDraining and every future admit fails fast. Safe to call more
+// than once.
+func (a *admission) beginDrain() {
+	select {
+	case <-a.drain:
+	default:
+		close(a.drain)
+	}
+}
+
+// draining reports whether beginDrain has been called.
+func (a *admission) draining() bool {
+	select {
+	case <-a.drain:
+		return true
+	default:
+		return false
+	}
+}
+
+// waitIdle blocks until no request is in flight or queued, or ctx
+// expires — the graceful half of shutdown: callers beginDrain first,
+// then bound how long in-flight work may run on.
+func (a *admission) waitIdle(ctx context.Context) error {
+	for {
+		if a.gate.InFlight() == 0 && a.queued.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is the server's counter set. Everything is monotonic and
+// atomically updated; the /statz handler snapshots it as JSON.
+type metrics struct {
+	accepted      atomic.Int64 // requests that passed admission
+	extractions   atomic.Int64 // actual pipeline runs (cache misses)
+	cacheHits     atomic.Int64 // served from the persistent tier
+	dedupWaits    atomic.Int64 // served by a concurrent identical request
+	panics        atomic.Int64 // requests answered 500 after a recovered panic
+	shedQueueFull atomic.Int64 // 429: wait queue at capacity
+	shedQueueWait atomic.Int64 // 429: no token within the queue-wait budget
+	shedTenant    atomic.Int64 // 429: per-tenant concurrency cap
+	shedDrain     atomic.Int64 // 503: shed during drain
+
+	mu       sync.Mutex
+	byStatus map[int]int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{byStatus: map[int]int64{}}
+}
+
+func (m *metrics) countStatus(code int) {
+	m.mu.Lock()
+	m.byStatus[code]++
+	m.mu.Unlock()
+}
+
+func (m *metrics) statusSnapshot() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.byStatus))
+	for code, n := range m.byStatus {
+		out[itoa3(code)] = n
+	}
+	return out
+}
+
+// itoa3 formats a three-digit HTTP status without strconv in the lock.
+func itoa3(code int) string {
+	if code < 100 || code > 999 {
+		code = 999
+	}
+	return string([]byte{byte('0' + code/100), byte('0' + code/10%10), byte('0' + code%10)})
+}
+
+// Stats is the /statz document: load, shed and cache counters plus
+// process gauges, so a load harness can assert the daemon stayed
+// bounded without attaching a debugger.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+
+	Accepted      int64            `json:"accepted"`
+	Extractions   int64            `json:"extractions"`
+	CacheHits     int64            `json:"cache_hits"`
+	DedupWaits    int64            `json:"dedup_waits"`
+	Panics        int64            `json:"panics"`
+	ShedQueueFull int64            `json:"shed_queue_full"`
+	ShedQueueWait int64            `json:"shed_queue_wait"`
+	ShedTenant    int64            `json:"shed_tenant"`
+	ShedDrain     int64            `json:"shed_drain"`
+	ByStatus      map[string]int64 `json:"by_status"`
+
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+
+	Goroutines   int   `json:"goroutines"`
+	PeakRSSBytes int64 `json:"peak_rss_bytes"`
+}

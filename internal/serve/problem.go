@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"ace/internal/cif"
+	"ace/internal/cli"
+	"ace/internal/guard"
+)
+
+// Problem is the RFC 7807 problem document every non-2xx response
+// carries, extended with the repository's failure taxonomy: code is a
+// stable machine-readable slug, exit_code the internal/cli exit the
+// same failure produces on the command line, stage the pipeline stage
+// that attributed the error. 422 responses embed the full -diag-json
+// diagnostics report; lenient extractions additionally carry the
+// salvaged wirelist, so a fail-soft client loses nothing over the CLI.
+type Problem struct {
+	Type        string          `json:"type"`
+	Title       string          `json:"title"`
+	Status      int             `json:"status"`
+	Detail      string          `json:"detail,omitempty"`
+	Code        string          `json:"code"`
+	ExitCode    int             `json:"exit_code"`
+	Stage       string          `json:"stage,omitempty"`
+	RetryAfter  int             `json:"retry_after,omitempty"` // seconds; also the Retry-After header
+	Diagnostics json.RawMessage `json:"diagnostics,omitempty"`
+	Wirelist    string          `json:"wirelist,omitempty"`
+}
+
+// problemType is the URN prefix of Problem.Type: stable, resolvable
+// nowhere, and unique per code as RFC 7807 asks.
+const problemType = "urn:ace:problem:"
+
+func newProblem(status int, code, title string) Problem {
+	return Problem{
+		Type:   problemType + code,
+		Title:  title,
+		Status: status,
+		Code:   code,
+	}
+}
+
+// problemFor classifies a pipeline error into a problem document,
+// reusing the internal/cli exit taxonomy so HTTP and CLI classify one
+// failure identically: diagnostics/parse damage → 422, timeout → 504,
+// resource budgets → 413 (or 429 when the exhausted budget is
+// concurrency), corrupt stored artifacts → 422, panics → 500.
+func problemFor(err error) Problem {
+	exit := cli.ExitCodeFor(err)
+
+	var pe *guard.PanicError
+	if errors.As(err, &pe) {
+		p := newProblem(http.StatusInternalServerError, "panic", "extraction worker panicked")
+		p.Detail = pe.Error()
+		p.Stage = pe.Stage
+		p.ExitCode = exit
+		return p
+	}
+
+	var p Problem
+	switch exit {
+	case cli.ExitTimeout:
+		p = newProblem(http.StatusGatewayTimeout, "timeout", "extraction deadline exceeded")
+		p.RetryAfter = 1
+	case cli.ExitLimit:
+		var le *guard.LimitError
+		if errors.As(err, &le) && le.What == guard.WhatConcurrent {
+			p = newProblem(http.StatusTooManyRequests, "overloaded", "concurrency budget exhausted")
+			p.RetryAfter = 1
+		} else {
+			p = newProblem(http.StatusRequestEntityTooLarge, "limit", "resource budget exceeded")
+		}
+		if le != nil {
+			p.Stage = le.Stage
+		}
+	case cli.ExitCorrupt:
+		p = newProblem(http.StatusUnprocessableEntity, "corrupt", "stored artifact failed verification")
+	default:
+		var ce *cif.Error
+		var se *cif.StructError
+		if errors.As(err, &ce) || errors.As(err, &se) || errors.Is(err, guard.ErrNoGeometry) {
+			p = newProblem(http.StatusUnprocessableEntity, "invalid-input", "CIF input rejected")
+		} else {
+			p = newProblem(http.StatusInternalServerError, "internal", "extraction failed")
+		}
+	}
+	var se *guard.StageError
+	if p.Stage == "" && errors.As(err, &se) {
+		p.Stage = se.Stage
+	}
+	p.Detail = err.Error()
+	p.ExitCode = exit
+	return p
+}
+
+// writeProblem renders a problem document with the
+// application/problem+json media type and mirrors RetryAfter into the
+// Retry-After header, counting the response in the status metrics.
+func (s *Server) writeProblem(w http.ResponseWriter, p Problem) {
+	body, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		// A problem document is plain data; this cannot fail. Keep the
+		// response classified even if it somehow does.
+		body = []byte(`{"type":"` + problemType + `internal","title":"problem encoding failed","status":500,"code":"internal","exit_code":1}`)
+		p.Status = http.StatusInternalServerError
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/problem+json")
+	h.Set("X-Content-Type-Options", "nosniff")
+	if p.RetryAfter > 0 {
+		h.Set("Retry-After", strconv.Itoa(p.RetryAfter))
+	}
+	w.WriteHeader(p.Status)
+	_, _ = w.Write(body)
+	_, _ = w.Write([]byte("\n"))
+	s.met.countStatus(p.Status)
+}

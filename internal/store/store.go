@@ -252,34 +252,113 @@ func (s *Store) Put(key string, payload []byte) error {
 	return nil
 }
 
+// CorruptError reports a store entry that failed verification: bad
+// magic, a stale format version, truncation, a key or checksum
+// mismatch. Get degrades such entries into misses, so the type only
+// reaches callers through VerifyAll — the explicit integrity scan —
+// where the CLI taxonomy classifies it as data corruption rather than
+// a generic failure.
+type CorruptError struct {
+	Path   string // entry file, when known
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return "store: " + e.Reason
+	}
+	return "store: " + e.Path + ": " + e.Reason
+}
+
+func corruptf(format string, args ...any) error {
+	return &CorruptError{Reason: fmt.Sprintf(format, args...)}
+}
+
 // verify checks a raw entry file against the key it should hold and
 // returns the payload. It is pure and never panics, whatever the
-// bytes.
+// bytes; failures are typed *CorruptError.
 func verify(raw []byte, key string) ([]byte, error) {
 	if len(raw) < headerSize+checksumSize {
-		return nil, errors.New("store: entry truncated")
+		return nil, corruptf("entry truncated")
 	}
 	if string(raw[:4]) != string(magic[:]) {
-		return nil, errors.New("store: bad magic")
+		return nil, corruptf("bad magic")
 	}
 	if v := binary.LittleEndian.Uint32(raw[4:]); v != formatVersion {
-		return nil, fmt.Errorf("store: version %d, want %d", v, formatVersion)
+		return nil, corruptf("version %d, want %d", v, formatVersion)
 	}
 	keyLen := int64(binary.LittleEndian.Uint32(raw[8:]))
 	payLen := int64(binary.LittleEndian.Uint32(raw[12:]))
 	if int64(len(raw)) != headerSize+keyLen+payLen+checksumSize {
-		return nil, errors.New("store: length mismatch")
+		return nil, corruptf("length mismatch")
 	}
 	gotKey := raw[headerSize : headerSize+keyLen]
 	if string(gotKey) != key {
-		return nil, errors.New("store: key mismatch")
+		return nil, corruptf("key mismatch")
 	}
 	payload := raw[headerSize+keyLen : headerSize+keyLen+payLen]
 	want := binary.LittleEndian.Uint64(raw[len(raw)-checksumSize:])
 	if fnv64a(key, string(payload)) != want {
-		return nil, errors.New("store: checksum mismatch")
+		return nil, corruptf("checksum mismatch")
 	}
 	return payload, nil
+}
+
+// VerifyAll reads and verifies every live entry in the directory:
+// structural header checks, the embedded key's checksum, and the
+// binding between the entry's file name and its key. Damaged entries
+// are quarantined (so later Gets never consult them) and reported as
+// *CorruptError values; unreadable files report their I/O error. A
+// clean store returns nil.
+func (s *Store) VerifyAll() []error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return []error{fmt.Errorf("store: %w", err)}
+	}
+	var errs []error
+	for _, de := range ents {
+		if !strings.HasSuffix(de.Name(), entryExt) {
+			continue
+		}
+		p := filepath.Join(s.dir, de.Name())
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("store: %s: %w", p, err))
+			continue
+		}
+		if err := verifyEntryFile(raw, de.Name()); err != nil {
+			var ce *CorruptError
+			if errors.As(err, &ce) {
+				ce.Path = p
+			}
+			errs = append(errs, err)
+			s.quarantine(p)
+		}
+	}
+	return errs
+}
+
+// verifyEntryFile verifies a raw entry against its own embedded key,
+// then checks the file is named by that key's hash — a mis-filed entry
+// would otherwise verify here yet never be found by Get.
+func verifyEntryFile(raw []byte, name string) error {
+	if len(raw) < headerSize+checksumSize {
+		return corruptf("entry truncated")
+	}
+	keyLen := int64(binary.LittleEndian.Uint32(raw[8:]))
+	if keyLen < 0 || headerSize+keyLen > int64(len(raw)) {
+		return corruptf("key length out of range")
+	}
+	key := string(raw[headerSize : headerSize+keyLen])
+	if _, err := verify(raw, key); err != nil {
+		return err
+	}
+	var h [8]byte
+	binary.BigEndian.PutUint64(h[:], fnv64a(key, ""))
+	if want := hex.EncodeToString(h[:]) + entryExt; name != want {
+		return corruptf("entry filed under %s, key hashes to %s", name, want)
+	}
+	return nil
 }
 
 // Quarantine retires the entry stored under key. Callers use it when

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -338,5 +339,146 @@ func TestOpenBadDir(t *testing.T) {
 	}
 	if _, err := Open(filepath.Join(f, "sub"), Options{}); err == nil {
 		t.Fatal("dir under a regular file accepted")
+	}
+}
+
+// TestVerifyAll: a clean store verifies silently; every class of
+// damage is reported as a typed *CorruptError and quarantined so
+// later Gets never consult the entry again.
+func TestVerifyAll(t *testing.T) {
+	s := open(t, Options{})
+	for i := 0; i < 4; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), bytes.Repeat([]byte{byte(i)}, 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if errs := s.VerifyAll(); len(errs) != 0 {
+		t.Fatalf("clean store reported %v", errs)
+	}
+
+	// Flip a payload byte in one entry, truncate a second, and misfile
+	// a third under a name its key does not hash to.
+	flip := s.path("key-0")
+	b, err := os.ReadFile(flip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-12] ^= 0x01
+	if err := os.WriteFile(flip, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trunc := s.path("key-1")
+	if err := os.Truncate(trunc, 9); err != nil {
+		t.Fatal(err)
+	}
+	misfiled := filepath.Join(s.Dir(), strings.Repeat("ab", 8)+entryExt)
+	if err := os.Rename(s.path("key-2"), misfiled); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := s.VerifyAll()
+	if len(errs) != 3 {
+		t.Fatalf("got %d errors, want 3: %v", len(errs), errs)
+	}
+	for _, err := range errs {
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("error %v is not a *CorruptError", err)
+		}
+		if ce.Path == "" {
+			t.Fatalf("corrupt error carries no path: %v", ce)
+		}
+	}
+	for _, p := range []string{flip, trunc, misfiled} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Fatalf("damaged entry %s not quarantined", p)
+		}
+	}
+	// The quarantined entries are misses; the untouched one still hits.
+	if _, ok := s.Get("key-0"); ok {
+		t.Fatal("corrupt entry survived quarantine")
+	}
+	if _, ok := s.Get("key-3"); !ok {
+		t.Fatal("healthy entry lost")
+	}
+	if errs := s.VerifyAll(); len(errs) != 0 {
+		t.Fatalf("second sweep still dirty: %v", errs)
+	}
+}
+
+// TestConcurrentCorruption drives readers against a corruptor: several
+// goroutines loop Get/GetBuf on an entry while another repeatedly
+// rewrites the file with damaged bytes and restores it. Every read
+// must return either the exact original payload or a miss — never
+// damaged bytes and never a panic (the -race CI run also proves the
+// quarantine path is data-race-free against readers).
+func TestConcurrentCorruption(t *testing.T) {
+	s := open(t, Options{})
+	const key = "contested"
+	payload := bytes.Repeat([]byte("good-bytes."), 97)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	p := s.path(key)
+	good, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var buf []byte
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var got []byte
+				var ok bool
+				if r%2 == 0 {
+					got, ok = s.Get(key)
+				} else {
+					got, ok = s.GetBuf(key, &buf)
+				}
+				if ok && !bytes.Equal(got, payload) {
+					t.Errorf("reader %d observed damaged payload", r)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 300; i++ {
+			bad := append([]byte(nil), good...)
+			switch i % 3 {
+			case 0: // payload bit flip
+				bad[headerSize+len(key)+i%len(payload)] ^= 0xFF
+				_ = os.WriteFile(p, bad, 0o644)
+			case 1: // truncation
+				_ = os.WriteFile(p, bad[:headerSize+i%32], 0o644)
+			case 2: // garbage
+				_ = os.WriteFile(p, bytes.Repeat([]byte{byte(i)}, 64), 0o644)
+			}
+			// Restore: the readers quarantine the damage into a miss, so
+			// re-publish the entry the way a recomputing caller would.
+			if err := s.Put(key, payload); err != nil {
+				t.Errorf("re-put: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatal("entry unreadable after the corruption storm")
 	}
 }
