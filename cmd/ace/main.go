@@ -289,8 +289,8 @@ func runExtractHier(ctx context.Context, r io.Reader, in, out string, geometry, 
 	if stats {
 		c := res.Counters
 		fmt.Printf("%s\n", res.Netlist.Stats())
-		fmt.Printf("uniqueWindows=%d memoHits=%d diskHits=%d diskMisses=%d\n",
-			c.UniqueWindows, c.MemoHits, c.DiskHits, c.DiskMisses)
+		fmt.Printf("uniqueWindows=%d memoHits=%d diskHits=%d diskMisses=%d diskErrors=%d diskPutErrors=%d\n",
+			c.UniqueWindows, c.MemoHits, c.DiskHits, c.DiskMisses, c.DiskErrors, c.DiskPutErrors)
 		printResourceStats(nil)
 	}
 	w := os.Stdout

@@ -1,0 +1,240 @@
+// Crash mode: instead of HTTP load, acebomb -crash runs the
+// kill-9 crash-consistency loop against the persistent result cache.
+// Each cycle spawns a child process (this same binary with
+// -crash-child) that loops store-backed extractions, kills it with
+// SIGKILL at a varying offset, and then asserts the crash contract:
+//
+//   - the store reopens cleanly and recovery leaves no temp files;
+//   - every surviving entry passes full verification (VerifyAll);
+//   - an extraction through the surviving cache produces wirelist
+//     bytes identical to a cold, cache-free extraction.
+//
+// The kill offset walks across the write path cycle by cycle, and
+// each child gets a fresh seed so every cycle performs fresh Puts —
+// kills land mid-write, not on a warm cache doing nothing.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"ace/internal/gen"
+	"ace/internal/hext"
+	"ace/internal/store"
+	"ace/internal/vfs"
+	"ace/internal/wirelist"
+)
+
+var (
+	flagCrash       = flag.Bool("crash", false, "run the kill-9 crash-consistency loop instead of the HTTP attack")
+	flagCrashDir    = flag.String("crash-dir", "", "persistent cache directory for -crash (empty: a private temp dir)")
+	flagCrashCycles = flag.Int("crash-cycles", 50, "kill-9 cycles to run with -crash")
+	flagCrashChild  = flag.Bool("crash-child", false, "internal: loop store-backed extractions until killed")
+	flagCrashSeed   = flag.Int("crash-seed", 0, "internal: work seed for -crash-child")
+)
+
+// runCrashChild loops store-backed extractions forever; the parent
+// SIGKILLs it mid-loop. The seed varies the designs per cycle so every
+// child run performs fresh Puts instead of warm hits.
+func runCrashChild(dir string, seed int) {
+	if dir == "" {
+		fatal(errors.New("-crash-child requires -crash-dir"))
+	}
+	// The ready line tells the parent extraction work is about to
+	// start, so the kill timer arms against work, not process boot.
+	fmt.Println("crash-child: ready")
+	for i := 0; ; i++ {
+		var w gen.Workload
+		if i%2 == 0 {
+			w = gen.SquareArray(3 + (seed*7+i)%29)
+		} else {
+			w = gen.Statistical(40+(seed*11+i)%200, int64(seed)*1000+int64(i))
+		}
+		// Disk faults must never surface here: the cache fails open, so
+		// any error below is a real correctness bug, not a full disk.
+		if _, err := hext.Extract(w.File, hext.Options{CacheDir: dir}); err != nil {
+			fatal(fmt.Errorf("crash-child: extract %s: %w", w.Name, err))
+		}
+	}
+}
+
+// runCrashParent is the -crash driver. Returns the process exit code.
+func runCrashParent() int {
+	dir := *flagCrashDir
+	var cleanup func()
+	if dir == "" {
+		d, err := os.MkdirTemp("", "ace-crash-*")
+		if err != nil {
+			fatal(err)
+		}
+		dir = d
+		cleanup = func() { os.RemoveAll(d) }
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+
+	// The byte-identity oracle: a cold extraction with every cache
+	// tier disabled. Anything the surviving cache serves must match
+	// these bytes exactly.
+	chip := gen.MustBenchChip("cherry")
+	ref, err := hext.Extract(chip.File, hext.Options{DisableMemo: true})
+	if err != nil {
+		fatal(err)
+	}
+	ref.Netlist.Name = "crashref"
+	want, err := wirelist.AppendTo(nil, ref.Netlist, wirelist.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	cycles := *flagCrashCycles
+	bad := 0
+	for cycle := 0; cycle < cycles; cycle++ {
+		if err := crashOneCycle(exe, dir, cycle); err != nil {
+			fmt.Fprintf(os.Stderr, "acebomb: crash cycle %d: %v\n", cycle, err)
+			bad++
+			continue
+		}
+		bad += assertCrashRecovered(dir, cycle, chip, want)
+	}
+
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acebomb: FAIL: final reopen:", err)
+		bad++
+	} else {
+		entries, size := st.Stats()
+		io := st.IOCounters()
+		fmt.Printf("acebomb: crash: %d cycles, store %d entries (%d bytes), quarantined=%d orphans_swept=%d\n",
+			cycles, entries, size, io.Quarantined, io.OrphansSwept)
+		if entries == 0 {
+			// The per-cycle identity check itself writes entries, so an
+			// empty store means the loop never exercised the cache.
+			fmt.Fprintln(os.Stderr, "acebomb: FAIL: store empty after crash loop; nothing was tested")
+			bad++
+		}
+	}
+	if cleanup != nil {
+		cleanup()
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "acebomb: crash: FAIL (%d invariants violated)\n", bad)
+		return 1
+	}
+	fmt.Println("acebomb: crash: PASS")
+	return 0
+}
+
+// crashOneCycle spawns one child, waits until it reports ready, lets
+// it run for a cycle-dependent window, and kills it with SIGKILL.
+func crashOneCycle(exe, dir string, cycle int) error {
+	cmd := exec.Command(exe, "-crash-child", "-crash-dir", dir, "-crash-seed", strconv.Itoa(cycle))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	ready := make(chan error, 1)
+	go func() {
+		br := bufio.NewReader(out)
+		_, rerr := br.ReadString('\n')
+		ready <- rerr
+		// Keep draining so the child never blocks on a full pipe.
+		io.Copy(io.Discard, br)
+	}()
+	select {
+	case rerr := <-ready:
+		if rerr != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+			return fmt.Errorf("child exited before ready: %v", rerr)
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return errors.New("child ready timeout")
+	}
+	// Walk the kill point across the write path: 0ms kills land inside
+	// the first extraction, longer offsets land in later Puts and GC.
+	time.Sleep(time.Duration(cycle%23) * 2 * time.Millisecond)
+	if err := cmd.Process.Kill(); err != nil {
+		cmd.Wait()
+		return fmt.Errorf("kill: %v", err)
+	}
+	cmd.Wait() // expected to report the kill signal
+	return nil
+}
+
+// assertCrashRecovered reopens the store after a kill and asserts the
+// crash-consistency contract. Returns the number of failed invariants.
+func assertCrashRecovered(dir string, cycle int, chip gen.Workload, want []byte) int {
+	bad := 0
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acebomb: FAIL: cycle %d: reopen after kill: %v\n", cycle, err)
+		return 1
+	}
+	// Open's recovery sweep must have reclaimed the dead child's
+	// temporaries; with no live writers left, none may remain.
+	if names := leftoverTemps(dir); len(names) > 0 {
+		fmt.Fprintf(os.Stderr, "acebomb: FAIL: cycle %d: temps survived recovery: %s\n",
+			cycle, strings.Join(names, " "))
+		bad++
+	}
+	// Every entry recovery kept must verify end to end: a kill-9 may
+	// lose the entry being written, never corrupt a published one.
+	if errs := st.VerifyAll(); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(os.Stderr, "acebomb: FAIL: cycle %d: surviving entry corrupt: %v\n", cycle, e)
+		}
+		bad++
+	}
+	// Byte identity through the survivors: whether this hits a cached
+	// entry or recomputes, the wirelist must match the cold oracle.
+	res, err := hext.Extract(chip.File, hext.Options{CacheDir: dir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acebomb: FAIL: cycle %d: post-crash extract: %v\n", cycle, err)
+		return bad + 1
+	}
+	res.Netlist.Name = "crashref"
+	got, err := wirelist.AppendTo(nil, res.Netlist, wirelist.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "acebomb: FAIL: cycle %d: wirelist: %v\n", cycle, err)
+		return bad + 1
+	}
+	if !bytes.Equal(got, want) {
+		fmt.Fprintf(os.Stderr, "acebomb: FAIL: cycle %d: post-crash wirelist differs from cold extraction\n", cycle)
+		bad++
+	}
+	return bad
+}
+
+// leftoverTemps lists vfs temp files still present in dir.
+func leftoverTemps(dir string) []string {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return []string{fmt.Sprintf("(readdir: %v)", err)}
+	}
+	var names []string
+	for _, de := range ents {
+		if strings.HasPrefix(de.Name(), vfs.TmpPrefix) {
+			names = append(names, filepath.Join(dir, de.Name()))
+		}
+	}
+	return names
+}

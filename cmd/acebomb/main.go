@@ -18,6 +18,11 @@
 // armed -max-boxes (or bombs will burn the request timeout instead of
 // the box budget).
 //
+// With -crash it instead runs the kill-9 crash-consistency loop
+// against the persistent result cache (see crash.go): spawn a child
+// doing store-backed extractions, SIGKILL it mid-write, assert the
+// store recovers clean and serves byte-identical results.
+//
 // Exit: 0 when every invariant held, 1 otherwise, 2 on usage errors.
 package main
 
@@ -78,6 +83,13 @@ func main() {
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "acebomb: unexpected arguments")
 		os.Exit(2)
+	}
+	switch {
+	case *flagCrashChild:
+		runCrashChild(*flagCrashDir, *flagCrashSeed)
+		return
+	case *flagCrash:
+		os.Exit(runCrashParent())
 	}
 
 	base := *flagURL

@@ -86,6 +86,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "aced:", err)
 		os.Exit(1)
 	}
+	if w := srv.CacheWarning(); w != "" {
+		// Degraded, not fatal: the daemon serves correct bytes without
+		// its disk tier; /statz reports cache_degraded until restart.
+		fmt.Fprintln(os.Stderr, "aced: warning:", w)
+	}
 
 	ln, err := net.Listen("tcp", *flagAddr)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"ace/internal/cif"
@@ -30,6 +31,7 @@ import (
 	"ace/internal/frontend"
 	"ace/internal/guard"
 	"ace/internal/tile"
+	"ace/internal/vfs"
 )
 
 const prog = "cifpack"
@@ -83,6 +85,10 @@ func main() {
 
 func runPack(in, out string, cols, rows int, mgrid int64, lenient, stats bool, maxDepth int) error {
 	t0 := time.Now()
+	// A pack killed mid-write leaves a pid-stamped temporary, never a
+	// truncated .actb at the destination path; reclaim any such temps
+	// from crashed packs before adding our own.
+	vfs.SweepOrphans(vfs.OS, filepath.Dir(out))
 	src, err := os.Open(in)
 	if err != nil {
 		return err
@@ -102,14 +108,18 @@ func runPack(in, out string, cols, rows int, mgrid int64, lenient, stats bool, m
 	bbox := stream.BBox()
 	labels := stream.Labels()
 
-	dst, err := os.Create(out)
+	// Pack into a temp in the destination directory and publish with
+	// fsync + rename + directory fsync: readers (and a re-run after a
+	// crash) see either the complete previous file or the complete new
+	// one, never a partial pack.
+	dst, err := vfs.NewAtomicFile(vfs.OS, out)
 	if err != nil {
 		return err
 	}
+	defer dst.Abort() // no-op once committed
 	bw := bufio.NewWriterSize(dst, 1<<20)
 	tw, err := tile.NewWriter(bw, tile.NewGrid(bbox, cols, rows))
 	if err != nil {
-		dst.Close()
 		return err
 	}
 	for _, l := range labels {
@@ -122,20 +132,17 @@ func runPack(in, out string, cols, rows int, mgrid int64, lenient, stats bool, m
 			break
 		}
 		if err := tw.Add(b); err != nil {
-			dst.Close()
 			return err
 		}
 		nBoxes++
 	}
 	if err := tw.Close(); err != nil {
-		dst.Close()
 		return err
 	}
 	if err := bw.Flush(); err != nil {
-		dst.Close()
 		return err
 	}
-	if err := dst.Close(); err != nil {
+	if err := dst.Commit(); err != nil {
 		return err
 	}
 	if stats {

@@ -53,6 +53,11 @@ type benchResult struct {
 	DiskHits    int   `json:"disk_hits,omitempty"`
 	DiskMisses  int   `json:"disk_misses,omitempty"`
 	DiskBytes   int64 `json:"disk_bytes,omitempty"`
+
+	// Disk-error evidence: nonzero means the run degraded (recomputed
+	// instead of reading, or failed to persist) — never wrong bytes.
+	DiskErrors    int `json:"disk_errors,omitempty"`
+	DiskPutErrors int `json:"disk_put_errors,omitempty"`
 }
 
 // persistSummary states the PR's headline ratios, measured at
@@ -288,6 +293,8 @@ func runPersistBench(report *benchReport) {
 				DiskHits:      c.DiskHits,
 				DiskMisses:    c.DiskMisses,
 				DiskBytes:     c.DiskBytes,
+				DiskErrors:    c.DiskErrors,
+				DiskPutErrors: c.DiskPutErrors,
 			})
 			fmt.Fprintf(os.Stderr, "%-18s workers=%d  %12v/op  sweeps=%-3d diskHits=%-3d sessionHits=%d\n",
 				scenario, workers, time.Duration(r.NsPerOp()), c.LeafSweeps, c.DiskHits, c.SessionHits)

@@ -222,8 +222,8 @@ func runExtract(in, out string, hier, stats bool) {
 			c.UniqueWindows, c.MemoHits, c.FlatCalls, c.ComposeCalls)
 		fmt.Printf("leafSweeps=%d cacheHits=%d cacheMisses=%d cacheBytes=%d\n",
 			c.LeafSweeps, c.CacheHits, c.CacheMisses, c.CacheBytes)
-		fmt.Printf("sessionHits=%d diskHits=%d diskMisses=%d diskBytes=%d\n",
-			c.SessionHits, c.DiskHits, c.DiskMisses, c.DiskBytes)
+		fmt.Printf("sessionHits=%d diskHits=%d diskMisses=%d diskBytes=%d diskErrors=%d diskPutErrors=%d\n",
+			c.SessionHits, c.DiskHits, c.DiskMisses, c.DiskBytes, c.DiskErrors, c.DiskPutErrors)
 		fmt.Printf("phases: parse=%v frontend=%v flat=%v compose=%v flatten=%v total=%v\n",
 			res.Timing.Parse, res.Timing.FrontEnd, res.Timing.Flat, res.Timing.Compose,
 			res.Timing.Flatten, res.Timing.Total())

@@ -391,7 +391,23 @@ func TestTiledCLISmoke(t *testing.T) {
 	cif := filepath.Join(dir, "chip.cif")
 	run("cifgen", "-target-boxes", "50000", "-o", cif)
 	actb := filepath.Join(dir, "chip.actb")
+	// A crashed pack's leftover temp (dead pid): cifpack must sweep it
+	// on startup, and its own atomic publish must leave no temps.
+	orphan := filepath.Join(dir, ".tmp-999999999-crashed")
+	if err := os.WriteFile(orphan, []byte("partial pack"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	run("cifpack", "-o", actb, cif)
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("cifpack left the orphaned temp in place: %v", err)
+	}
+	if ents, err := os.ReadDir(dir); err == nil {
+		for _, de := range ents {
+			if strings.HasPrefix(de.Name(), ".tmp-") {
+				t.Fatalf("cifpack left its own temp behind: %s", de.Name())
+			}
+		}
+	}
 	if out := run("cifpack", "-info", actb); !strings.Contains(out, "boxes") {
 		t.Fatalf("cifpack -info: %s", out)
 	}

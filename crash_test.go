@@ -1,0 +1,46 @@
+package ace
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestCrashLoop drives acebomb's kill-9 crash-consistency loop as a
+// real multi-process test: a child process doing store-backed
+// extractions is SIGKILLed mid-write over and over, and after every
+// kill the store must reopen clean (no leftover temps), every
+// surviving entry must verify, and extraction through the survivors
+// must be byte-identical to a cold, cache-free run.
+//
+// ACE_CRASH_CYCLES overrides the cycle count (default 50); CI's race
+// job runs a bounded smoke via that knob.
+func TestCrashLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash loop skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "acebomb")
+	out, err := exec.Command("go", "build", "-o", bin, "./cmd/acebomb").CombinedOutput()
+	if err != nil {
+		t.Fatalf("build acebomb: %v\n%s", err, out)
+	}
+
+	cycles := 50
+	if s := os.Getenv("ACE_CRASH_CYCLES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad ACE_CRASH_CYCLES=%q", s)
+		}
+		cycles = n
+	}
+
+	dir := t.TempDir()
+	cmd := exec.Command(bin, "-crash", "-crash-dir", dir, "-crash-cycles", strconv.Itoa(cycles))
+	out, err = cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("crash loop failed after %d cycles: %v\n%s", cycles, err, out)
+	}
+	t.Logf("%s", out)
+}

@@ -43,6 +43,13 @@ const (
 	// entry (*store.CorruptError). Distinct from ExitFindings because
 	// the input design may be fine; it is the on-disk artifact that
 	// needs re-packing or re-populating.
+	//
+	// Only primary inputs (a -tiles file) and explicit verification
+	// commands (hext -cache-verify, cifpack -verify) can exit with
+	// this code. The persistent cache itself fails open: a damaged or
+	// unreadable entry on the read path is quarantined and recomputed
+	// (surfacing only in diskErrors counters), so cache disk faults
+	// never classify a run as corrupt.
 	ExitCorrupt = 5
 )
 

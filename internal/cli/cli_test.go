@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"strings"
+	"syscall"
 	"testing"
 
 	"ace/internal/diag"
@@ -30,6 +32,11 @@ func TestExitCodeFor(t *testing.T) {
 		{&tile.CorruptError{Region: "footer", Msg: "checksum mismatch"}, ExitCorrupt},
 		{&store.CorruptError{Path: "x.e", Reason: "bad magic"}, ExitCorrupt},
 		{&guard.StageError{Stage: guard.StageExtract, Err: &tile.CorruptError{Region: "tile[0,0]", Msg: "truncated"}}, ExitCorrupt},
+		// A raw disk fault is not corruption: the cache's read path
+		// fails open (quarantine + recompute), so an I/O error that
+		// does escape classifies as a plain failure, never ExitCorrupt.
+		{fmt.Errorf("read cache entry: %w", syscall.EIO), ExitFindings},
+		{fmt.Errorf("write cache entry: %w", syscall.ENOSPC), ExitFindings},
 	}
 	for _, c := range cases {
 		if got := ExitCodeFor(c.err); got != c.want {

@@ -1,0 +1,136 @@
+package hext
+
+import (
+	"testing"
+
+	"ace/internal/vfs"
+)
+
+// TestHextDiskFaultMatrix is the fail-open acceptance matrix for the
+// disk tier: under every injected filesystem fault the extraction must
+// return the reference bytes (recomputing whatever the disk failed to
+// deliver), bump the typed error counters instead of the miss
+// counters, and never error or panic.
+func TestHextDiskFaultMatrix(t *testing.T) {
+	ref, err := Extract(editableChip(false), Options{DisableMemo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := flatWirelist(t, ref)
+
+	t.Run("read-errors-degrade-to-recompute", func(t *testing.T) {
+		dir := t.TempDir()
+		ffs := vfs.NewFault(vfs.OS)
+		opt := Options{CacheDir: dir, CacheFS: ffs}
+		cold, err := NewSession(opt).Extract(editableChip(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := flatWirelist(t, cold); got != want {
+			t.Fatal("cold bytes differ")
+		}
+		// Every disk read now fails with an I/O error (both the
+		// ReadFile and the Open+Read paths). The warm run must fall
+		// back to a full recompute of the same bytes.
+		ffs.FailOps(vfs.OpOpen, vfs.OpReadFile)
+		ffs.FailFrom(1, vfs.ErrInjected)
+		warm, err := NewSession(opt).Extract(editableChip(false))
+		ffs.Restore()
+		if err != nil {
+			t.Fatalf("warm extract under read faults: %v", err)
+		}
+		if got := flatWirelist(t, warm); got != want {
+			t.Fatal("warm bytes differ under read faults")
+		}
+		if warm.Counters.DiskErrors == 0 {
+			t.Fatalf("no DiskErrors counted: %+v", warm.Counters)
+		}
+		if warm.Counters.DiskHits != 0 {
+			t.Fatalf("DiskHits under total read failure: %+v", warm.Counters)
+		}
+	})
+
+	t.Run("write-errors-degrade-to-uncached", func(t *testing.T) {
+		ffs := vfs.NewFault(vfs.OS)
+		ffs.FailOps(vfs.OpSync)
+		ffs.FailFrom(1, vfs.ErrInjected)
+		res, err := NewSession(Options{CacheDir: t.TempDir(), CacheFS: ffs}).Extract(editableChip(false))
+		if err != nil {
+			t.Fatalf("extract under write faults: %v", err)
+		}
+		if got := flatWirelist(t, res); got != want {
+			t.Fatal("bytes differ under write faults")
+		}
+		if res.Counters.DiskPutErrors == 0 {
+			t.Fatalf("no DiskPutErrors counted: %+v", res.Counters)
+		}
+	})
+
+	t.Run("rename-errors", func(t *testing.T) {
+		ffs := vfs.NewFault(vfs.OS)
+		ffs.FailOps(vfs.OpRename)
+		ffs.FailFrom(1, vfs.ErrInjected)
+		res, err := NewSession(Options{CacheDir: t.TempDir(), CacheFS: ffs}).Extract(editableChip(false))
+		if err != nil {
+			t.Fatalf("extract under rename faults: %v", err)
+		}
+		if got := flatWirelist(t, res); got != want {
+			t.Fatal("bytes differ under rename faults")
+		}
+		if res.Counters.DiskPutErrors == 0 {
+			t.Fatalf("no DiskPutErrors counted: %+v", res.Counters)
+		}
+	})
+
+	t.Run("torn-write-then-clean-warm-start", func(t *testing.T) {
+		dir := t.TempDir()
+		ffs := vfs.NewFault(vfs.OS)
+		opt := Options{CacheDir: dir, CacheFS: ffs}
+		// One write dies mid-payload during the cold populate. The
+		// atomic publish must keep the partial entry off the live
+		// namespace entirely.
+		ffs.FailOps(vfs.OpWrite)
+		ffs.FailOnce(3, vfs.ErrInjected)
+		ffs.TornWrite(5)
+		cold, err := NewSession(opt).Extract(editableChip(false))
+		ffs.Restore()
+		if err != nil {
+			t.Fatalf("cold extract with torn write: %v", err)
+		}
+		if got := flatWirelist(t, cold); got != want {
+			t.Fatal("cold bytes differ with torn write")
+		}
+		if cold.Counters.DiskPutErrors == 0 {
+			t.Fatalf("torn write not counted: %+v", cold.Counters)
+		}
+		// A fresh session over the surviving entries reads clean and
+		// reproduces the bytes.
+		warm, err := NewSession(Options{CacheDir: dir}).Extract(editableChip(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := flatWirelist(t, warm); got != want {
+			t.Fatal("warm bytes differ after torn write")
+		}
+		if warm.Counters.DiskErrors != 0 {
+			t.Fatalf("clean warm start reported disk errors: %+v", warm.Counters)
+		}
+	})
+
+	t.Run("power-cut-freezes-writes", func(t *testing.T) {
+		ffs := vfs.NewFault(vfs.OS)
+		opt := Options{CacheDir: t.TempDir(), CacheFS: ffs}
+		s := NewSession(opt)
+		ffs.PowerCut()
+		res, err := s.Extract(editableChip(false))
+		if err != nil {
+			t.Fatalf("extract after power cut: %v", err)
+		}
+		if got := flatWirelist(t, res); got != want {
+			t.Fatal("bytes differ after power cut")
+		}
+		if res.Counters.DiskPutErrors == 0 {
+			t.Fatalf("frozen writes not counted: %+v", res.Counters)
+		}
+	})
+}

@@ -18,6 +18,7 @@ import (
 	"ace/internal/netlist"
 	"ace/internal/scan"
 	"ace/internal/store"
+	"ace/internal/vfs"
 )
 
 // Options configures a hierarchical extraction.
@@ -70,6 +71,11 @@ type Options struct {
 	// store.DefaultMaxBytes, negative disables the cap. Eviction is
 	// least-recently-used.
 	CacheMaxBytes int64
+
+	// CacheFS is the filesystem the disk cache runs on; nil selects
+	// vfs.OS. Fault-injection tests substitute a vfs.FaultFS to prove
+	// every disk error degrades to a recompute, never wrong bytes.
+	CacheFS vfs.FS
 
 	// Fracture selects the guillotine-cut strategy.
 	Fracture Fracture
@@ -134,6 +140,14 @@ type Counters struct {
 	DiskHits   int
 	DiskMisses int
 	DiskBytes  int64 // payload bytes read from + written to the store
+
+	// Disk-error counters, distinct from misses: DiskErrors counts
+	// reads that failed for I/O reasons (the entry may exist but could
+	// not be read — served as a miss, recomputed), DiskPutErrors counts
+	// writes the store abandoned. Nonzero values mean the cache is
+	// silently degraded, not that any result was wrong.
+	DiskErrors    int
+	DiskPutErrors int
 }
 
 // Timing splits the run into the paper's phases, in the style of the
@@ -259,7 +273,7 @@ func NewSession(opt Options) *Session {
 		s.cache = newLeafCache(opt.CacheSize)
 	}
 	if opt.CacheDir != "" && !opt.DisableMemo {
-		disk, err := store.Open(opt.CacheDir, store.Options{MaxBytes: opt.CacheMaxBytes})
+		disk, err := store.Open(opt.CacheDir, store.Options{MaxBytes: opt.CacheMaxBytes, FS: opt.CacheFS})
 		if err != nil {
 			// Fail-soft: a broken cache directory costs speed, never
 			// correctness — extraction proceeds cold with a warning.
@@ -273,6 +287,14 @@ func NewSession(opt Options) *Session {
 
 // MemoSize reports the number of unique windows retained.
 func (s *Session) MemoSize() int { return len(s.memo) }
+
+// diskIO snapshots the disk tier's I/O counters (zero without one).
+func (s *Session) diskIO() store.IOCounters {
+	if s.disk == nil {
+		return store.IOCounters{}
+	}
+	return s.disk.IOCounters()
+}
 
 // Extract runs HEXT over a design, reusing any windows already
 // analysed in this session.
@@ -323,6 +345,15 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 	if s.diskWarn != "" {
 		e.warnings = append(e.warnings, s.diskWarn)
 	}
+	// Store-level error counters are cumulative per handle (and the
+	// session persists across Extracts), so this run's DiskErrors /
+	// DiskPutErrors are a delta against a snapshot taken now.
+	diskIO0 := s.diskIO()
+	captureDiskErrors := func() {
+		io := s.diskIO()
+		e.counters.DiskErrors = int(io.GetErrors - diskIO0.GetErrors)
+		e.counters.DiskPutErrors = int(io.PutErrors - diskIO0.PutErrors)
+	}
 	// Warnings past this point describe the extraction itself (not this
 	// parse or this store handle); they are what a whole-result entry
 	// persists and replays.
@@ -361,6 +392,7 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 		// Whole-result hit: the final netlist, warnings and (lazily) the
 		// window tree all come from one verified store entry.
 		s.last = f
+		captureDiskErrors()
 		diags.Sort()
 		return &Result{
 			Netlist:     e.flatNL,
@@ -431,6 +463,7 @@ func (s *Session) ExtractContext(ctx context.Context, f *cif.File) (res *Result,
 	e.pool.PutBuilder(b)
 	s.last = f
 
+	captureDiskErrors()
 	diags.Sort()
 	return &Result{
 		Netlist:     nl,

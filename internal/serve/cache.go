@@ -186,3 +186,12 @@ func (c *resultCache) diskStats() (entries int, bytes int64) {
 	}
 	return c.disk.Stats()
 }
+
+// diskIO reports the persistent tier's I/O error counters (zero
+// without one).
+func (c *resultCache) diskIO() store.IOCounters {
+	if c.disk == nil {
+		return store.IOCounters{}
+	}
+	return c.disk.IOCounters()
+}

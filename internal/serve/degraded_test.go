@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ace/internal/guard"
+	"ace/internal/vfs"
+)
+
+// unopenableDir returns a path whose parent is a regular file, so
+// MkdirAll fails with ENOTDIR regardless of privileges (chmod-based
+// read-only setups are unreliable when the tests run as root).
+func unopenableDir(t *testing.T) string {
+	t.Helper()
+	blocker := filepath.Join(t.TempDir(), "blocker")
+	if err := os.WriteFile(blocker, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(blocker, "cache")
+}
+
+// TestDegradedBootServesCorrectBytes: a cache dir that cannot be
+// opened must not stop the daemon — it boots degraded, serves 200s
+// with the reference bytes, and reports the condition in /statz.
+func TestDegradedBootServesCorrectBytes(t *testing.T) {
+	src := cherryCIF(t)
+	s := newTestServer(t, Options{CacheDir: unopenableDir(t)})
+	if s.CacheWarning() == "" {
+		t.Fatal("degraded boot reported no cache warning")
+	}
+
+	want := wantWirelist(t, src, "cherry", false, guard.Limits{})
+	for i := 0; i < 2; i++ {
+		w := postRaw(t, s, "/extract?name=cherry", src, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status = %d, body %.300s", i, w.Code, w.Body.String())
+		}
+		if !bytes.Equal(w.Body.Bytes(), want) {
+			t.Fatalf("request %d: wirelist differs from reference", i)
+		}
+	}
+	st := getStats(t, s)
+	if !st.CacheDegraded || st.CacheError == "" {
+		t.Errorf("statz hides the degradation: degraded=%v error=%q", st.CacheDegraded, st.CacheError)
+	}
+	if st.Extractions != 2 {
+		t.Errorf("extractions = %d, want 2 (no cache to hit)", st.Extractions)
+	}
+}
+
+// TestCacheDirDeletedUnderLiveServer: removing the cache directory out
+// from under a running server degrades reads to misses and writes to
+// counted errors — every response stays 200 with identical bytes.
+func TestCacheDirDeletedUnderLiveServer(t *testing.T) {
+	src := cherryCIF(t)
+	dir := filepath.Join(t.TempDir(), "cache")
+	s := newTestServer(t, Options{CacheDir: dir})
+	want := wantWirelist(t, src, "cherry", false, guard.Limits{})
+
+	w := postRaw(t, s, "/extract?name=cherry", src, nil)
+	if w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), want) {
+		t.Fatalf("pre-delete request failed: %d", w.Code)
+	}
+
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 2; i++ {
+		w := postRaw(t, s, "/extract?name=cherry", src, nil)
+		if w.Code != http.StatusOK {
+			t.Fatalf("post-delete request %d: status = %d, body %.300s", i, w.Code, w.Body.String())
+		}
+		if !bytes.Equal(w.Body.Bytes(), want) {
+			t.Fatalf("post-delete request %d: wirelist differs", i)
+		}
+	}
+	st := getStats(t, s)
+	if st.CachePutErrors == 0 {
+		t.Errorf("vanished cache dir produced no put errors: %+v", st)
+	}
+}
+
+// TestPowerCutCacheKeepsServing: freezing every write on the cache
+// filesystem mid-flight must not change a single response byte — old
+// entries still read, new results recompute and fail to persist, and
+// the failures are counted.
+func TestPowerCutCacheKeepsServing(t *testing.T) {
+	src := cherryCIF(t)
+	ffs := vfs.NewFault(vfs.OS)
+	s := newTestServer(t, Options{CacheDir: t.TempDir(), CacheFS: ffs})
+	wantCherry := wantWirelist(t, src, "cherry", false, guard.Limits{})
+	wantOther := wantWirelist(t, src, "other", false, guard.Limits{})
+
+	w := postRaw(t, s, "/extract?name=cherry", src, nil)
+	if w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), wantCherry) {
+		t.Fatalf("pre-cut request failed: %d", w.Code)
+	}
+
+	ffs.PowerCut()
+
+	// The entry published before the cut still serves.
+	w = postRaw(t, s, "/extract?name=cherry", src, nil)
+	if w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), wantCherry) {
+		t.Fatalf("post-cut cached request failed: %d", w.Code)
+	}
+	if h := w.Header().Get("X-Cache"); h != "hit" {
+		t.Errorf("post-cut X-Cache = %q, want hit", h)
+	}
+
+	// A new key recomputes; the frozen persist is a counted error, not
+	// a failed request.
+	w = postRaw(t, s, "/extract?name=other", src, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-cut new request: status = %d, body %.300s", w.Code, w.Body.String())
+	}
+	if !bytes.Equal(w.Body.Bytes(), wantOther) {
+		t.Fatal("post-cut new request: wirelist differs")
+	}
+	st := getStats(t, s)
+	if st.CachePutErrors == 0 {
+		t.Errorf("frozen writes produced no put errors: %+v", st)
+	}
+	if st.CacheDegraded {
+		t.Errorf("runtime faults must not mark the boot degraded: %+v", st)
+	}
+}
+
+// TestDegradedReadsFailOpen: every disk read erroring (not just
+// missing) must degrade to recompute with counted errors and
+// byte-identical responses.
+func TestDegradedReadsFailOpen(t *testing.T) {
+	src := cherryCIF(t)
+	ffs := vfs.NewFault(vfs.OS)
+	s := newTestServer(t, Options{CacheDir: t.TempDir(), CacheFS: ffs})
+	want := wantWirelist(t, src, "cherry", false, guard.Limits{})
+
+	w := postRaw(t, s, "/extract?name=cherry", src, nil)
+	if w.Code != http.StatusOK || !bytes.Equal(w.Body.Bytes(), want) {
+		t.Fatalf("populate request failed: %d", w.Code)
+	}
+
+	ffs.FailOps(vfs.OpReadFile, vfs.OpOpen)
+	ffs.FailFrom(1, vfs.ErrInjected)
+	w = postRaw(t, s, "/extract?name=cherry", src, nil)
+	ffs.Restore()
+	if w.Code != http.StatusOK {
+		t.Fatalf("request under read faults: status = %d, body %.300s", w.Code, w.Body.String())
+	}
+	if !bytes.Equal(w.Body.Bytes(), want) {
+		t.Fatal("request under read faults: wirelist differs")
+	}
+	st := getStats(t, s)
+	if st.CacheGetErrors == 0 {
+		t.Errorf("read faults produced no get errors: %+v", st)
+	}
+}

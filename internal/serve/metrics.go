@@ -74,6 +74,16 @@ type Stats struct {
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
 
+	// CacheDegraded is true when a configured persistent cache could
+	// not be opened (the daemon serves memory-only); CacheError carries
+	// the reason. CacheGetErrors/CachePutErrors count disk operations
+	// that failed for I/O reasons after boot — each one degraded to a
+	// recompute or an unpersisted result, never a wrong byte.
+	CacheDegraded  bool   `json:"cache_degraded,omitempty"`
+	CacheError     string `json:"cache_error,omitempty"`
+	CacheGetErrors int64  `json:"cache_get_errors,omitempty"`
+	CachePutErrors int64  `json:"cache_put_errors,omitempty"`
+
 	Goroutines   int   `json:"goroutines"`
 	PeakRSSBytes int64 `json:"peak_rss_bytes"`
 }

@@ -46,6 +46,7 @@ import (
 	"ace/internal/guard"
 	"ace/internal/prof"
 	"ace/internal/store"
+	"ace/internal/vfs"
 	"ace/internal/wirelist"
 )
 
@@ -120,21 +121,29 @@ type Options struct {
 
 	// CacheDir enables the persistent result cache in this directory
 	// (shared across processes and restarts); CacheMaxBytes caps it
-	// with LRU eviction (0: store default).
+	// with LRU eviction (0: store default). A directory that cannot be
+	// opened degrades the server to memory-only caching — recorded in
+	// CacheWarning and /statz — rather than failing the boot: the disk
+	// is an accelerator, never a dependency.
 	CacheDir      string
 	CacheMaxBytes int64
+
+	// CacheFS is the filesystem the persistent cache runs on; nil
+	// selects vfs.OS. Fault-injection tests substitute a vfs.FaultFS.
+	CacheFS vfs.FS
 }
 
 // Server is one extraction service instance. Create with New, expose
 // via Handler or ServeHTTP, stop with BeginDrain/Drain.
 type Server struct {
-	opt     Options
-	eng     *extract.Engine
-	adm     *admission
-	tenants []*guard.Gate // nil: per-tenant gating disabled
-	cache   *resultCache
-	met     *metrics
-	start   time.Time
+	opt       Options
+	eng       *extract.Engine
+	adm       *admission
+	tenants   []*guard.Gate // nil: per-tenant gating disabled
+	cache     *resultCache
+	cacheWarn string // non-empty: persistent cache requested but degraded
+	met       *metrics
+	start     time.Time
 }
 
 // New builds a Server, applying defaults and opening the persistent
@@ -159,20 +168,26 @@ func New(opt Options) (*Server, error) {
 		opt.TenantHeader = "X-Ace-Tenant"
 	}
 	var disk *store.Store
+	var cacheWarn string
 	if opt.CacheDir != "" {
-		s, err := store.Open(opt.CacheDir, store.Options{MaxBytes: opt.CacheMaxBytes})
+		s, err := store.Open(opt.CacheDir, store.Options{MaxBytes: opt.CacheMaxBytes, FS: opt.CacheFS})
 		if err != nil {
-			return nil, err
+			// Degraded boot, not a failed one: the daemon must come up
+			// and serve correct bytes with no disk at all. The condition
+			// is observable via CacheWarning and /statz.
+			cacheWarn = fmt.Sprintf("persistent cache degraded, serving memory-only: %v", err)
+		} else {
+			disk = s
 		}
-		disk = s
 	}
 	srv := &Server{
-		opt:   opt,
-		eng:   extract.NewEngine(),
-		adm:   newAdmission(opt.MaxInFlight, opt.QueueDepth, opt.QueueWait),
-		cache: newResultCache(disk),
-		met:   newMetrics(),
-		start: time.Now(),
+		opt:       opt,
+		eng:       extract.NewEngine(),
+		adm:       newAdmission(opt.MaxInFlight, opt.QueueDepth, opt.QueueWait),
+		cache:     newResultCache(disk),
+		cacheWarn: cacheWarn,
+		met:       newMetrics(),
+		start:     time.Now(),
 	}
 	if opt.TenantInFlight > 0 {
 		srv.tenants = make([]*guard.Gate, tenantBuckets)
@@ -185,6 +200,10 @@ func New(opt Options) (*Server, error) {
 
 // Handler returns the server as an http.Handler.
 func (s *Server) Handler() http.Handler { return s }
+
+// CacheWarning reports why the persistent cache is degraded (empty
+// when it is healthy or was never configured).
+func (s *Server) CacheWarning() string { return s.cacheWarn }
 
 // ServeHTTP dispatches by hand rather than through http.ServeMux so
 // that unknown paths and wrong methods are also answered with problem
@@ -736,25 +755,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	entries, bytes := s.cache.diskStats()
+	diskIO := s.cache.diskIO()
 	st := Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Draining:      s.Draining(),
-		InFlight:      s.adm.gate.InFlight(),
-		Queued:        int(s.adm.queued.Load()),
-		Accepted:      s.met.accepted.Load(),
-		Extractions:   s.met.extractions.Load(),
-		CacheHits:     s.met.cacheHits.Load(),
-		DedupWaits:    s.met.dedupWaits.Load(),
-		Panics:        s.met.panics.Load(),
-		ShedQueueFull: s.met.shedQueueFull.Load(),
-		ShedQueueWait: s.met.shedQueueWait.Load(),
-		ShedTenant:    s.met.shedTenant.Load(),
-		ShedDrain:     s.met.shedDrain.Load(),
-		ByStatus:      s.met.statusSnapshot(),
-		CacheEntries:  entries,
-		CacheBytes:    bytes,
-		Goroutines:    runtime.NumGoroutine(),
-		PeakRSSBytes:  prof.PeakRSSBytes(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		Draining:       s.Draining(),
+		InFlight:       s.adm.gate.InFlight(),
+		Queued:         int(s.adm.queued.Load()),
+		Accepted:       s.met.accepted.Load(),
+		Extractions:    s.met.extractions.Load(),
+		CacheHits:      s.met.cacheHits.Load(),
+		DedupWaits:     s.met.dedupWaits.Load(),
+		Panics:         s.met.panics.Load(),
+		ShedQueueFull:  s.met.shedQueueFull.Load(),
+		ShedQueueWait:  s.met.shedQueueWait.Load(),
+		ShedTenant:     s.met.shedTenant.Load(),
+		ShedDrain:      s.met.shedDrain.Load(),
+		ByStatus:       s.met.statusSnapshot(),
+		CacheEntries:   entries,
+		CacheBytes:     bytes,
+		CacheDegraded:  s.cacheWarn != "",
+		CacheError:     s.cacheWarn,
+		CacheGetErrors: diskIO.GetErrors,
+		CachePutErrors: diskIO.PutErrors,
+		Goroutines:     runtime.NumGoroutine(),
+		PeakRSSBytes:   prof.PeakRSSBytes(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

@@ -8,10 +8,16 @@
 //
 // Guarantees:
 //
-//   - An entry is either fully present or absent: writes go to a
-//     temporary file in the same directory and are published with
-//     os.Rename, which is atomic on POSIX filesystems. Two processes
-//     racing on one key leave one winner and no torn file.
+//   - An entry is either fully present or absent, under any crash
+//     point: writes are assembled in a pid-stamped temporary in the
+//     same directory, fsynced, published with an atomic rename, and
+//     the directory is fsynced so the rename itself survives a power
+//     loss. Two processes racing on one key leave one winner and no
+//     torn file; a kill -9 leaves at worst an orphaned temporary.
+//   - Opening the store recovers from crashes: orphaned temporaries
+//     whose writer is dead are swept, and structurally torn entries
+//     (shorter than a header — only possible when an fsync lied) are
+//     quarantined.
 //   - A read can never return the wrong payload: the file carries a
 //     magic number, a format version, the complete key and an FNV-64a
 //     checksum over key and payload. Hash collisions in the file name,
@@ -23,11 +29,13 @@
 //   - The store is size-capped: when the directory grows past
 //     Options.MaxBytes, the least-recently-used entries (by
 //     modification time, refreshed on Get) are evicted until the
-//     store fits again.
+//     store fits again. A full disk (ENOSPC) triggers one immediate
+//     GC and a retried publish before the Put is abandoned.
 //
-// Every operation is fail-soft: I/O errors surface as misses (Get) or
-// returned errors the caller may ignore (Put). The store never
-// panics on hostile directory contents.
+// Every operation is fail-open: I/O errors surface as misses (Get) or
+// returned errors the caller may ignore (Put), and are distinguishable
+// from plain misses through IOCounters. The store never panics on
+// hostile directory contents.
 package store
 
 import (
@@ -41,7 +49,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"ace/internal/vfs"
 )
 
 // DefaultMaxBytes is the size cap applied when Options.MaxBytes is 0.
@@ -62,11 +73,11 @@ const headerSize = 4 + 4 + 4 + 4
 const checksumSize = 8
 
 // entryExt is the extension of live entries; quarantined entries get
-// badExt and in-flight writes tmpPrefix.
+// badExt and in-flight writes vfs.TmpPrefix.
 const (
 	entryExt  = ".e"
 	badExt    = ".bad"
-	tmpPrefix = ".tmp-"
+	tmpPrefix = vfs.TmpPrefix
 )
 
 // Options configures a Store.
@@ -75,6 +86,34 @@ type Options struct {
 	// DefaultMaxBytes, negative disables the cap. Eviction is
 	// least-recently-used by file modification time.
 	MaxBytes int64
+
+	// FS is the filesystem the store runs on; nil selects vfs.OS.
+	// Tests substitute a vfs.FaultFS to exercise the failure paths.
+	FS vfs.FS
+}
+
+// IOCounters exposes the store's fail-open bookkeeping: how often the
+// disk, as opposed to a plain cache miss, let a caller down.
+type IOCounters struct {
+	// GetErrors counts reads that failed for I/O reasons — the entry
+	// may exist but could not be read. Plain absent-file misses are
+	// not counted.
+	GetErrors int64
+
+	// PutErrors counts writes abandoned on I/O errors (after the
+	// ENOSPC retry, when applicable).
+	PutErrors int64
+
+	// ENOSPCRetries counts Puts that hit a full disk and retried
+	// after an emergency GC (whether or not the retry succeeded).
+	ENOSPCRetries int64
+
+	// Quarantined counts entries retired for failing verification.
+	Quarantined int64
+
+	// OrphansSwept counts abandoned temporaries removed, at Open and
+	// during GC.
+	OrphansSwept int64
 }
 
 // Store is one cache directory. All methods are safe for concurrent
@@ -84,18 +123,33 @@ type Options struct {
 type Store struct {
 	dir      string
 	maxBytes int64
+	fs       vfs.FS
+
+	getErrors     atomic.Int64
+	putErrors     atomic.Int64
+	enospcRetries atomic.Int64
+	quarantined   atomic.Int64
+	orphansSwept  atomic.Int64
 
 	mu    sync.Mutex
 	bytes int64 // approximate; < 0 until first sized; recomputed on GC
 	puts  int   // puts since the last GC consideration
 }
 
-// Open creates (if needed) and opens a store directory.
+// Open creates (if needed) and opens a store directory, then runs
+// crash recovery over it: abandoned ".tmp-*" files whose writer is
+// dead are removed, and entry files too short to hold a header are
+// quarantined. After Open returns, every live entry is structurally
+// whole and every temporary belongs to a live writer.
 func Open(dir string, opt Options) (*Store, error) {
 	if dir == "" {
 		return nil, errors.New("store: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = vfs.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	maxBytes := opt.MaxBytes
@@ -103,14 +157,67 @@ func Open(dir string, opt Options) (*Store, error) {
 		maxBytes = DefaultMaxBytes
 	}
 	// The directory is not sized here: read-only openers (a warm
-	// process) never pay for a scan. The first Put sizes it lazily so
-	// the cap can be enforced.
-	s := &Store{dir: dir, maxBytes: maxBytes, bytes: -1}
+	// process) never pay for a full scan. The first Put sizes it
+	// lazily so the cap can be enforced.
+	s := &Store{dir: dir, maxBytes: maxBytes, fs: fsys, bytes: -1}
+	s.recover()
 	return s, nil
+}
+
+// recover is the crash-recovery sweep run by Open. Best-effort: a
+// directory that cannot be listed degrades to an empty-looking store,
+// never a failed Open.
+func (s *Store) recover() {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	now := time.Now()
+	for _, de := range ents {
+		if de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		switch {
+		case strings.HasPrefix(name, tmpPrefix):
+			mtime := now
+			if info, err := de.Info(); err == nil {
+				mtime = info.ModTime()
+			}
+			if vfs.IsOrphanTemp(name, mtime, now) {
+				if s.fs.Remove(filepath.Join(s.dir, name)) == nil {
+					s.orphansSwept.Add(1)
+				}
+			}
+		case strings.HasSuffix(name, entryExt):
+			// A published entry shorter than its fixed framing cannot
+			// verify and will never be read successfully; retire it now
+			// so VerifyAll and Get agree the store is clean. (Possible
+			// only when an fsync lied about durability before a crash.)
+			info, err := de.Info()
+			if err != nil {
+				continue
+			}
+			if info.Size() < headerSize+checksumSize {
+				s.quarantine(filepath.Join(s.dir, name))
+			}
+		}
+	}
 }
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// IOCounters returns a snapshot of the store's disk-error bookkeeping.
+func (s *Store) IOCounters() IOCounters {
+	return IOCounters{
+		GetErrors:     s.getErrors.Load(),
+		PutErrors:     s.putErrors.Load(),
+		ENOSPCRetries: s.enospcRetries.Load(),
+		Quarantined:   s.quarantined.Load(),
+		OrphansSwept:  s.orphansSwept.Load(),
+	}
+}
 
 // path maps a key to its entry file: 16 hex digits of the key's
 // FNV-64a hash. Collisions are legal — verification against the full
@@ -125,7 +232,8 @@ func (s *Store) path(key string) string {
 // Get returns the payload stored under key, refreshing the entry's
 // LRU position. Any verification failure — wrong magic, wrong
 // version, wrong key, bad checksum, truncation — quarantines the file
-// and reports a miss.
+// and reports a miss. I/O errors also report a miss (the caller
+// recomputes) but bump IOCounters.GetErrors.
 func (s *Store) Get(key string) ([]byte, bool) {
 	return s.GetBuf(key, nil)
 }
@@ -141,14 +249,17 @@ func (s *Store) GetBuf(key string, buf *[]byte) ([]byte, bool) {
 	var raw []byte
 	var err error
 	if buf == nil {
-		raw, err = os.ReadFile(p)
+		raw, err = s.fs.ReadFile(p)
 	} else {
-		raw, err = readInto(p, (*buf)[:0])
+		raw, err = readInto(s.fs, p, (*buf)[:0])
 		if err == nil {
 			*buf = raw
 		}
 	}
 	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			s.getErrors.Add(1)
+		}
 		return nil, false
 	}
 	payload, err := verify(raw, key)
@@ -159,14 +270,14 @@ func (s *Store) GetBuf(key string, buf *[]byte) ([]byte, bool) {
 	// LRU touch; best-effort (the entry may have been evicted by a
 	// concurrent process between the read and the touch).
 	now := time.Now()
-	_ = os.Chtimes(p, now, now)
+	_ = s.fs.Chtimes(p, now, now)
 	return payload, true
 }
 
 // readInto reads the whole file at p into dst's spare capacity,
 // reallocating only when the file is larger than any seen before.
-func readInto(p string, dst []byte) ([]byte, error) {
-	f, err := os.Open(p)
+func readInto(fsys vfs.FS, p string, dst []byte) ([]byte, error) {
+	f, err := fsys.Open(p)
 	if err != nil {
 		return nil, err
 	}
@@ -198,41 +309,36 @@ func readInto(p string, dst []byte) ([]byte, error) {
 // check used to skip redundant Puts; a corrupt entry reporting true
 // here is quarantined by the next Get and re-Put after that.
 func (s *Store) Has(key string) bool {
-	_, err := os.Stat(s.path(key))
+	_, err := s.fs.Stat(s.path(key))
 	return err == nil
 }
 
-// Put stores payload under key, atomically: the entry is assembled in
-// a temporary file and published with a rename. Entries larger than
-// half the size cap are silently dropped (they would immediately
-// evict the rest of the store).
+// enospcBackoff is how long Put waits after an emergency GC before
+// retrying a publish that hit a full disk — long enough for the
+// filesystem to reclaim the freed blocks.
+var enospcBackoff = 50 * time.Millisecond
+
+// Put stores payload under key, atomically and durably: the entry is
+// assembled in a pid-stamped temporary, fsynced, published with a
+// rename, and the directory is fsynced. Entries larger than half the
+// size cap are silently dropped (they would immediately evict the
+// rest of the store). A full disk triggers one emergency GC and a
+// retried publish with a short backoff; all other I/O errors abandon
+// the Put, returning the error and bumping IOCounters.PutErrors.
 func (s *Store) Put(key string, payload []byte) error {
 	size := int64(headerSize + len(key) + len(payload) + checksumSize)
 	if s.maxBytes > 0 && size > s.maxBytes/2 {
 		return nil
 	}
-	tmp, err := os.CreateTemp(s.dir, tmpPrefix+"*")
+	err := s.putOnce(key, payload)
+	if err != nil && vfs.IsNoSpace(err) {
+		s.enospcRetries.Add(1)
+		s.GC()
+		time.Sleep(enospcBackoff)
+		err = s.putOnce(key, payload)
+	}
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	var hdr [headerSize]byte
-	copy(hdr[:4], magic[:])
-	binary.LittleEndian.PutUint32(hdr[4:], formatVersion)
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(key)))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(payload)))
-	var sum [checksumSize]byte
-	binary.LittleEndian.PutUint64(sum[:], fnv64a(key, string(payload)))
-	for _, b := range [][]byte{hdr[:], []byte(key), payload, sum[:]} {
-		if _, err := tmp.Write(b); err != nil {
-			tmp.Close()
-			return fmt.Errorf("store: %w", err)
-		}
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		s.putErrors.Add(1)
 		return fmt.Errorf("store: %w", err)
 	}
 	s.mu.Lock()
@@ -250,6 +356,28 @@ func (s *Store) Put(key string, payload []byte) error {
 		s.GC()
 	}
 	return nil
+}
+
+// putOnce performs one atomic publish attempt.
+func (s *Store) putOnce(key string, payload []byte) error {
+	af, err := vfs.NewAtomicFile(s.fs, s.path(key))
+	if err != nil {
+		return err
+	}
+	defer af.Abort() // no-op after Commit
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], formatVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(payload)))
+	var sum [checksumSize]byte
+	binary.LittleEndian.PutUint64(sum[:], fnv64a(key, string(payload)))
+	for _, b := range [][]byte{hdr[:], []byte(key), payload, sum[:]} {
+		if _, err := af.Write(b); err != nil {
+			return err
+		}
+	}
+	return af.Commit()
 }
 
 // CorruptError reports a store entry that failed verification: bad
@@ -311,7 +439,7 @@ func verify(raw []byte, key string) ([]byte, error) {
 // *CorruptError values; unreadable files report their I/O error. A
 // clean store returns nil.
 func (s *Store) VerifyAll() []error {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return []error{fmt.Errorf("store: %w", err)}
 	}
@@ -321,7 +449,7 @@ func (s *Store) VerifyAll() []error {
 			continue
 		}
 		p := filepath.Join(s.dir, de.Name())
-		raw, err := os.ReadFile(p)
+		raw, err := s.fs.ReadFile(p)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("store: %s: %w", p, err))
 			continue
@@ -371,15 +499,16 @@ func (s *Store) Quarantine(key string) { s.quarantine(s.path(key)) }
 // consulted again (the entry name is then free for a fresh Put). If
 // the rename fails the file is removed outright.
 func (s *Store) quarantine(p string) {
-	if err := os.Rename(p, strings.TrimSuffix(p, entryExt)+badExt); err != nil {
-		_ = os.Remove(p)
+	s.quarantined.Add(1)
+	if err := s.fs.Rename(p, strings.TrimSuffix(p, entryExt)+badExt); err != nil {
+		_ = s.fs.Remove(p)
 	}
 }
 
 // Stats reports the number of live entries and the approximate size
 // of the whole directory (live, quarantined and in-flight files).
 func (s *Store) Stats() (entries int, bytes int64) {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return 0, 0
 	}
@@ -396,9 +525,9 @@ func (s *Store) Stats() (entries int, bytes int64) {
 	return entries, bytes
 }
 
-// GC removes quarantined and stale temporary files, then evicts live
-// entries least-recently-used first until the directory fits in the
-// size cap again. Safe to call at any time and from any process
+// GC removes quarantined files and abandoned temporaries, then evicts
+// live entries least-recently-used first until the directory fits in
+// the size cap again. Safe to call at any time and from any process
 // sharing the directory; a concurrent reader losing its entry sees a
 // plain miss.
 func (s *Store) GC() {
@@ -409,7 +538,7 @@ func (s *Store) GC() {
 		size  int64
 		mtime time.Time
 	}
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return
 	}
@@ -424,12 +553,16 @@ func (s *Store) GC() {
 		p := filepath.Join(s.dir, de.Name())
 		switch {
 		case strings.HasSuffix(de.Name(), badExt):
-			_ = os.Remove(p)
+			_ = s.fs.Remove(p)
 		case strings.HasPrefix(de.Name(), tmpPrefix):
-			// A temp file this old belongs to a crashed writer; live
-			// writers publish within seconds.
-			if now.Sub(info.ModTime()) > time.Hour {
-				_ = os.Remove(p)
+			// Pid-stamped temps are orphans as soon as their writer
+			// dies; unparseable ones only after an age grace period.
+			if vfs.IsOrphanTemp(de.Name(), info.ModTime(), now) {
+				if s.fs.Remove(p) == nil {
+					s.orphansSwept.Add(1)
+				} else {
+					total += info.Size()
+				}
 			} else {
 				total += info.Size()
 			}
@@ -449,7 +582,7 @@ func (s *Store) GC() {
 			if total <= target {
 				break
 			}
-			if os.Remove(e.path) == nil {
+			if s.fs.Remove(e.path) == nil {
 				total -= e.size
 			}
 		}
@@ -460,7 +593,7 @@ func (s *Store) GC() {
 
 // scanBytes sums the directory for the initial size estimate.
 func (s *Store) scanBytes() int64 {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return 0
 	}

@@ -1,0 +1,83 @@
+package tile
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ace/internal/vfs"
+)
+
+// TestOpenFSFaultMatrix: read errors at every stage of opening and
+// iterating a tile file must surface as returned errors — never a
+// panic and never silently wrong boxes.
+func TestOpenFSFaultMatrix(t *testing.T) {
+	boxes := genBoxes(7, 4000)
+	raw := pack(t, boxes, nil, 8, 8)
+	path := filepath.Join(t.TempDir(), "chip.actb")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("open-fails", func(t *testing.T) {
+		ffs := vfs.NewFault(vfs.OS)
+		ffs.FailOps(vfs.OpOpen)
+		ffs.FailOnce(1, vfs.ErrInjected)
+		if _, err := OpenFS(ffs, path); !errors.Is(err, vfs.ErrInjected) {
+			t.Fatalf("OpenFS = %v, want injected", err)
+		}
+	})
+
+	t.Run("index-read-fails", func(t *testing.T) {
+		ffs := vfs.NewFault(vfs.OS)
+		ffs.FailOps(vfs.OpReadAt)
+		ffs.FailFrom(1, vfs.ErrInjected)
+		r, err := OpenFS(ffs, path)
+		if err == nil {
+			r.Close()
+			t.Fatal("OpenFS parsed an index with every read failing")
+		}
+	})
+
+	t.Run("payload-read-fails-midway", func(t *testing.T) {
+		ffs := vfs.NewFault(vfs.OS)
+		r, err := OpenFS(ffs, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		// Index is parsed; now every further positioned read fails. The
+		// band iterator must stop with the error, not fabricate boxes.
+		ffs.FailOps(vfs.OpReadAt)
+		ffs.FailFrom(1, vfs.ErrInjected)
+		it := r.ReadBand(WholeChip())
+		n := 0
+		for {
+			if _, ok := it.Next(); !ok {
+				break
+			}
+			n++
+		}
+		// Unreadable payloads surface through the reader's typed error
+		// (the CLI taxonomy maps it to ExitCorrupt — a primary input
+		// that cannot be read is not recomputable, unlike a cache).
+		var ce *CorruptError
+		if err := it.Err(); !errors.As(err, &ce) {
+			t.Fatalf("iterator error = %v after %d boxes, want *CorruptError", err, n)
+		}
+	})
+
+	t.Run("clean-read-matches", func(t *testing.T) {
+		ffs := vfs.NewFault(vfs.OS)
+		r, err := OpenFS(ffs, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		got := drainIter(t, r.ReadBand(WholeChip()))
+		if int64(len(got)) != r.NumBoxes() {
+			t.Fatalf("decoded %d boxes, index records %d", len(got), r.NumBoxes())
+		}
+	})
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync/atomic"
 
@@ -12,6 +11,7 @@ import (
 	"ace/internal/geom"
 	"ace/internal/scan"
 	"ace/internal/tech"
+	"ace/internal/vfs"
 )
 
 // Reader serves windowed and banded reads from a packed tile file.
@@ -56,7 +56,15 @@ type Counters struct {
 // Open opens a tile file and parses its index. The returned Reader
 // owns the file handle; release it with Close.
 func Open(path string) (*Reader, error) {
-	f, err := os.Open(path)
+	return OpenFS(vfs.OS, path)
+}
+
+// OpenFS is Open on an explicit filesystem — the seam fault-injection
+// tests use to prove every read error surfaces as a typed error, never
+// a panic or a silently wrong decode. A vfs.File is an io.ReaderAt, so
+// the Reader's concurrent positioned reads work unchanged.
+func OpenFS(fsys vfs.FS, path string) (*Reader, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("tile: %w", err)
 	}

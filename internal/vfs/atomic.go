@@ -1,0 +1,148 @@
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// TmpPrefix marks in-flight atomic writes. Files carrying it are
+// invisible to readers and reclaimable by SweepOrphans once their
+// writer dies.
+const TmpPrefix = ".tmp-"
+
+// TempPattern returns the CreateTemp pattern for this process's atomic
+// writes: ".tmp-<pid>-*". Stamping the pid into the name lets a
+// recovering process distinguish an abandoned temp (writer dead — safe
+// to delete) from a live in-flight write in a shared directory.
+func TempPattern() string {
+	return TmpPrefix + strconv.Itoa(os.Getpid()) + "-*"
+}
+
+// AtomicFile writes a file so that readers observe either the complete
+// new contents or nothing, under any crash point:
+//
+//	af, err := vfs.NewAtomicFile(fsys, path)
+//	… af.Write(…) …
+//	err = af.Commit()   // fsync temp → close → rename → fsync dir
+//	// or af.Abort()    // close → remove temp
+//
+// A kill -9 at any point leaves at worst an orphaned ".tmp-<pid>-*"
+// file for SweepOrphans; the destination path is never partial.
+type AtomicFile struct {
+	fsys FS
+	f    File
+	dest string
+	done bool
+}
+
+// NewAtomicFile starts an atomic write of dest, staging into a
+// pid-stamped temporary in dest's directory.
+func NewAtomicFile(fsys FS, dest string) (*AtomicFile, error) {
+	f, err := fsys.CreateTemp(filepath.Dir(dest), TempPattern())
+	if err != nil {
+		return nil, err
+	}
+	return &AtomicFile{fsys: fsys, f: f, dest: dest}, nil
+}
+
+// Write appends to the staged temporary.
+func (a *AtomicFile) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+// TempName returns the path of the staged temporary.
+func (a *AtomicFile) TempName() string { return a.f.Name() }
+
+// Commit makes the staged contents the durable contents of the
+// destination: fsync the temp, close it, rename over dest, fsync the
+// directory so the rename itself survives a crash. On error the temp
+// is removed; dest is untouched.
+func (a *AtomicFile) Commit() error {
+	if a.done {
+		return fmt.Errorf("vfs: atomic file for %s already finished", a.dest)
+	}
+	a.done = true
+	tmp := a.f.Name()
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		a.fsys.Remove(tmp)
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		a.fsys.Remove(tmp)
+		return err
+	}
+	if err := a.fsys.Rename(tmp, a.dest); err != nil {
+		a.fsys.Remove(tmp)
+		return err
+	}
+	return a.fsys.SyncDir(filepath.Dir(a.dest))
+}
+
+// Abort abandons the write, removing the temporary. Safe to call after
+// Commit (it is then a no-op), so "defer af.Abort()" is the idiom.
+func (a *AtomicFile) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()
+	a.fsys.Remove(a.f.Name())
+}
+
+// orphanAge is how old a temp file with an unparseable name must be
+// before SweepOrphans reclaims it. Pid-stamped temps don't need the
+// grace period: writer liveness is checked directly.
+const orphanAge = time.Hour
+
+// IsOrphanTemp reports whether the directory entry named name, with
+// modification time mtime, is an abandoned atomic-write temporary as
+// of now. Temps stamped with a live writer's pid — including our own —
+// are in flight, not orphans.
+func IsOrphanTemp(name string, mtime, now time.Time) bool {
+	if !strings.HasPrefix(name, TmpPrefix) {
+		return false
+	}
+	rest := name[len(TmpPrefix):]
+	if i := strings.IndexByte(rest, '-'); i > 0 {
+		if pid, err := strconv.Atoi(rest[:i]); err == nil && pid > 0 {
+			return !pidAlive(pid)
+		}
+	}
+	// Pre-pid naming or foreign temps: fall back to age.
+	return now.Sub(mtime) > orphanAge
+}
+
+// SweepOrphans removes abandoned atomic-write temporaries from dir:
+// pid-stamped temps whose writer is dead, and unparseable temps older
+// than an hour. It returns how many were removed. Errors are
+// best-effort — a temp that cannot be examined or removed is skipped,
+// never escalated; recovery must not block on cleanup.
+func SweepOrphans(fsys FS, dir string) int {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	now := time.Now()
+	swept := 0
+	for _, ent := range ents {
+		if ent.IsDir() || !strings.HasPrefix(ent.Name(), TmpPrefix) {
+			continue
+		}
+		var mtime time.Time
+		if info, err := ent.Info(); err == nil {
+			mtime = info.ModTime()
+		} else {
+			mtime = now // can't stat: only pid evidence can condemn it
+		}
+		if !IsOrphanTemp(ent.Name(), mtime, now) {
+			continue
+		}
+		if fsys.Remove(filepath.Join(dir, ent.Name())) == nil {
+			swept++
+		}
+	}
+	return swept
+}

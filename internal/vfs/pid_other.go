@@ -1,0 +1,8 @@
+//go:build !unix
+
+package vfs
+
+// pidAlive cannot be answered portably off unix; report alive so
+// sweeping never deletes a live writer's temp. Age-based reclamation
+// still collects genuinely stale files.
+func pidAlive(pid int) bool { return true }

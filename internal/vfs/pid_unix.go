@@ -1,0 +1,19 @@
+//go:build unix
+
+package vfs
+
+import (
+	"errors"
+	"syscall"
+)
+
+// pidAlive reports whether a process with the given pid exists.
+// Signal 0 performs the existence check without delivering anything;
+// EPERM means the process exists but belongs to someone else — alive.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	if err == nil {
+		return true
+	}
+	return errors.Is(err, syscall.EPERM)
+}

@@ -1,0 +1,125 @@
+// Package vfs is the filesystem seam under ACE's persistent tiers
+// (internal/store, the tile pack path, the serve result cache). The
+// production implementation, OS, is a thin veneer over package os; the
+// test implementation, FaultFS, injects the failure modes that
+// actually kill long-lived caches — a write torn mid-entry, an fsync
+// that fails (or lies), a full disk, a power cut — so crash
+// consistency and fail-open degradation are testable in-process,
+// deterministically, without a real crash.
+//
+// The package also owns the two crash-consistency primitives every
+// tier shares:
+//
+//   - AtomicFile: write-to-temp, fsync, rename-into-place, fsync the
+//     directory. A reader never observes a partial file under any
+//     crash point; the worst outcome of a kill -9 is an orphaned
+//     temporary.
+//   - Orphan sweeping: temporaries are named ".tmp-<pid>-…", so a
+//     recovering process can tell an abandoned temp (writer dead) from
+//     a live in-flight write (writer alive) and delete exactly the
+//     former.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"time"
+)
+
+// FS is the set of filesystem operations the persistent tiers use.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	// Open opens the named file for reading.
+	Open(name string) (File, error)
+
+	// Create truncates or creates the named file for writing.
+	Create(name string) (File, error)
+
+	// CreateTemp creates a new unique file in dir; pattern follows
+	// os.CreateTemp ("*" replaced by a random string).
+	CreateTemp(dir, pattern string) (File, error)
+
+	// ReadFile reads the whole named file.
+	ReadFile(name string) ([]byte, error)
+
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+
+	// Remove deletes the named file.
+	Remove(name string) error
+
+	// Stat describes the named file.
+	Stat(name string) (fs.FileInfo, error)
+
+	// ReadDir lists the named directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+
+	// Chtimes sets the named file's access and modification times.
+	Chtimes(name string, atime, mtime time.Time) error
+
+	// SyncDir fsyncs the named directory, making a preceding rename
+	// durable. Filesystems that cannot sync directories report their
+	// error; callers on the fail-open paths may ignore it.
+	SyncDir(dir string) error
+}
+
+// File is an open file on an FS.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+
+	// Name returns the path the file was opened with.
+	Name() string
+
+	// Stat describes the open file.
+	Stat() (fs.FileInfo, error)
+
+	// Sync flushes the file's contents to stable storage.
+	Sync() error
+}
+
+// OS is the production FS: package os, unmodified.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Open(name string) (File, error)   { return wrapOS(os.Open(name)) }
+func (osFS) Create(name string) (File, error) { return wrapOS(os.Create(name)) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return wrapOS(os.CreateTemp(dir, pattern))
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Chtimes(name string, atime, mtime time.Time) error {
+	return os.Chtimes(name, atime, mtime)
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+func wrapOS(f *os.File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}

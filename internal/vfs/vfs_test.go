@@ -1,0 +1,319 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.txt")
+	f, err := OS.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(p)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatalf("SyncDir: %v", err)
+	}
+	r, err := OS.Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := r.ReadAt(buf, 2); err != nil || string(buf) != "llo" {
+		t.Fatalf("ReadAt = %q, %v", buf, err)
+	}
+	r.Close()
+}
+
+func TestAtomicFileCommit(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.bin")
+	af, err := NewAtomicFile(OS, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(af.TempName()) != dir {
+		t.Fatalf("temp %q not staged in %q", af.TempName(), dir)
+	}
+	if _, err := af.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Before commit the destination must not exist.
+	if _, err := OS.Stat(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("dest exists before commit: %v", err)
+	}
+	if err := af.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OS.ReadFile(p)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("after commit: %q, %v", got, err)
+	}
+	// Temp is gone; Abort after Commit is a no-op.
+	if _, err := OS.Stat(af.TempName()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp survives commit: %v", err)
+	}
+	af.Abort()
+	if _, err := OS.ReadFile(p); err != nil {
+		t.Fatalf("abort-after-commit clobbered dest: %v", err)
+	}
+}
+
+func TestAtomicFileAbort(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "out.bin")
+	af, err := NewAtomicFile(OS, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	af.Write([]byte("junk"))
+	af.Abort()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("abort left %d entries", len(ents))
+	}
+}
+
+func TestAtomicFileCommitFaultsLeaveNoDest(t *testing.T) {
+	// Whichever step of Commit fails, the destination must not appear
+	// and the temp must not linger.
+	for _, op := range []Op{OpSync, OpClose, OpRename} {
+		t.Run(op.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			p := filepath.Join(dir, "out.bin")
+			ffs := NewFault(OS)
+			af, err := NewAtomicFile(ffs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			af.Write([]byte("payload"))
+			ffs.FailOps(op)
+			ffs.FailOnce(1, ErrInjected)
+			if err := af.Commit(); !errors.Is(err, ErrInjected) {
+				t.Fatalf("Commit = %v, want injected", err)
+			}
+			ffs.Restore()
+			if _, err := OS.Stat(p); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("dest appeared despite failed commit: %v", err)
+			}
+			ents, _ := os.ReadDir(dir)
+			if len(ents) != 0 {
+				t.Fatalf("failed commit left %d entries", len(ents))
+			}
+		})
+	}
+}
+
+func TestFaultFailOnce(t *testing.T) {
+	ffs := NewFault(OS)
+	dir := t.TempDir()
+	ffs.FailOps(OpCreate)
+	ffs.FailOnce(2, ErrInjected)
+	if _, err := ffs.Create(filepath.Join(dir, "a")); err != nil {
+		t.Fatalf("op 1 failed early: %v", err)
+	}
+	if _, err := ffs.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("op 2 = %v, want injected", err)
+	}
+	if _, err := ffs.Create(filepath.Join(dir, "c")); err != nil {
+		t.Fatalf("op 3 failed after single-shot: %v", err)
+	}
+	if got := ffs.Count(OpCreate); got != 3 {
+		t.Fatalf("Count(OpCreate) = %d", got)
+	}
+}
+
+func TestFaultFailFrom(t *testing.T) {
+	ffs := NewFault(OS)
+	dir := t.TempDir()
+	ffs.FailOps(OpStat)
+	ffs.FailFrom(2, ErrInjected)
+	if _, err := ffs.Stat(dir); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ffs.Stat(dir); !errors.Is(err, ErrInjected) {
+			t.Fatalf("op %d = %v, want injected", i+2, err)
+		}
+	}
+}
+
+func TestFaultTornWrite(t *testing.T) {
+	ffs := NewFault(OS)
+	dir := t.TempDir()
+	p := filepath.Join(dir, "torn")
+	f, err := ffs.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailOps(OpWrite)
+	ffs.FailOnce(1, ErrInjected)
+	ffs.TornWrite(3)
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("torn write = %d, %v", n, err)
+	}
+	ffs.Restore()
+	f.Close()
+	got, _ := os.ReadFile(p)
+	if string(got) != "abc" {
+		t.Fatalf("on-disk after torn write: %q", got)
+	}
+}
+
+func TestFaultNoSpace(t *testing.T) {
+	if !IsNoSpace(ErrNoSpace) {
+		t.Fatal("ErrNoSpace not classified as no-space")
+	}
+	if !errors.Is(ErrNoSpace, syscall.ENOSPC) {
+		t.Fatal("ErrNoSpace does not wrap ENOSPC")
+	}
+	if IsNoSpace(ErrInjected) {
+		t.Fatal("ErrInjected misclassified as no-space")
+	}
+}
+
+func TestFaultLieSync(t *testing.T) {
+	ffs := NewFault(OS)
+	dir := t.TempDir()
+	f, err := ffs.Create(filepath.Join(dir, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.LieSync(true)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("lying sync reported %v", err)
+	}
+	if err := ffs.SyncDir(dir); err != nil {
+		t.Fatalf("lying syncdir reported %v", err)
+	}
+	if got := ffs.SyncLies(); got != 2 {
+		t.Fatalf("SyncLies = %d", got)
+	}
+	f.Close()
+}
+
+func TestFaultPowerCut(t *testing.T) {
+	ffs := NewFault(OS)
+	dir := t.TempDir()
+	p := filepath.Join(dir, "pre")
+	if err := os.WriteFile(p, []byte("pre"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Create(filepath.Join(dir, "mid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.PowerCut()
+	// Every mutating op is frozen…
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write after cut = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("sync after cut = %v", err)
+	}
+	if _, err := ffs.Create(filepath.Join(dir, "post")); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("create after cut = %v", err)
+	}
+	if err := ffs.Rename(p, p+"2"); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("rename after cut = %v", err)
+	}
+	if err := ffs.Remove(p); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("remove after cut = %v", err)
+	}
+	// …but reads and close still work.
+	if err := f.Close(); err != nil {
+		t.Fatalf("close after cut = %v", err)
+	}
+	got, err := ffs.ReadFile(p)
+	if err != nil || string(got) != "pre" {
+		t.Fatalf("read after cut = %q, %v", got, err)
+	}
+	ffs.Restore()
+	if _, err := ffs.Create(filepath.Join(dir, "restored")); err != nil {
+		t.Fatalf("create after restore = %v", err)
+	}
+}
+
+func TestIsOrphanTemp(t *testing.T) {
+	now := time.Now()
+	self := TmpPrefix + strconv.Itoa(os.Getpid()) + "-abc"
+	cases := []struct {
+		name  string
+		mtime time.Time
+		want  bool
+	}{
+		{"entry.e", now, false},                                // not a temp
+		{self, now.Add(-24 * time.Hour), false},                // own pid: in flight even if old
+		{TmpPrefix + "1-abc", now, false},                      // pid 1 (init): alive
+		{TmpPrefix + "999999999-abc", now, true},               // beyond pid_max: dead
+		{TmpPrefix + "garbage", now, false},                    // unparseable, fresh
+		{TmpPrefix + "garbage", now.Add(-2 * time.Hour), true}, // unparseable, stale
+	}
+	for _, c := range cases {
+		if got := IsOrphanTemp(c.name, c.mtime, now); got != c.want {
+			t.Errorf("IsOrphanTemp(%q, age %v) = %v, want %v", c.name, now.Sub(c.mtime), got, c.want)
+		}
+	}
+}
+
+func TestSweepOrphans(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, age time.Duration) {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if age > 0 {
+			old := time.Now().Add(-age)
+			os.Chtimes(p, old, old)
+		}
+	}
+	write("keep.e", 0)                                    // real entry
+	write(TmpPrefix+strconv.Itoa(os.Getpid())+"-live", 0) // our own in-flight write
+	write(TmpPrefix+"999999999-dead", 0)                  // dead writer
+	write(TmpPrefix+"old", 2*time.Hour)                   // stale unparseable
+	write(TmpPrefix+"fresh", 0)                           // fresh unparseable
+
+	if got := SweepOrphans(OS, dir); got != 2 {
+		t.Fatalf("swept %d, want 2", got)
+	}
+	for _, want := range []string{"keep.e", TmpPrefix + strconv.Itoa(os.Getpid()) + "-live", TmpPrefix + "fresh"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("survivor %q gone: %v", want, err)
+		}
+	}
+	for _, gone := range []string{TmpPrefix + "999999999-dead", TmpPrefix + "old"} {
+		if _, err := os.Stat(filepath.Join(dir, gone)); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("orphan %q survived: %v", gone, err)
+		}
+	}
+}
+
+func TestSweepOrphansMissingDir(t *testing.T) {
+	if got := SweepOrphans(OS, filepath.Join(t.TempDir(), "nope")); got != 0 {
+		t.Fatalf("swept %d from missing dir", got)
+	}
+}
